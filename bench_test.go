@@ -1,0 +1,327 @@
+// Package widx_test is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation. Each benchmark runs the corresponding
+// experiment at a reduced (laptop-affordable) workload scale and reports the
+// headline quantities as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints, for every figure, the measured values next to the ns/op noise.
+// The -short flag shrinks the workloads further. EXPERIMENTS.md records a
+// full paper-vs-measured comparison produced with cmd/experiments.
+package widx_test
+
+import (
+	"testing"
+
+	"widx/internal/join"
+	"widx/internal/model"
+	"widx/internal/sim"
+	"widx/internal/workloads"
+)
+
+// benchConfig returns the simulation configuration used by the benchmarks.
+func benchConfig(b *testing.B) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scale = 1.0 / 128
+	cfg.SampleProbes = 8000
+	if testing.Short() {
+		cfg.Scale = 1.0 / 512
+		cfg.SampleProbes = 2000
+	}
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return cfg
+}
+
+// BenchmarkTable2_MemoryHierarchy exercises the Table 2 configuration by
+// building it and reporting its derived latencies and bandwidth.
+func BenchmarkTable2_MemoryHierarchy(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		if err := cfg.Mem.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Mem.MemLatencyCycles()), "mem-latency-cycles")
+	b.ReportMetric(cfg.Mem.MemServiceIntervalCycles(), "mc-cycles/block")
+	b.ReportMetric(float64(cfg.Mem.L1MSHRs), "l1-mshrs")
+}
+
+// BenchmarkFig2a_ExecutionBreakdown regenerates the Figure 2a execution-time
+// breakdown for the full query inventory and reports the average measured
+// indexing share per suite (paper: ~35% TPC-H, ~45% TPC-DS).
+func BenchmarkFig2a_ExecutionBreakdown(b *testing.B) {
+	cfg := benchConfig(b)
+	var rows []sim.BreakdownRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = cfg.RunBreakdowns(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var tpchSum, tpcdsSum float64
+	var tpchN, tpcdsN int
+	for _, r := range rows {
+		if r.Query.Suite == workloads.TPCH {
+			tpchSum += r.Measured.Index
+			tpchN++
+		} else {
+			tpcdsSum += r.Measured.Index
+			tpcdsN++
+		}
+	}
+	b.ReportMetric(100*tpchSum/float64(tpchN), "tpch-index-share-%")
+	b.ReportMetric(100*tpcdsSum/float64(tpcdsN), "tpcds-index-share-%")
+	b.ReportMetric(float64(len(rows)), "queries")
+}
+
+// BenchmarkFig2b_IndexBreakdown regenerates the Figure 2b hash/walk split for
+// the twelve simulated queries and reports the average hash share
+// (paper: ~30% hashing on average, 68% maximum).
+func BenchmarkFig2b_IndexBreakdown(b *testing.B) {
+	cfg := benchConfig(b)
+	var rows []sim.BreakdownRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = cfg.RunBreakdowns(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sum, maxShare := 0.0, 0.0
+	for _, r := range rows {
+		sum += r.MeasuredHashShare
+		if r.MeasuredHashShare > maxShare {
+			maxShare = r.MeasuredHashShare
+		}
+	}
+	b.ReportMetric(100*sum/float64(len(rows)), "avg-hash-share-%")
+	b.ReportMetric(100*maxShare, "max-hash-share-%")
+}
+
+// BenchmarkFig4a_L1Bandwidth sweeps the analytical model's L1 bandwidth
+// constraint and reports the walker count a single-ported L1 supports at a
+// low LLC miss ratio (paper: ~6).
+func BenchmarkFig4a_L1Bandwidth(b *testing.B) {
+	p := model.Default()
+	var curves []model.Series
+	for i := 0; i < b.N; i++ {
+		curves = model.Figure4a(p)
+	}
+	singlePort := p
+	singlePort.L1Ports = 1
+	b.ReportMetric(float64(singlePort.MaxWalkersByL1Ports(0)), "walkers@1port")
+	b.ReportMetric(float64(p.MaxWalkersByL1Ports(0)), "walkers@2ports")
+	b.ReportMetric(float64(len(curves)), "curves")
+}
+
+// BenchmarkFig4b_MSHR sweeps the MSHR constraint (paper: 8-10 MSHRs support
+// four to five walkers).
+func BenchmarkFig4b_MSHR(b *testing.B) {
+	p := model.Default()
+	for i := 0; i < b.N; i++ {
+		_ = model.Figure4b(p)
+	}
+	b.ReportMetric(float64(p.MaxWalkersByMSHRs()), "walkers@10mshrs")
+	p8 := p
+	p8.MSHRs = 8
+	b.ReportMetric(float64(p8.MaxWalkersByMSHRs()), "walkers@8mshrs")
+}
+
+// BenchmarkFig4c_OffChip sweeps the off-chip bandwidth constraint (paper:
+// ~8 walkers per memory controller at low LLC miss ratios, ~4 at 100%).
+func BenchmarkFig4c_OffChip(b *testing.B) {
+	p := model.Default()
+	for i := 0; i < b.N; i++ {
+		_ = model.Figure4c(p)
+	}
+	b.ReportMetric(p.WalkersPerMC(0.1), "walkers/MC@miss0.1")
+	b.ReportMetric(p.WalkersPerMC(1.0), "walkers/MC@miss1.0")
+}
+
+// BenchmarkFig5_WalkerUtilization sweeps the dispatcher/walker balance
+// (paper: one dispatcher feeds up to four walkers except for very shallow
+// buckets on cache-resident indexes).
+func BenchmarkFig5_WalkerUtilization(b *testing.B) {
+	p := model.Default()
+	for i := 0; i < b.N; i++ {
+		for _, depth := range []float64{1, 2, 3} {
+			_ = model.Figure5(p, depth)
+		}
+	}
+	b.ReportMetric(p.WalkerUtilization(0.5, 4, 2), "util@4walkers,2nodes")
+	b.ReportMetric(p.WalkerUtilization(0.0, 8, 1), "util@8walkers,1node")
+}
+
+// runKernelOnce caches the kernel experiment across the two Figure 8 benches.
+func runKernelOnce(b *testing.B, cfg sim.Config) *sim.KernelExperiment {
+	exp, err := cfg.RunKernel([]join.SizeClass{join.Small, join.Medium, join.Large})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return exp
+}
+
+// BenchmarkFig8a_KernelCycleBreakdown regenerates the Figure 8a walker cycle
+// breakdown of the hash-join kernel and reports the Large/Small memory-cycle
+// ratio (the paper's bars grow commensurately with the index size).
+func BenchmarkFig8a_KernelCycleBreakdown(b *testing.B) {
+	cfg := benchConfig(b)
+	var exp *sim.KernelExperiment
+	for i := 0; i < b.N; i++ {
+		exp = runKernelOnce(b, cfg)
+	}
+	small1, _ := exp.Point(join.Small, 1)
+	large1, _ := exp.Point(join.Large, 1)
+	small4, _ := exp.Point(join.Small, 4)
+	b.ReportMetric(large1.Breakdown.Mem/small1.Breakdown.Mem, "large/small-mem-ratio")
+	b.ReportMetric(small4.Breakdown.Idle, "small-4w-idle-cyc/tuple")
+	b.ReportMetric(large1.CyclesPerTuple/exp.NormalizationBase, "large-1w-normalized")
+}
+
+// BenchmarkFig8b_KernelSpeedup regenerates the Figure 8b speedups (paper:
+// ~4% with one walker, up to 4x on the Large index with four walkers).
+func BenchmarkFig8b_KernelSpeedup(b *testing.B) {
+	cfg := benchConfig(b)
+	var exp *sim.KernelExperiment
+	for i := 0; i < b.N; i++ {
+		exp = runKernelOnce(b, cfg)
+	}
+	large4, _ := exp.Point(join.Large, 4)
+	b.ReportMetric(exp.GeoMeanSpeedup1W, "geomean-speedup-1w")
+	b.ReportMetric(exp.GeoMeanSpeedup4W, "geomean-speedup-4w")
+	b.ReportMetric(large4.Speedup, "large-speedup-4w")
+}
+
+// runSuiteOnce runs the twelve simulated DSS queries.
+func runSuiteOnce(b *testing.B, cfg sim.Config) *sim.SuiteResult {
+	suite, err := cfg.RunSimulatedQueries()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return suite
+}
+
+// BenchmarkFig9a_TPCHCycles regenerates the TPC-H walker cycle breakdowns of
+// Figure 9a and reports the 1-to-4-walker scaling of the most memory-bound
+// query (q20).
+func BenchmarkFig9a_TPCHCycles(b *testing.B) {
+	cfg := benchConfig(b)
+	var suite *sim.SuiteResult
+	for i := 0; i < b.N; i++ {
+		suite = runSuiteOnce(b, cfg)
+	}
+	for _, q := range suite.Queries {
+		if q.Query.Suite == workloads.TPCH && q.Query.Name == "q20" {
+			b.ReportMetric(q.WidxCyclesPerTuple[1], "q20-cpt-1w")
+			b.ReportMetric(q.WidxCyclesPerTuple[4], "q20-cpt-4w")
+			b.ReportMetric(q.WidxBreakdown[4].Mem/q.WidxBreakdown[4].Total(), "q20-mem-fraction")
+		}
+	}
+}
+
+// BenchmarkFig9b_TPCDSCycles regenerates the TPC-DS walker cycle breakdowns
+// of Figure 9b; TPC-DS indexes are small, so cycles per tuple are much lower
+// than TPC-H and idle (dispatcher-limited) time appears.
+func BenchmarkFig9b_TPCDSCycles(b *testing.B) {
+	cfg := benchConfig(b)
+	var suite *sim.SuiteResult
+	for i := 0; i < b.N; i++ {
+		suite = runSuiteOnce(b, cfg)
+	}
+	var tpchCPT, tpcdsCPT, tpcdsIdle float64
+	var nH, nDS int
+	for _, q := range suite.Queries {
+		if q.Query.Suite == workloads.TPCH {
+			tpchCPT += q.WidxCyclesPerTuple[4]
+			nH++
+		} else {
+			tpcdsCPT += q.WidxCyclesPerTuple[4]
+			tpcdsIdle += q.WidxBreakdown[4].Idle
+			nDS++
+		}
+	}
+	b.ReportMetric(tpchCPT/float64(nH), "tpch-avg-cpt-4w")
+	b.ReportMetric(tpcdsCPT/float64(nDS), "tpcds-avg-cpt-4w")
+	b.ReportMetric(tpcdsIdle/float64(nDS), "tpcds-avg-idle-cyc")
+}
+
+// BenchmarkFig10_QuerySpeedup regenerates the Figure 10 indexing speedups
+// (paper: 1.5x-5.5x, geometric mean 3.1x) and the Section 6.2 query-level
+// projection (paper: geometric mean 1.5x).
+func BenchmarkFig10_QuerySpeedup(b *testing.B) {
+	cfg := benchConfig(b)
+	var suite *sim.SuiteResult
+	for i := 0; i < b.N; i++ {
+		suite = runSuiteOnce(b, cfg)
+	}
+	minSp, maxSp := 1e9, 0.0
+	for _, q := range suite.Queries {
+		sp := q.IndexSpeedup[4]
+		if sp < minSp {
+			minSp = sp
+		}
+		if sp > maxSp {
+			maxSp = sp
+		}
+	}
+	b.ReportMetric(suite.GeoMeanIndexSpeedup[4], "geomean-index-speedup-4w")
+	b.ReportMetric(minSp, "min-index-speedup-4w")
+	b.ReportMetric(maxSp, "max-index-speedup-4w")
+	b.ReportMetric(suite.GeoMeanQuerySpeedup, "geomean-query-speedup")
+}
+
+// BenchmarkFig11_EnergyDelay regenerates the Figure 11 energy comparison
+// (paper: Widx cuts indexing energy by 83% and improves energy-delay by
+// 17.5x over the OoO baseline; the in-order core is ~2.2x slower).
+func BenchmarkFig11_EnergyDelay(b *testing.B) {
+	cfg := benchConfig(b)
+	var suite *sim.SuiteResult
+	for i := 0; i < b.N; i++ {
+		suite = runSuiteOnce(b, cfg)
+	}
+	b.ReportMetric(100*suite.Energy.EnergyReduction(suite.Energy.Widx), "widx-energy-reduction-%")
+	b.ReportMetric(1/suite.Energy.Widx.EDP, "widx-edp-improvement-x")
+	b.ReportMetric(suite.InOrderSlowdown, "inorder-slowdown-x")
+}
+
+// BenchmarkAblation_DecoupledHashing quantifies the Section 3.1 design
+// choices: decoupling key hashing from the walk (paper: 29% lower traversal
+// time) and sharing one dispatcher across walkers.
+func BenchmarkAblation_DecoupledHashing(b *testing.B) {
+	cfg := benchConfig(b)
+	q20, err := workloads.ByName(workloads.TPCH, "q20")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ab *sim.AblationResult
+	for i := 0; i < b.N; i++ {
+		ab, err = cfg.RunHashingAblation(q20, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*(1-1/ab.DecouplingGain), "decoupling-gain-%")
+	b.ReportMetric(ab.SharedCPT/ab.PerWalkerCPT, "shared-vs-perwalker")
+}
+
+// BenchmarkAblation_QueueDepth measures the sensitivity to the dispatcher
+// queue depth called out in DESIGN.md.
+func BenchmarkAblation_QueueDepth(b *testing.B) {
+	cfg := benchConfig(b)
+	q17, err := workloads.ByName(workloads.TPCH, "q17")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *sim.QueryResult
+	for i := 0; i < b.N; i++ {
+		res, err = cfg.RunQuery(q17)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.IndexSpeedup[4], "q17-speedup-4w")
+	b.ReportMetric(res.WidxBreakdown[4].Idle, "q17-idle-cyc-4w")
+}

@@ -1,0 +1,93 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them as text tables: the Figure 2 breakdowns, the
+// Figure 4/5 analytical-model sweeps, the Figure 8 hash-join kernel study,
+// the Figure 9/10 DSS query study, the Figure 11 energy comparison and the
+// hashing-organization ablation.
+//
+// Usage:
+//
+//	experiments [-run all|fig2|fig4|fig5|fig8|fig9|fig10|fig11|ablation]
+//	            [-scale 0.015] [-sample 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"widx/internal/join"
+	"widx/internal/model"
+	"widx/internal/sim"
+	"widx/internal/workloads"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig8, fig9, fig10, fig11, ablation")
+	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
+	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.SampleProbes = *sample
+
+	want := func(name string) bool { return *run == "all" || strings.EqualFold(*run, name) }
+	printed := false
+
+	if want("fig4") || want("fig5") {
+		fmt.Print(sim.FormatModel(model.Default()))
+		fmt.Println()
+		printed = true
+	}
+	if want("fig2") {
+		rows, err := cfg.RunBreakdowns(false)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sim.FormatBreakdowns(rows))
+		fmt.Println()
+		printed = true
+	}
+	if want("fig8") {
+		exp, err := cfg.RunKernel([]join.SizeClass{join.Small, join.Medium, join.Large})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sim.FormatKernel(exp))
+		fmt.Println()
+		printed = true
+	}
+	if want("fig9") || want("fig10") || want("fig11") {
+		suite, err := cfg.RunSimulatedQueries()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sim.FormatQueries(suite))
+		fmt.Println()
+		fmt.Print(sim.FormatEnergy(suite))
+		fmt.Println()
+		printed = true
+	}
+	if want("ablation") {
+		q20, err := workloads.ByName(workloads.TPCH, "q20")
+		if err != nil {
+			fail(err)
+		}
+		ab, err := cfg.RunHashingAblation(q20, 4)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sim.FormatAblation(ab, "TPC-H q20"))
+		printed = true
+	}
+	if !printed {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

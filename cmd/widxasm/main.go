@@ -1,0 +1,113 @@
+// Command widxasm assembles and disassembles Widx unit programs and prints
+// the Table 1 ISA summary.
+//
+// Usage:
+//
+//	widxasm -table                    print the ISA and per-unit legality
+//	widxasm file.wasm                 assemble and validate a program
+//	widxasm -disasm file.wasm         assemble, then print the disassembly
+//	widxasm -builtin layout:hash      print a generated built-in program set
+//	                                  (layout: inline|indirect, hash: simple|robust)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"widx/internal/hashidx"
+	"widx/internal/isa"
+	"widx/internal/program"
+)
+
+func main() {
+	table := flag.Bool("table", false, "print the Table 1 ISA summary")
+	disasm := flag.Bool("disasm", false, "print the disassembly of the assembled program")
+	builtin := flag.String("builtin", "", "print the generated programs for layout:hash (e.g. inline:simple)")
+	flag.Parse()
+
+	switch {
+	case *table:
+		printTable()
+	case *builtin != "":
+		if err := printBuiltin(*builtin); err != nil {
+			fail(err)
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		p, err := isa.Assemble(string(src))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("program %q: %s unit, %d instructions, %d memory ops/item, %d compute ops/item\n",
+			p.Name, p.Kind, len(p.Code), p.MemOpsPerItem(), p.ComputeOps())
+		if *disasm {
+			fmt.Print(isa.Disassemble(p))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "widxasm:", err)
+	os.Exit(1)
+}
+
+func printTable() {
+	fmt.Println("Table 1 — Widx ISA (H = dispatcher, W = walker, P = output producer)")
+	fmt.Printf("%-10s %3s %3s %3s\n", "instr", "H", "W", "P")
+	ops := []isa.Opcode{isa.ADD, isa.AND, isa.BA, isa.BLE, isa.CMP, isa.CMPLE, isa.LD,
+		isa.SHL, isa.SHR, isa.ST, isa.TOUCH, isa.XOR, isa.ADDSHF, isa.ANDSHF, isa.XORSHF}
+	mark := func(ok bool) string {
+		if ok {
+			return "X"
+		}
+		return ""
+	}
+	for _, op := range ops {
+		fmt.Printf("%-10s %3s %3s %3s\n", strings.ToUpper(op.String()),
+			mark(op.LegalFor(isa.Dispatcher)), mark(op.LegalFor(isa.Walker)), mark(op.LegalFor(isa.Producer)))
+	}
+}
+
+func printBuiltin(arg string) error {
+	parts := strings.Split(arg, ":")
+	if len(parts) != 2 {
+		return fmt.Errorf("expected layout:hash, got %q", arg)
+	}
+	spec := program.Spec{
+		BucketBase: 0x1_0000_0000,
+		BucketMask: 0xFFFF,
+		ResultBase: 0x2_0000_0000,
+	}
+	switch parts[0] {
+	case "inline":
+		spec.Layout, spec.NodeSize = hashidx.LayoutInline, hashidx.InlineNodeSize
+	case "indirect":
+		spec.Layout, spec.NodeSize = hashidx.LayoutIndirect, hashidx.IndirectNodeSize
+	default:
+		return fmt.Errorf("unknown layout %q", parts[0])
+	}
+	switch parts[1] {
+	case "simple":
+		spec.Hash = hashidx.HashSimple
+	case "robust":
+		spec.Hash = hashidx.HashRobust
+	default:
+		return fmt.Errorf("unknown hash %q", parts[1])
+	}
+	bundle, err := program.Build(spec)
+	if err != nil {
+		return err
+	}
+	for _, p := range []*isa.Program{bundle.Dispatcher, bundle.Walker, bundle.Producer} {
+		fmt.Printf("; ---- %s (%s) ----\n%s\n", p.Name, p.Kind, isa.Disassemble(p))
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Command widxmodel prints the first-order analytical model of Section 3.2:
+// the L1 bandwidth, MSHR and off-chip bandwidth constraints on the walker
+// count (Figures 4a-4c) and the dispatcher's ability to feed multiple walkers
+// (Figure 5).
+//
+// Usage:
+//
+//	widxmodel [-mshrs N] [-ports N] [-hashcycles N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"widx/internal/model"
+	"widx/internal/sim"
+)
+
+func main() {
+	mshrs := flag.Int("mshrs", 0, "override the L1 MSHR count (0 keeps Table 2's 10)")
+	ports := flag.Int("ports", 0, "override the L1 port count (0 keeps Table 2's 2)")
+	hashCycles := flag.Float64("hashcycles", 0, "override the hash ALU cycles per key (0 keeps the default)")
+	flag.Parse()
+
+	p := model.Default()
+	if *mshrs > 0 {
+		p.MSHRs = *mshrs
+	}
+	if *ports > 0 {
+		p.L1Ports = *ports
+	}
+	if *hashCycles > 0 {
+		p.HashCompCycles = *hashCycles
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "widxmodel:", err)
+		os.Exit(1)
+	}
+	fmt.Print(sim.FormatModel(p))
+}

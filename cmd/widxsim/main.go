@@ -1,0 +1,93 @@
+// Command widxsim runs one simulation configuration — either the hash-join
+// kernel or a named DSS query — on the baseline cores and on Widx, and prints
+// the resulting report.
+//
+// Usage:
+//
+//	widxsim -kernel Large  [-scale 0.01] [-sample 20000]
+//	widxsim -suite TPC-H -query q17 [-scale 0.01] [-sample 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"widx/internal/join"
+	"widx/internal/sim"
+	"widx/internal/workloads"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "hash-join kernel size class: Small, Medium or Large")
+	suite := flag.String("suite", "TPC-H", "benchmark suite: TPC-H or TPC-DS")
+	query := flag.String("query", "", "query name, e.g. q17")
+	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
+	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.SampleProbes = *sample
+
+	switch {
+	case *kernel != "":
+		size, err := parseSize(*kernel)
+		if err != nil {
+			fail(err)
+		}
+		exp, err := cfg.RunKernel([]join.SizeClass{size})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sim.FormatKernel(exp))
+	case *query != "":
+		s, err := parseSuite(*suite)
+		if err != nil {
+			fail(err)
+		}
+		q, err := workloads.ByName(s, *query)
+		if err != nil {
+			fail(err)
+		}
+		res, err := cfg.RunQuery(q)
+		if err != nil {
+			fail(err)
+		}
+		suiteRes := &sim.SuiteResult{Queries: []*sim.QueryResult{res},
+			GeoMeanIndexSpeedup: map[int]float64{4: res.IndexSpeedup[4]},
+			GeoMeanQuerySpeedup: res.QuerySpeedup4W,
+			InOrderSlowdown:     res.InOrderCyclesPerTuple / res.OoOCyclesPerTuple}
+		fmt.Print(sim.FormatQueries(suiteRes))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "widxsim:", err)
+	os.Exit(1)
+}
+
+func parseSize(s string) (join.SizeClass, error) {
+	switch s {
+	case "Small", "small":
+		return join.Small, nil
+	case "Medium", "medium":
+		return join.Medium, nil
+	case "Large", "large":
+		return join.Large, nil
+	}
+	return 0, fmt.Errorf("unknown kernel size %q", s)
+}
+
+func parseSuite(s string) (workloads.Suite, error) {
+	switch s {
+	case "TPC-H", "tpch", "tpc-h":
+		return workloads.TPCH, nil
+	case "TPC-DS", "tpcds", "tpc-ds":
+		return workloads.TPCDS, nil
+	}
+	return 0, fmt.Errorf("unknown suite %q", s)
+}

@@ -1,0 +1,56 @@
+// Analytics example: runs a TPC-H-like decision-support query through the
+// mini column-store engine (scan -> hash-index join -> sort/aggregate),
+// prints the Figure 2a-style operator breakdown, then offloads the indexing
+// phase to Widx and reports the indexing and whole-query speedups.
+//
+// Run with:
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"widx/internal/engine"
+	"widx/internal/sim"
+	"widx/internal/workloads"
+)
+
+func main() {
+	// TPC-H q17 is the paper's most index-bound query (94% of execution time).
+	q, err := workloads.ByName(workloads.TPCH, "q17")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const scale = 1.0 / 64
+
+	// 1. Execute the query in the engine and show where the time goes.
+	res, err := engine.Run(engine.FromWorkload(q, scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	shares := res.Breakdown.Shares()
+	fmt.Printf("query %s: %d probes, %d matches, aggregate=%d\n",
+		res.Name, res.ProbeCount, res.MatchCount, res.Aggregate)
+	fmt.Printf("operator breakdown: index %.0f%%  scan %.0f%%  sort&join %.0f%%  other %.0f%%  (paper: index %.0f%%)\n",
+		100*shares.Index, 100*shares.Scan, 100*shares.SortJoin, 100*shares.Other,
+		100*q.Paper.Breakdown.Index)
+	fmt.Printf("index phase hash/walk split: %.0f%% hashing (paper Figure 2b: %.0f%%)\n\n",
+		100*res.HashShare, 100*q.Paper.HashShare)
+
+	// 2. Re-run the indexing phase on every design and report the speedups.
+	cfg := sim.DefaultConfig()
+	cfg.Scale = scale
+	cfg.SampleProbes = 10000
+	qres, err := cfg.RunQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexing cycles/tuple: OoO %.1f, in-order %.1f, Widx-4w %.1f\n",
+		qres.OoOCyclesPerTuple, qres.InOrderCyclesPerTuple, qres.WidxCyclesPerTuple[4])
+	fmt.Printf("indexing speedup (4 walkers): %.2fx (paper: %.1fx)\n",
+		qres.IndexSpeedup[4], q.Paper.IndexSpeedup4W)
+	fmt.Printf("whole-query speedup (Amdahl projection over the %.0f%% index share): %.2fx (paper: ~3.1x max)\n",
+		100*q.Paper.Breakdown.Index, qres.QuerySpeedup4W)
+}

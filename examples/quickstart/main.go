@@ -1,0 +1,70 @@
+// Quickstart: build a hash index, probe it through the Widx accelerator and
+// compare against the out-of-order and in-order baseline cores.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"widx/internal/core"
+	"widx/internal/stats"
+)
+
+func main() {
+	// 1. Create a simulated system with the paper's Table 2 memory hierarchy.
+	sys, err := core.NewSystem(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a hash index over 100K build-side keys (the inner relation of
+	// a join), using MonetDB's indirect node layout and a robust hash.
+	rng := stats.NewRNG(2013)
+	buildKeys := make([]uint64, 100_000)
+	seen := make(map[uint64]bool, len(buildKeys))
+	for i := range buildKeys {
+		for {
+			k := rng.Uint64()>>1 + 1
+			if !seen[k] {
+				buildKeys[i], seen[k] = k, true
+				break
+			}
+		}
+	}
+	index, err := sys.BuildIndex(core.IndexSpec{
+		Name:   "quickstart",
+		Keys:   buildKeys,
+		Layout: core.LayoutIndirect,
+		Hash:   core.HashRobust,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d buckets, %.2f nodes/bucket, %.1f KB working set\n",
+		index.Buckets(), index.AvgNodesPerBucket(), float64(index.FootprintBytes())/1024)
+
+	// 3. Probe with 50K outer-relation keys (all of which join).
+	probeKeys := make([]uint64, 50_000)
+	for i := range probeKeys {
+		probeKeys[i] = buildKeys[rng.Intn(len(buildKeys))]
+	}
+
+	// 4. Compare every design: OoO baseline, in-order core, Widx with 1, 2
+	// and 4 walkers.
+	cmp, err := sys.Compare(index, probeKeys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-10s %14s %12s %10s %10s\n", "design", "cycles/tuple", "speedup", "energy", "matches")
+	for _, name := range []string{"ooo", "in-order", "widx-1w", "widx-2w", "widx-4w"} {
+		r := cmp.Results[name]
+		fmt.Printf("%-10s %14.1f %11.2fx %9.2fmJ %10d\n",
+			name, r.CyclesPerTuple, cmp.IndexSpeedup[name], r.EnergyJ*1e3, r.Matches)
+	}
+	fmt.Printf("\nWidx (4 walkers) speedup over OoO: %.2fx, energy reduction: %.0f%%\n",
+		cmp.IndexSpeedup["widx-4w"], 100*cmp.EnergyReduction["widx-4w"])
+}

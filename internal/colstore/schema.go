@@ -1,0 +1,98 @@
+package colstore
+
+import "fmt"
+
+// Synthetic decision-support schemas.
+//
+// The paper evaluates MonetDB on TPC-H and TPC-DS at scale factor 100. Those
+// data sets cannot be redistributed, so the workload generators below create
+// structurally similar synthetic databases: a fact table with foreign keys
+// into a handful of dimension tables, with the row-count ratios of the
+// benchmark schemas. What matters to Widx is (a) how large the per-column
+// join indexes are relative to the cache hierarchy and (b) how many probes a
+// join performs — both of which the generators control directly.
+
+// DSSConfig sizes a synthetic decision-support database.
+type DSSConfig struct {
+	// FactRows is the number of rows in the fact table (lineitem-like or
+	// store_sales-like).
+	FactRows int
+	// DimensionRows is the number of rows in each dimension table.
+	DimensionRows int
+	// Dimensions is the number of dimension tables (TPC-DS spreads the same
+	// data over far more columns/tables than TPC-H, which is why its
+	// per-column indexes are small).
+	Dimensions int
+	// Skew, when positive, draws fact foreign keys with a zipfian skew.
+	Skew float64
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// Validate reports sizing errors.
+func (c DSSConfig) Validate() error {
+	if c.FactRows <= 0 || c.DimensionRows <= 0 {
+		return fmt.Errorf("colstore: table sizes must be positive")
+	}
+	if c.Dimensions <= 0 {
+		return fmt.Errorf("colstore: need at least one dimension table")
+	}
+	if c.Skew < 0 {
+		return fmt.Errorf("colstore: negative skew")
+	}
+	return nil
+}
+
+// Database is a generated synthetic DSS database.
+type Database struct {
+	Fact       *Table
+	Dimensions []*Table
+}
+
+// DimensionKey returns the join-key column name of dimension i in the fact
+// table.
+func DimensionKey(i int) string { return fmt.Sprintf("fk%d", i) }
+
+// GenerateDSS builds the synthetic database: each dimension has a unique
+// `key` column plus a `value` attribute, and the fact table has one foreign
+// key per dimension plus a `measure` column.
+func GenerateDSS(cfg DSSConfig) (*Database, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGenerator(cfg.Seed)
+	db := &Database{Fact: NewTable("fact")}
+
+	factCols := make(map[string][]uint64, cfg.Dimensions+1)
+	for d := 0; d < cfg.Dimensions; d++ {
+		dim := NewTable(fmt.Sprintf("dim%d", d))
+		// Keys are drawn from a sparse space so hash distribution is realistic
+		// (real benchmark keys are not dense 0..n-1 integers after selection).
+		keys := g.UniqueUniform(cfg.DimensionRows, 1, uint64(cfg.DimensionRows)*16+1)
+		if err := dim.AddColumn("key", keys); err != nil {
+			return nil, err
+		}
+		if err := dim.AddColumn("value", g.Uniform(cfg.DimensionRows, 0, 1_000_000)); err != nil {
+			return nil, err
+		}
+		db.Dimensions = append(db.Dimensions, dim)
+
+		if cfg.Skew > 0 {
+			factCols[DimensionKey(d)] = g.ZipfForeignKey(cfg.FactRows, keys, cfg.Skew)
+		} else {
+			factCols[DimensionKey(d)] = g.ForeignKey(cfg.FactRows, keys)
+		}
+	}
+	factCols["measure"] = g.Uniform(cfg.FactRows, 0, 10_000)
+
+	// Attach fact columns in a stable order: fk0..fkN, then measure.
+	for d := 0; d < cfg.Dimensions; d++ {
+		if err := db.Fact.AddColumn(DimensionKey(d), factCols[DimensionKey(d)]); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Fact.AddColumn("measure", factCols["measure"]); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

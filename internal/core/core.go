@@ -1,0 +1,341 @@
+// Package core is the public facade of the Widx library: it ties the hash
+// index, the Widx unit programs, the accelerator model, the baseline core
+// models and the memory hierarchy together behind a small API that mirrors
+// how the paper describes using Widx.
+//
+// The workflow is the one described in Sections 4.2 and 4.3 of the paper:
+//
+//  1. build a hash index over the build-side keys (NewSystem + BuildIndex),
+//  2. generate (or hand-write) the dispatcher / walker / producer programs
+//     for the index's schema — BuildIndex does this automatically for the
+//     built-in layouts,
+//  3. offload a bulk probe to the accelerator (Probe with a Widx design), or
+//     run the same probes on a modelled baseline core, and
+//  4. read back the matches and the timing/energy report (Compare).
+//
+// Everything runs inside a deterministic, simulated machine: the timing
+// numbers are modelled cycles for the Table 2 configuration, not wall-clock
+// time on the host.
+package core
+
+import (
+	"fmt"
+
+	"widx/internal/cores"
+	"widx/internal/energy"
+	"widx/internal/hashidx"
+	"widx/internal/mem"
+	"widx/internal/program"
+	"widx/internal/vm"
+	"widx/internal/widx"
+)
+
+// Layout re-exports the hash index node layouts.
+type Layout = hashidx.Layout
+
+// Hash re-exports the hash function kinds.
+type Hash = hashidx.HashKind
+
+// Re-exported enum values for the public API.
+const (
+	LayoutInline   = hashidx.LayoutInline
+	LayoutIndirect = hashidx.LayoutIndirect
+	HashSimple     = hashidx.HashSimple
+	HashRobust     = hashidx.HashRobust
+)
+
+// Options configures a System.
+type Options struct {
+	// Memory is the memory hierarchy configuration; the zero value means
+	// Table 2 (DefaultMemConfig).
+	Memory mem.Config
+}
+
+// DefaultMemConfig returns the Table 2 memory hierarchy configuration.
+func DefaultMemConfig() mem.Config { return mem.DefaultConfig() }
+
+// System owns a simulated address space and the workload data placed in it.
+// A System is not safe for concurrent use.
+type System struct {
+	opts Options
+	as   *vm.AddressSpace
+}
+
+// NewSystem creates an empty system.
+func NewSystem(opts Options) (*System, error) {
+	if (opts.Memory == mem.Config{}) {
+		opts.Memory = mem.DefaultConfig()
+	}
+	if err := opts.Memory.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{opts: opts, as: vm.New()}, nil
+}
+
+// AddressSpace exposes the simulated address space (examples use it to place
+// auxiliary data such as custom result buffers).
+func (s *System) AddressSpace() *vm.AddressSpace { return s.as }
+
+// IndexSpec describes a hash index to build.
+type IndexSpec struct {
+	// Name labels the index's memory regions.
+	Name string
+	// Keys are the build-side keys; Payloads (optional) are stored with them
+	// for the inline layout.
+	Keys     []uint64
+	Payloads []uint64
+	// Layout and Hash select the node layout and hash function.
+	Layout Layout
+	Hash   Hash
+	// BucketCount overrides the automatically sized bucket array
+	// (0 = one bucket per key, rounded up to a power of two).
+	BucketCount uint64
+}
+
+// Index is a built hash index together with the Widx programs for it.
+type Index struct {
+	table  *hashidx.Table
+	bundle *program.Bundle
+	// resultBase is the producer's output region.
+	resultBase uint64
+}
+
+// FootprintBytes returns the index working-set size.
+func (ix *Index) FootprintBytes() uint64 { return ix.table.FootprintBytes() }
+
+// Buckets returns the bucket count.
+func (ix *Index) Buckets() uint64 { return ix.table.Buckets() }
+
+// AvgNodesPerBucket returns the average occupied-bucket chain depth.
+func (ix *Index) AvgNodesPerBucket() float64 { return ix.table.AvgNodesPerBucket() }
+
+// Programs returns the generated dispatcher, walker and producer programs
+// (for inspection, disassembly or custom modification).
+func (ix *Index) Programs() *program.Bundle { return ix.bundle }
+
+// Lookup probes the index functionally (no timing) and returns the first
+// matching payload.
+func (ix *Index) Lookup(key uint64) (payload uint64, found bool) {
+	r := ix.table.Probe(key)
+	return r.Payload, r.Found
+}
+
+// BuildIndex builds a hash index in the system's address space and generates
+// its Widx programs.
+func (s *System) BuildIndex(spec IndexSpec) (*Index, error) {
+	if spec.Name == "" {
+		spec.Name = "index"
+	}
+	tbl, err := hashidx.Build(s.as, hashidx.Config{
+		Layout:      spec.Layout,
+		Hash:        spec.Hash,
+		BucketCount: spec.BucketCount,
+		Name:        spec.Name,
+	}, spec.Keys, spec.Payloads)
+	if err != nil {
+		return nil, err
+	}
+	resultBase := s.as.AllocAligned(spec.Name+".results", uint64(len(spec.Keys))*16+4096)
+	bundle, err := program.ForTable(tbl, resultBase)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{table: tbl, bundle: bundle, resultBase: resultBase}, nil
+}
+
+// Design selects which machine executes a bulk probe.
+type Design struct {
+	// Kind selects the design family.
+	Kind DesignKind
+	// Walkers applies to the Widx design (1-4; Section 3.2 shows more is not
+	// useful with practical cache budgets).
+	Walkers int
+}
+
+// DesignKind enumerates the design families of the evaluation.
+type DesignKind uint8
+
+const (
+	// DesignOoO is the Table 2 out-of-order baseline core.
+	DesignOoO DesignKind = iota
+	// DesignInOrder is the Cortex-A8-class in-order core.
+	DesignInOrder
+	// DesignWidx is the Widx accelerator attached to the (idle) OoO core.
+	DesignWidx
+)
+
+// String names the design.
+func (d Design) String() string {
+	switch d.Kind {
+	case DesignOoO:
+		return "ooo"
+	case DesignInOrder:
+		return "in-order"
+	case DesignWidx:
+		return fmt.Sprintf("widx-%dw", d.Walkers)
+	default:
+		return "design(?)"
+	}
+}
+
+// OoO returns the out-of-order baseline design.
+func OoO() Design { return Design{Kind: DesignOoO} }
+
+// InOrder returns the in-order comparison design.
+func InOrder() Design { return Design{Kind: DesignInOrder} }
+
+// Widx returns the accelerator design with the given walker count.
+func Widx(walkers int) Design { return Design{Kind: DesignWidx, Walkers: walkers} }
+
+// ProbeRequest is one bulk index probe.
+type ProbeRequest struct {
+	// Keys are the probe keys.
+	Keys []uint64
+	// Design selects the executing machine; the zero value is the OoO core.
+	Design Design
+}
+
+// ProbeResult reports a bulk probe.
+type ProbeResult struct {
+	// Design is the machine that executed the probes.
+	Design Design
+	// Probes is the number of keys probed; Matches the number of matching
+	// nodes found; Payloads the matched payloads in completion order.
+	Probes   int
+	Matches  int
+	Payloads []uint64
+	// Cycles is the modelled indexing time; CyclesPerTuple the per-probe
+	// average; EnergyJ the modelled energy of the indexing phase.
+	Cycles         uint64
+	CyclesPerTuple float64
+	EnergyJ        float64
+	// WalkerBreakdown is only populated for the Widx design: per-tuple
+	// cycles split into computation, memory, TLB and idle time.
+	WalkerBreakdown *widx.Breakdown
+}
+
+// Probe executes the request against the index on a fresh memory hierarchy.
+func (s *System) Probe(ix *Index, req ProbeRequest) (*ProbeResult, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("core: nil index")
+	}
+	if len(req.Keys) == 0 {
+		return nil, fmt.Errorf("core: no probe keys")
+	}
+	// Materialize the probe keys as an input column.
+	keyBase := s.as.AllocAligned("probe.keys", uint64(len(req.Keys))*8)
+	for i, k := range req.Keys {
+		s.as.Write64(keyBase+uint64(i)*8, k)
+	}
+	hier := mem.NewHierarchy(s.opts.Memory)
+	eng := energy.Default()
+
+	res := &ProbeResult{Design: req.Design, Probes: len(req.Keys)}
+	switch req.Design.Kind {
+	case DesignOoO, DesignInOrder:
+		cfg := cores.OoOConfig()
+		if req.Design.Kind == DesignInOrder {
+			cfg = cores.InOrderConfig()
+		}
+		c, err := cores.New(cfg, hier)
+		if err != nil {
+			return nil, err
+		}
+		traces := make([]hashidx.ProbeTrace, len(req.Keys))
+		for i, k := range req.Keys {
+			pr := ix.table.ProbeFrom(k, keyBase+uint64(i)*8)
+			traces[i] = pr.Trace
+			if pr.Found {
+				res.Matches += pr.Matches
+				res.Payloads = append(res.Payloads, pr.Payload)
+			}
+		}
+		cr, err := c.RunProbes(traces, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Cycles = cr.TotalCycles
+		res.CyclesPerTuple = cr.CyclesPerTuple()
+		if req.Design.Kind == DesignInOrder {
+			res.EnergyJ = eng.InOrder(float64(cr.TotalCycles)).EnergyJ
+		} else {
+			res.EnergyJ = eng.OoO(float64(cr.TotalCycles)).EnergyJ
+		}
+		return res, nil
+
+	case DesignWidx:
+		walkers := req.Design.Walkers
+		if walkers == 0 {
+			walkers = 4
+		}
+		acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: 2},
+			hier, s.as, ix.bundle.Dispatcher, ix.bundle.Walker, ix.bundle.Producer)
+		if err != nil {
+			return nil, err
+		}
+		or, err := acc.Offload(widx.OffloadRequest{KeyBase: keyBase, KeyCount: uint64(len(req.Keys))})
+		if err != nil {
+			return nil, err
+		}
+		res.Matches = len(or.Matches)
+		res.Payloads = translatePayloads(ix, or.Matches)
+		res.Cycles = or.TotalCycles
+		res.CyclesPerTuple = or.CyclesPerTuple()
+		res.EnergyJ = eng.Widx(float64(or.TotalCycles)).EnergyJ
+		bd := or.WalkerTotal
+		res.WalkerBreakdown = &bd
+		return res, nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown design %v", req.Design)
+	}
+}
+
+// translatePayloads converts walker-emitted payloads into the same payload
+// domain the software probe reports (row identifiers for the indirect
+// layout).
+func translatePayloads(ix *Index, raw []uint64) []uint64 {
+	if ix.table.Config().Layout != hashidx.LayoutIndirect {
+		return append([]uint64(nil), raw...)
+	}
+	out := make([]uint64, len(raw))
+	base := ix.table.KeyColumnBase()
+	for i, r := range raw {
+		out[i] = (r - base) / 8
+	}
+	return out
+}
+
+// Comparison is the side-by-side result of running the same probes on every
+// design, the shape of the paper's headline evaluation.
+type Comparison struct {
+	Results map[string]*ProbeResult
+	// IndexSpeedup is each design's speedup over the OoO baseline.
+	IndexSpeedup map[string]float64
+	// EnergyReduction is each design's energy saving relative to OoO.
+	EnergyReduction map[string]float64
+}
+
+// Compare runs the probe keys on the OoO baseline, the in-order core and Widx
+// with 1, 2 and 4 walkers.
+func (s *System) Compare(ix *Index, keys []uint64) (*Comparison, error) {
+	designs := []Design{OoO(), InOrder(), Widx(1), Widx(2), Widx(4)}
+	cmp := &Comparison{
+		Results:         map[string]*ProbeResult{},
+		IndexSpeedup:    map[string]float64{},
+		EnergyReduction: map[string]float64{},
+	}
+	for _, d := range designs {
+		r, err := s.Probe(ix, ProbeRequest{Keys: keys, Design: d})
+		if err != nil {
+			return nil, err
+		}
+		cmp.Results[d.String()] = r
+	}
+	base := cmp.Results[OoO().String()]
+	for name, r := range cmp.Results {
+		cmp.IndexSpeedup[name] = float64(base.Cycles) / float64(r.Cycles)
+		cmp.EnergyReduction[name] = 1 - r.EnergyJ/base.EnergyJ
+	}
+	return cmp, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"widx/internal/mem"
+	"widx/internal/stats"
+)
+
+func testKeys(n int, seed uint64) []uint64 {
+	rng := stats.NewRNG(seed)
+	keys := make([]uint64, n)
+	seen := map[uint64]bool{}
+	for i := range keys {
+		for {
+			k := rng.Uint64()>>1 + 1
+			if !seen[k] {
+				keys[i] = k
+				seen[k] = true
+				break
+			}
+		}
+	}
+	return keys
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.AddressSpace() == nil {
+		t.Fatal("no address space")
+	}
+	bad := mem.DefaultConfig()
+	bad.L1Ports = 0
+	if _, err := NewSystem(Options{Memory: bad}); err == nil {
+		t.Fatal("invalid memory config accepted")
+	}
+}
+
+func TestBuildIndexAndLookup(t *testing.T) {
+	sys, err := NewSystem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(2000, 1)
+	payloads := make([]uint64, len(keys))
+	for i := range payloads {
+		payloads[i] = uint64(i) * 3
+	}
+	ix, err := sys.BuildIndex(IndexSpec{Keys: keys, Payloads: payloads, Layout: LayoutInline, Hash: HashRobust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.FootprintBytes() == 0 || ix.Buckets() == 0 || ix.AvgNodesPerBucket() <= 0 {
+		t.Fatal("index metadata empty")
+	}
+	if ix.Programs() == nil {
+		t.Fatal("no generated programs")
+	}
+	for i, k := range keys[:100] {
+		p, ok := ix.Lookup(k)
+		if !ok || p != payloads[i] {
+			t.Fatalf("Lookup(%d) = %d,%v", k, p, ok)
+		}
+	}
+	if _, ok := ix.Lookup(0xFFFF_0000_FFFF); ok {
+		t.Fatal("found a missing key")
+	}
+	if _, err := sys.BuildIndex(IndexSpec{}); err == nil {
+		t.Fatal("empty index accepted")
+	}
+}
+
+func TestProbeDesignsAgreeFunctionally(t *testing.T) {
+	sys, err := NewSystem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(3000, 2)
+	ix, err := sys.BuildIndex(IndexSpec{Keys: keys, Layout: LayoutIndirect, Hash: HashRobust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := append(append([]uint64{}, keys[:500]...), 1, 2, 3) // 3 misses
+
+	var matchCounts []int
+	for _, d := range []Design{OoO(), InOrder(), Widx(2), Widx(4)} {
+		r, err := sys.Probe(ix, ProbeRequest{Keys: probes, Design: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Probes != len(probes) {
+			t.Fatalf("%v: probe count wrong", d)
+		}
+		if r.Cycles == 0 || r.CyclesPerTuple <= 0 || r.EnergyJ <= 0 {
+			t.Fatalf("%v: empty timing/energy", d)
+		}
+		matchCounts = append(matchCounts, r.Matches)
+		if d.Kind == DesignWidx && r.WalkerBreakdown == nil {
+			t.Fatalf("%v: missing walker breakdown", d)
+		}
+		if d.Kind != DesignWidx && r.WalkerBreakdown != nil {
+			t.Fatalf("%v: unexpected walker breakdown", d)
+		}
+	}
+	for i := 1; i < len(matchCounts); i++ {
+		if matchCounts[i] != matchCounts[0] {
+			t.Fatalf("designs disagree on matches: %v", matchCounts)
+		}
+	}
+	if matchCounts[0] != 500 {
+		t.Fatalf("matches = %d, want 500", matchCounts[0])
+	}
+
+	// Error paths.
+	if _, err := sys.Probe(nil, ProbeRequest{Keys: probes}); err == nil {
+		t.Fatal("nil index accepted")
+	}
+	if _, err := sys.Probe(ix, ProbeRequest{}); err == nil {
+		t.Fatal("empty probe keys accepted")
+	}
+}
+
+func TestWidxDefaultWalkers(t *testing.T) {
+	sys, _ := NewSystem(Options{})
+	keys := testKeys(500, 3)
+	ix, err := sys.BuildIndex(IndexSpec{Keys: keys, Layout: LayoutInline, Hash: HashSimple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Probe(ix, ProbeRequest{Keys: keys[:200], Design: Design{Kind: DesignWidx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Matches != 200 {
+		t.Fatalf("matches = %d", r.Matches)
+	}
+	if (Design{Kind: DesignWidx, Walkers: 4}).String() != "widx-4w" ||
+		OoO().String() != "ooo" || InOrder().String() != "in-order" ||
+		(Design{Kind: DesignKind(9)}).String() == "" {
+		t.Fatal("design names wrong")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	sys, _ := NewSystem(Options{})
+	keys := testKeys(12000, 4)
+	ix, err := sys.BuildIndex(IndexSpec{Keys: keys, Layout: LayoutInline, Hash: HashRobust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := testKeysFrom(keys, 4000, 5)
+	cmp, err := sys.Compare(ix, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != 5 {
+		t.Fatalf("expected 5 designs, got %d", len(cmp.Results))
+	}
+	// The OoO baseline normalizes to 1.
+	if cmp.IndexSpeedup["ooo"] != 1 {
+		t.Fatal("baseline speedup should be 1")
+	}
+	// Widx with 4 walkers beats the baseline and fewer walkers.
+	if cmp.IndexSpeedup["widx-4w"] <= 1 {
+		t.Fatalf("widx-4w speedup = %v", cmp.IndexSpeedup["widx-4w"])
+	}
+	if cmp.IndexSpeedup["widx-4w"] <= cmp.IndexSpeedup["widx-1w"] {
+		t.Fatal("more walkers should be faster")
+	}
+	// The in-order core is slower but saves energy; Widx saves energy too.
+	if cmp.IndexSpeedup["in-order"] >= 1 {
+		t.Fatalf("in-order should be slower than OoO: %v", cmp.IndexSpeedup["in-order"])
+	}
+	if cmp.EnergyReduction["in-order"] <= 0.5 || cmp.EnergyReduction["widx-4w"] <= 0.5 {
+		t.Fatalf("energy reductions too small: %+v", cmp.EnergyReduction)
+	}
+}
+
+// testKeysFrom draws n probe keys from the build keys.
+func testKeysFrom(build []uint64, n int, seed uint64) []uint64 {
+	rng := stats.NewRNG(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = build[rng.Intn(len(build))]
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+// Package engine is a minimal column-oriented query engine in the spirit of
+// MonetDB: it executes decision-support join queries over synthetic tables
+// with scan, hash-index join, sort and aggregation operators, and accounts
+// execution time per operator so that the Figure 2a-style breakdown (Index /
+// Scan / Sort&Join / Other) and the Figure 2b Hash/Walk split emerge from an
+// actual execution rather than being asserted.
+//
+// The engine's index phase is built on internal/hashidx inside a simulated
+// address space, and its cost comes from the out-of-order core model running
+// the real probe traces against the memory hierarchy; the remaining operators
+// use simple per-tuple cost factors typical of vectorized column stores. The
+// artifacts of the index phase (the built index, the materialized probe key
+// column, the traces) are returned so the higher-level simulation harness can
+// re-run exactly the same index phase on other designs (in-order core, Widx).
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"widx/internal/colstore"
+	"widx/internal/cores"
+	"widx/internal/hashidx"
+	"widx/internal/mem"
+	"widx/internal/vm"
+	"widx/internal/workloads"
+)
+
+// Per-tuple cost factors for the non-index operators, in cycles per value,
+// representative of vectorized column-store operators (scans stream at a few
+// cycles per value; sorting costs a handful of cycles per comparison).
+const (
+	scanCyclesPerRow      = 2.0
+	sortCyclesPerCompare  = 4.0
+	aggregateCyclesPerRow = 2.0
+	// otherOverheadShare models query setup, catalog work, result delivery
+	// and everything else Figure 2a lumps under "Other".
+	otherOverheadShare = 0.08
+)
+
+// PlanSpec describes one synthetic join query.
+type PlanSpec struct {
+	// Name labels the query in reports.
+	Name string
+	// DimensionRows is the build-side (indexed) table size.
+	DimensionRows int
+	// FactRows is the probe-side table size before the scan filter.
+	FactRows int
+	// ScanSelectivity is the fraction of fact rows that survive the filter
+	// and probe the index.
+	ScanSelectivity float64
+	// NodesPerBucket sets the index bucket depth.
+	NodesPerBucket float64
+	// Layout and Hash configure the index (MonetDB uses the indirect layout).
+	Layout hashidx.Layout
+	Hash   hashidx.HashKind
+	// Sort and Aggregate enable the post-join operators.
+	Sort      bool
+	Aggregate bool
+	// Seed makes data generation deterministic.
+	Seed uint64
+}
+
+// Validate reports spec errors.
+func (s PlanSpec) Validate() error {
+	if s.DimensionRows <= 0 || s.FactRows <= 0 {
+		return fmt.Errorf("engine: table sizes must be positive")
+	}
+	if s.ScanSelectivity <= 0 || s.ScanSelectivity > 1 {
+		return fmt.Errorf("engine: scan selectivity must be in (0,1]")
+	}
+	if s.NodesPerBucket <= 0 {
+		return fmt.Errorf("engine: NodesPerBucket must be positive")
+	}
+	return nil
+}
+
+// FromWorkload converts a benchmark query spec into an executable plan at the
+// given scale (1.0 reproduces the inventory sizes; tests and benchmarks use
+// much smaller scales). MonetDB's indirect node layout is used throughout.
+//
+// The probe volume scales linearly, but the index size is floored per size
+// class so that a scaled-down query still lands in the cache-hierarchy regime
+// the paper describes for it (an "LLC-resident" query must still exceed the
+// 32 KB L1, a "memory-resident" query must still exceed the 4 MB LLC);
+// otherwise every query would collapse into the L1 at small scales and the
+// walker-scaling behaviour of Figures 9 and 10 would disappear.
+func FromWorkload(q workloads.QuerySpec, scale float64) PlanSpec {
+	if scale <= 0 {
+		scale = 1
+	}
+	build := int(float64(q.BuildRows) * scale)
+	if floor := classBuildFloor(q.Class); build < floor {
+		build = floor
+	}
+	if build > q.BuildRows {
+		build = q.BuildRows
+	}
+	if build < 64 {
+		build = 64
+	}
+	probes := int(float64(q.ProbeRows) * scale)
+	if probes < 256 {
+		probes = 256
+	}
+	const selectivity = 0.5
+	hash := hashidx.HashSimple
+	if q.RobustHash {
+		hash = hashidx.HashRobust
+	}
+	return PlanSpec{
+		Name:            fmt.Sprintf("%s-%s", q.Suite, q.Name),
+		DimensionRows:   build,
+		FactRows:        int(float64(probes) / selectivity),
+		ScanSelectivity: selectivity,
+		NodesPerBucket:  q.NodesPerBucket,
+		Layout:          hashidx.LayoutIndirect,
+		Hash:            hash,
+		Sort:            true,
+		Aggregate:       true,
+		Seed:            uint64(len(q.Name))*7919 + uint64(q.Suite),
+	}
+}
+
+// Breakdown is the per-operator cycle accounting of one query execution.
+type Breakdown struct {
+	Index    float64
+	Scan     float64
+	SortJoin float64
+	Other    float64
+}
+
+// Total returns the summed cycles.
+func (b Breakdown) Total() float64 { return b.Index + b.Scan + b.SortJoin + b.Other }
+
+// Shares converts the breakdown to fractions of the total.
+func (b Breakdown) Shares() workloads.BreakdownShares {
+	t := b.Total()
+	if t == 0 {
+		return workloads.BreakdownShares{}
+	}
+	return workloads.BreakdownShares{
+		Index:    b.Index / t,
+		Scan:     b.Scan / t,
+		SortJoin: b.SortJoin / t,
+		Other:    b.Other / t,
+	}
+}
+
+// Result is one executed query.
+type Result struct {
+	Name string
+
+	// Functional outputs.
+	ProbeCount int    // probes issued by the join
+	MatchCount int    // probes that found a dimension row
+	Aggregate  uint64 // sum of matched dimension values (when enabled)
+
+	// Cost accounting.
+	Breakdown  Breakdown
+	IndexShare float64
+	// HashShare is the fraction of index time spent hashing (Figure 2b).
+	HashShare float64
+
+	// Index-phase artifacts for further simulation on other designs.
+	AS           *vm.AddressSpace
+	Index        *hashidx.Table
+	ProbeKeys    []uint64
+	ProbeKeyBase uint64
+	Traces       []hashidx.ProbeTrace
+}
+
+// Run executes the plan and returns the result. The memory hierarchy used to
+// cost the index phase is created internally (an OoO core per Table 2).
+func Run(spec PlanSpec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	// 1. Generate the synthetic database.
+	db, err := colstore.GenerateDSS(colstore.DSSConfig{
+		FactRows:      spec.FactRows,
+		DimensionRows: spec.DimensionRows,
+		Dimensions:    1,
+		Seed:          spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fact, dim := db.Fact, db.Dimensions[0]
+
+	// 2. Scan: filter the fact table on its measure column.
+	threshold := uint64(float64(10_000) * spec.ScanSelectivity)
+	selected := colstore.SelectRows(fact.MustColumn("measure"), func(v uint64) bool { return v < threshold })
+	probeKeys := colstore.Gather(fact.MustColumn(colstore.DimensionKey(0)), selected)
+	if len(probeKeys) == 0 {
+		return nil, fmt.Errorf("engine: scan selected no rows")
+	}
+	scanCycles := float64(fact.Rows()) * scanCyclesPerRow
+
+	// 3. Build the hash index on the dimension key column and materialize the
+	// probe keys, both in the simulated address space.
+	as := vm.New()
+	idx, err := hashidx.Build(as, hashidx.Config{
+		Layout:      spec.Layout,
+		Hash:        spec.Hash,
+		BucketCount: bucketCountFor(spec.DimensionRows, spec.NodesPerBucket),
+		Name:        spec.Name,
+	}, dim.MustColumn("key").Values, nil)
+	if err != nil {
+		return nil, err
+	}
+	probeBase := as.AllocAligned(spec.Name+".probekeys", uint64(len(probeKeys))*8)
+	for i, k := range probeKeys {
+		as.Write64(probeBase+uint64(i)*8, k)
+	}
+
+	// 4. Probe: functional result plus traces for the timing model.
+	res := &Result{
+		Name:         spec.Name,
+		ProbeCount:   len(probeKeys),
+		AS:           as,
+		Index:        idx,
+		ProbeKeys:    probeKeys,
+		ProbeKeyBase: probeBase,
+	}
+	dimValues := dim.MustColumn("value").Values
+	var matchedValues []uint64
+	for i, k := range probeKeys {
+		pr := idx.ProbeFrom(k, probeBase+uint64(i)*8)
+		res.Traces = append(res.Traces, pr.Trace)
+		if pr.Found {
+			res.MatchCount++
+			matchedValues = append(matchedValues, dimValues[pr.Payload])
+		}
+	}
+
+	// 5. Cost the index phase on the baseline out-of-order core.
+	hier := mem.NewHierarchy(mem.DefaultConfig())
+	core, err := cores.New(cores.OoOConfig(), hier)
+	if err != nil {
+		return nil, err
+	}
+	coreRes, err := core.RunProbes(res.Traces, 0)
+	if err != nil {
+		return nil, err
+	}
+	indexCycles := float64(coreRes.TotalCycles)
+	res.HashShare = coreRes.HashShare()
+
+	// 6. Post-join operators.
+	sortJoinCycles := 0.0
+	if spec.Sort && len(matchedValues) > 1 {
+		_ = colstore.SortedCopy(matchedValues)
+		n := float64(len(matchedValues))
+		sortJoinCycles += n * math.Log2(n) * sortCyclesPerCompare
+	}
+	if spec.Aggregate {
+		for _, v := range matchedValues {
+			res.Aggregate += v
+		}
+		sortJoinCycles += float64(len(matchedValues)) * aggregateCyclesPerRow
+	}
+
+	// 7. Assemble the breakdown.
+	measured := indexCycles + scanCycles + sortJoinCycles
+	other := measured * otherOverheadShare / (1 - otherOverheadShare)
+	res.Breakdown = Breakdown{
+		Index:    indexCycles,
+		Scan:     scanCycles,
+		SortJoin: sortJoinCycles,
+		Other:    other,
+	}
+	res.IndexShare = res.Breakdown.Shares().Index
+	return res, nil
+}
+
+// classBuildFloor returns the minimum build-side row count that keeps an
+// index in its intended cache-hierarchy regime with the indirect layout
+// (16-byte nodes plus an 8-byte key column entry per row, plus bucket
+// headers): ~26K rows is roughly a 1 MB working set (beyond the L1, within
+// the LLC) and ~280K rows is roughly 11 MB (beyond the 4 MB LLC).
+func classBuildFloor(class workloads.SizeClass) int {
+	switch class {
+	case workloads.LLCResident:
+		return 26_000
+	case workloads.MemoryResident:
+		return 280_000
+	default:
+		return 0
+	}
+}
+
+// bucketCountFor picks the power-of-two bucket count that targets the given
+// average chain depth.
+func bucketCountFor(rows int, nodesPerBucket float64) uint64 {
+	buckets := uint64(1)
+	for float64(rows)/float64(buckets) > nodesPerBucket {
+		buckets <<= 1
+	}
+	return buckets
+}
+
+// NativeJoinAggregate computes the reference answer of the engine's canonical
+// query with plain Go maps: the sum of dimension values for every probe key
+// that joins. Tests use it to check the engine end to end.
+func NativeJoinAggregate(dimKeys, dimValues, probeKeys []uint64) (matches int, sum uint64) {
+	m := make(map[uint64]uint64, len(dimKeys))
+	for i, k := range dimKeys {
+		m[k] = dimValues[i]
+	}
+	for _, k := range probeKeys {
+		if v, ok := m[k]; ok {
+			matches++
+			sum += v
+		}
+	}
+	return matches, sum
+}

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"testing"
+
+	"widx/internal/colstore"
+	"widx/internal/hashidx"
+	"widx/internal/workloads"
+)
+
+func smallSpec() PlanSpec {
+	return PlanSpec{
+		Name:            "test-query",
+		DimensionRows:   500,
+		FactRows:        8000,
+		ScanSelectivity: 0.5,
+		NodesPerBucket:  1.5,
+		Layout:          hashidx.LayoutIndirect,
+		Hash:            hashidx.HashRobust,
+		Sort:            true,
+		Aggregate:       true,
+		Seed:            3,
+	}
+}
+
+func TestPlanSpecValidate(t *testing.T) {
+	if err := smallSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*PlanSpec){
+		"dim rows":    func(s *PlanSpec) { s.DimensionRows = 0 },
+		"fact rows":   func(s *PlanSpec) { s.FactRows = 0 },
+		"selectivity": func(s *PlanSpec) { s.ScanSelectivity = 0 },
+		"sel high":    func(s *PlanSpec) { s.ScanSelectivity = 1.5 },
+		"bucket":      func(s *PlanSpec) { s.NodesPerBucket = 0 },
+	}
+	for name, mutate := range mutations {
+		s := smallSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", name)
+		}
+	}
+	bad := smallSpec()
+	bad.FactRows = 0
+	if _, err := Run(bad); err == nil {
+		t.Fatal("Run accepted an invalid spec")
+	}
+}
+
+func TestRunProducesCorrectJoinResult(t *testing.T) {
+	spec := smallSpec()
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbeCount == 0 || res.MatchCount == 0 {
+		t.Fatalf("no probes or matches: %+v", res)
+	}
+	// Every probe key is a foreign key into the dimension, so all must match.
+	if res.MatchCount != res.ProbeCount {
+		t.Fatalf("matches %d != probes %d (foreign keys must all join)", res.MatchCount, res.ProbeCount)
+	}
+
+	// The functional aggregate must equal a plain map-based join over the
+	// same generated data.
+	db, err := colstore.GenerateDSS(colstore.DSSConfig{
+		FactRows:      spec.FactRows,
+		DimensionRows: spec.DimensionRows,
+		Dimensions:    1,
+		Seed:          spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := uint64(float64(10_000) * spec.ScanSelectivity)
+	selected := colstore.SelectRows(db.Fact.MustColumn("measure"), func(v uint64) bool { return v < threshold })
+	probeKeys := colstore.Gather(db.Fact.MustColumn(colstore.DimensionKey(0)), selected)
+	wantMatches, wantSum := NativeJoinAggregate(
+		db.Dimensions[0].MustColumn("key").Values,
+		db.Dimensions[0].MustColumn("value").Values,
+		probeKeys)
+	if res.MatchCount != wantMatches || res.Aggregate != wantSum {
+		t.Fatalf("engine join result (%d, %d) != native join (%d, %d)",
+			res.MatchCount, res.Aggregate, wantMatches, wantSum)
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	res, err := Run(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Breakdown
+	if b.Index <= 0 || b.Scan <= 0 || b.SortJoin <= 0 || b.Other <= 0 {
+		t.Fatalf("all operators should have non-zero cost: %+v", b)
+	}
+	shares := b.Shares()
+	if s := shares.Sum(); s < 0.999 || s > 1.001 {
+		t.Fatalf("shares sum to %v", s)
+	}
+	if res.IndexShare != shares.Index {
+		t.Fatal("IndexShare inconsistent with the breakdown")
+	}
+	if res.HashShare <= 0 || res.HashShare >= 1 {
+		t.Fatalf("hash share out of range: %v", res.HashShare)
+	}
+	// Artifacts for downstream simulation are present and consistent.
+	if res.Index == nil || res.AS == nil || res.ProbeKeyBase == 0 {
+		t.Fatal("index-phase artifacts missing")
+	}
+	if len(res.Traces) != res.ProbeCount || len(res.ProbeKeys) != res.ProbeCount {
+		t.Fatal("trace/key counts inconsistent")
+	}
+	var zero Breakdown
+	if zero.Shares().Sum() != 0 {
+		t.Fatal("zero breakdown should have zero shares")
+	}
+}
+
+func TestIndexShareGrowsWithProbeVolume(t *testing.T) {
+	light := smallSpec()
+	light.FactRows = 4000
+	light.DimensionRows = 300
+
+	heavy := smallSpec()
+	heavy.FactRows = 20000
+	heavy.DimensionRows = 4000
+	heavy.ScanSelectivity = 0.9
+
+	lr, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := Run(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.IndexShare <= lr.IndexShare {
+		t.Fatalf("index share should grow with probe volume and index size: %v vs %v",
+			hr.IndexShare, lr.IndexShare)
+	}
+}
+
+func TestFromWorkload(t *testing.T) {
+	q, err := workloads.ByName(workloads.TPCH, "q17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FromWorkload(q, 0.01)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Layout != hashidx.LayoutIndirect {
+		t.Fatal("MonetDB-style queries should use the indirect layout")
+	}
+	if spec.DimensionRows <= 0 || spec.FactRows <= spec.DimensionRows/10 {
+		t.Fatalf("scaled sizes implausible: %+v", spec)
+	}
+	// Robust-hash queries carry the flag through.
+	q20, err := workloads.ByName(workloads.TPCH, "q20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FromWorkload(q20, 0.01).Hash != hashidx.HashRobust {
+		t.Fatal("q20 should use the robust hash")
+	}
+	// Zero or negative scale falls back to 1.0 and tiny scales respect floors.
+	tiny := FromWorkload(q, 1e-9)
+	if tiny.DimensionRows < 64 || tiny.FactRows < 256 {
+		t.Fatal("scale floors not applied")
+	}
+	if FromWorkload(q, 0).DimensionRows != q.BuildRows {
+		t.Fatal("zero scale should mean the inventory size")
+	}
+	// The plan must actually run.
+	if _, err := Run(FromWorkload(q, 0.002)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeJoinAggregate(t *testing.T) {
+	matches, sum := NativeJoinAggregate(
+		[]uint64{1, 2, 3},
+		[]uint64{10, 20, 30},
+		[]uint64{2, 3, 3, 9})
+	if matches != 3 || sum != 80 {
+		t.Fatalf("NativeJoinAggregate = (%d, %d)", matches, sum)
+	}
+}

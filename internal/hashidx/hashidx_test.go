@@ -1,0 +1,355 @@
+package hashidx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"widx/internal/stats"
+	"widx/internal/vm"
+)
+
+func TestHashFunctions(t *testing.T) {
+	// Listing 1 semantics: masked then XORed.
+	if got := SimpleHash(0x1234_5678_9ABC_DEF0); got != ((0x1234_5678_9ABC_DEF0 & SimpleMask) ^ SimplePrime) {
+		t.Fatalf("SimpleHash = %#x", got)
+	}
+	// Robust hash must actually mix: flipping one input bit should change
+	// many output bits on average.
+	a := RobustHash(1)
+	b := RobustHash(2)
+	if a == b {
+		t.Fatal("robust hash collides trivially")
+	}
+	diff := 0
+	x := a ^ b
+	for x != 0 {
+		diff += int(x & 1)
+		x >>= 1
+	}
+	if diff < 10 {
+		t.Fatalf("robust hash avalanche too weak: %d differing bits", diff)
+	}
+	if HashOf(HashSimple, 7) != SimpleHash(7) || HashOf(HashRobust, 7) != RobustHash(7) {
+		t.Fatal("HashOf dispatch wrong")
+	}
+	if HashOps(HashSimple) >= HashOps(HashRobust) {
+		t.Fatal("robust hash should cost more ALU ops than the simple hash")
+	}
+	if HashSimple.String() != "simple" || HashRobust.String() != "robust" {
+		t.Fatal("hash kind names wrong")
+	}
+	if BucketIndex(0xFF, 16) != 0xF {
+		t.Fatal("BucketIndex wrong")
+	}
+}
+
+func TestRobustHashDistribution(t *testing.T) {
+	// Sequential keys must spread across buckets roughly uniformly.
+	const buckets = 256
+	counts := make([]int, buckets)
+	const n = 256 * 100
+	for i := 0; i < n; i++ {
+		counts[BucketIndex(RobustHash(uint64(i)), buckets)]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Fatalf("bucket %d empty after %d uniform inserts", b, n)
+		}
+		if c > 4*n/buckets {
+			t.Fatalf("bucket %d grossly overloaded: %d", b, c)
+		}
+	}
+}
+
+func TestLayoutStrings(t *testing.T) {
+	if LayoutInline.String() != "inline" || LayoutIndirect.String() != "indirect" {
+		t.Fatal("layout names wrong")
+	}
+}
+
+func buildTable(t *testing.T, layout Layout, hash HashKind, n int, buckets uint64) (*Table, []uint64) {
+	t.Helper()
+	as := vm.New()
+	rng := stats.NewRNG(1234)
+	keys := make([]uint64, n)
+	seen := map[uint64]bool{}
+	for i := range keys {
+		for {
+			k := rng.Uint64() >> 1 // keep clear of EmptyKey
+			if k != 0 && !seen[k] {
+				keys[i] = k
+				seen[k] = true
+				break
+			}
+		}
+	}
+	tbl, err := Build(as, Config{Layout: layout, Hash: hash, BucketCount: buckets, Name: "t"}, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, keys
+}
+
+func TestBuildAndProbeInline(t *testing.T) {
+	tbl, keys := buildTable(t, LayoutInline, HashRobust, 1000, 0)
+	if tbl.NumKeys() != 1000 {
+		t.Fatalf("NumKeys = %d", tbl.NumKeys())
+	}
+	for i, k := range keys {
+		r := tbl.Probe(k)
+		if !r.Found {
+			t.Fatalf("key %d not found", i)
+		}
+		if r.Payload != uint64(i) {
+			t.Fatalf("key %d payload = %d", i, r.Payload)
+		}
+		if r.Matches != 1 {
+			t.Fatalf("key %d matches = %d", i, r.Matches)
+		}
+	}
+	// A key that was never inserted must not be found.
+	if tbl.Probe(0xDEAD).Found {
+		t.Fatal("found a key that was never inserted")
+	}
+}
+
+func TestBuildAndProbeIndirect(t *testing.T) {
+	tbl, keys := buildTable(t, LayoutIndirect, HashRobust, 1000, 0)
+	for i, k := range keys {
+		r := tbl.Probe(k)
+		if !r.Found || r.Payload != uint64(i) {
+			t.Fatalf("key %d: found=%v payload=%d", i, r.Found, r.Payload)
+		}
+		// Indirect probes must include key-fetch accesses in their traces.
+		hasFetch := false
+		for _, s := range r.Trace.Steps {
+			if s.KeyFetchAddr != 0 {
+				hasFetch = true
+			}
+		}
+		if !hasFetch {
+			t.Fatal("indirect probe trace has no key fetch")
+		}
+	}
+	if tbl.KeyColumnBase() == 0 {
+		t.Fatal("indirect table should have a key column")
+	}
+}
+
+func TestExplicitPayloads(t *testing.T) {
+	as := vm.New()
+	keys := []uint64{10, 20, 30}
+	payloads := []uint64{111, 222, 333}
+	tbl, err := Build(as, Config{Layout: LayoutInline, Hash: HashSimple, Name: "p"}, keys, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if r := tbl.Probe(k); !r.Found || r.Payload != payloads[i] {
+			t.Fatalf("key %d: %+v", k, r)
+		}
+	}
+}
+
+func TestDuplicateKeysAllMatch(t *testing.T) {
+	as := vm.New()
+	keys := []uint64{42, 42, 42, 7}
+	tbl, err := Build(as, Config{Layout: LayoutInline, Hash: HashRobust, BucketCount: 4, Name: "d"}, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Probe(42)
+	if !r.Found || r.Matches != 3 {
+		t.Fatalf("duplicate probe: %+v", r)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	as := vm.New()
+	if _, err := Build(nil, Config{}, []uint64{1}, nil); err == nil {
+		t.Fatal("nil address space accepted")
+	}
+	if _, err := Build(as, Config{}, nil, nil); err == nil {
+		t.Fatal("empty key set accepted")
+	}
+	if _, err := Build(as, Config{}, []uint64{1, 2}, []uint64{1}); err == nil {
+		t.Fatal("mismatched payloads accepted")
+	}
+	if _, err := Build(as, Config{BucketCount: 3}, []uint64{1, 2}, nil); err == nil {
+		t.Fatal("non-power-of-two bucket count accepted")
+	}
+	if _, err := Build(as, Config{}, []uint64{EmptyKey}, nil); err == nil {
+		t.Fatal("reserved key accepted")
+	}
+	if _, err := Build(as, Config{Layout: Layout(9)}, []uint64{1}, nil); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+}
+
+func TestChainStatsSmallBucketCount(t *testing.T) {
+	// Forcing 4 buckets over 64 keys guarantees chains of ~16 nodes.
+	tbl, _ := buildTable(t, LayoutInline, HashRobust, 64, 4)
+	if tbl.MaxChain() < 8 {
+		t.Fatalf("max chain = %d, expected long chains with 4 buckets", tbl.MaxChain())
+	}
+	if avg := tbl.AvgNodesPerBucket(); avg < 8 || avg > 32 {
+		t.Fatalf("avg nodes/bucket = %v", avg)
+	}
+	if tbl.OverflowNodes() != 64-4 {
+		t.Fatalf("overflow nodes = %d, want 60", tbl.OverflowNodes())
+	}
+}
+
+func TestProbeTraceShape(t *testing.T) {
+	tbl, keys := buildTable(t, LayoutInline, HashSimple, 256, 256)
+	r := tbl.ProbeFrom(keys[0], 0x7000)
+	if r.Trace.KeyAddr != 0x7000 {
+		t.Fatal("ProbeFrom did not record the key address")
+	}
+	if r.Trace.HashOps != HashOps(HashSimple) {
+		t.Fatal("trace hash ops wrong")
+	}
+	if r.Trace.BucketAddr != tbl.BucketAddr(BucketIndex(SimpleHash(keys[0]), tbl.Buckets())) {
+		t.Fatal("trace bucket address wrong")
+	}
+	if len(r.Trace.Steps) != r.NodesVisited {
+		t.Fatal("trace steps inconsistent with nodes visited")
+	}
+	// MemOps = key fetch + node loads (+ indirect fetches, none here).
+	if got := r.Trace.MemOps(); got != r.NodesVisited+1 {
+		t.Fatalf("MemOps = %d, want %d", got, r.NodesVisited+1)
+	}
+}
+
+func TestProbeEmptyBucket(t *testing.T) {
+	as := vm.New()
+	tbl, err := Build(as, Config{Layout: LayoutInline, Hash: HashRobust, BucketCount: 1024, Name: "e"}, []uint64{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key whose bucket is guaranteed empty: try candidates until the
+	// bucket differs from key 5's bucket and the probe visits one node.
+	target := BucketIndex(RobustHash(5), tbl.Buckets())
+	for k := uint64(100); k < 200; k++ {
+		if BucketIndex(RobustHash(k), tbl.Buckets()) != target {
+			r := tbl.Probe(k)
+			if r.Found {
+				t.Fatal("empty bucket probe found a match")
+			}
+			if r.NodesVisited != 1 {
+				t.Fatalf("empty bucket should visit exactly the header, got %d", r.NodesVisited)
+			}
+			return
+		}
+	}
+	t.Fatal("could not find a key mapping to a different bucket")
+}
+
+func TestBulkProbeAndMisses(t *testing.T) {
+	tbl, keys := buildTable(t, LayoutInline, HashRobust, 500, 0)
+	probe := append([]uint64{}, keys[:250]...)
+	// Add 250 keys that are (almost surely) not present.
+	for i := 0; i < 250; i++ {
+		probe = append(probe, uint64(1_000_000_000+i))
+	}
+	found := tbl.BulkProbe(probe)
+	if found < 250 || found > 255 {
+		t.Fatalf("BulkProbe found %d, want ~250", found)
+	}
+}
+
+func TestInterleavedProbeMatchesBulkProbe(t *testing.T) {
+	for _, layout := range []Layout{LayoutInline, LayoutIndirect} {
+		tbl, keys := buildTable(t, layout, HashRobust, 800, 256)
+		probes := append([]uint64{}, keys...)
+		probes = append(probes, 0xABCDEF, 0x123456) // misses
+		want := tbl.BulkProbe(probes)
+		for _, width := range []int{0, 1, 2, 4, 8} {
+			steps := 0
+			got := tbl.InterleavedProbe(probes, width, func(slot int, s TraceStep) {
+				if s.NodeAddr == 0 {
+					t.Fatal("step with zero node address")
+				}
+				steps++
+			})
+			if got != want {
+				t.Fatalf("layout=%v width=%d: interleaved found %d, bulk found %d", layout, width, got, want)
+			}
+			if steps == 0 {
+				t.Fatal("no steps observed")
+			}
+		}
+	}
+}
+
+func TestFootprintTracksLayout(t *testing.T) {
+	inline, _ := buildTable(t, LayoutInline, HashRobust, 1024, 1024)
+	indirect, _ := buildTable(t, LayoutIndirect, HashRobust, 1024, 1024)
+	if inline.FootprintBytes() == 0 || indirect.FootprintBytes() == 0 {
+		t.Fatal("zero footprint")
+	}
+	// The indirect layout adds the key column but has smaller nodes.
+	if indirect.NodeSize() >= inline.NodeSize() {
+		t.Fatal("indirect nodes should be smaller than inline nodes")
+	}
+}
+
+// Property: every inserted key is found with its own payload, for arbitrary
+// key sets, both layouts and both hash functions.
+func TestPropertyBuildProbeRoundTrip(t *testing.T) {
+	f := func(rawKeys []uint32, layoutRaw, hashRaw uint8) bool {
+		if len(rawKeys) == 0 {
+			return true
+		}
+		if len(rawKeys) > 300 {
+			rawKeys = rawKeys[:300]
+		}
+		// Deduplicate and avoid 0/EmptyKey.
+		seen := map[uint64]bool{}
+		var keys []uint64
+		for _, rk := range rawKeys {
+			k := uint64(rk) + 1
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		as := vm.New()
+		cfg := Config{
+			Layout: Layout(layoutRaw % 2),
+			Hash:   HashKind(hashRaw % 2),
+			Name:   "prop",
+		}
+		tbl, err := Build(as, cfg, keys, nil)
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			r := tbl.Probe(k)
+			if !r.Found || r.Payload != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of nodes visited by a probe never exceeds the longest
+// chain in the table, and traces are internally consistent.
+func TestPropertyProbeBounded(t *testing.T) {
+	tbl, keys := buildTable(t, LayoutInline, HashSimple, 400, 64)
+	f := func(pick uint16) bool {
+		k := keys[int(pick)%len(keys)]
+		r := tbl.Probe(k)
+		if r.NodesVisited > tbl.MaxChain() {
+			return false
+		}
+		return len(r.Trace.Steps) == r.NodesVisited
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

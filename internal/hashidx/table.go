@@ -1,0 +1,334 @@
+package hashidx
+
+import (
+	"fmt"
+
+	"widx/internal/vm"
+)
+
+// Layout selects the node memory layout of the index.
+type Layout uint8
+
+const (
+	// LayoutInline stores the key and payload inside each node, as the
+	// optimized hash-join kernel does.
+	LayoutInline Layout = iota
+	// LayoutIndirect stores a pointer to the base-table entry instead of the
+	// key, as MonetDB does; probing requires an extra dependent load to fetch
+	// the key and extra address arithmetic.
+	LayoutIndirect
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutInline:
+		return "inline"
+	case LayoutIndirect:
+		return "indirect"
+	default:
+		return "layout(?)"
+	}
+}
+
+// Node layout offsets, shared with internal/program so that Widx walker
+// programs and the software probe agree on the byte layout.
+const (
+	// Inline node: [key][payload][next][pad], 32 bytes. The padding keeps the
+	// node stride a power of two so nodes never straddle cache blocks (two
+	// nodes per 64-byte block, exactly the kernel's packing of two tuples per
+	// block) and bucket addressing needs a single scaled add.
+	InlineKeyOffset     = 0
+	InlinePayloadOffset = 8
+	InlineNextOffset    = 16
+	InlineNodeSize      = 32
+
+	// Indirect node: [tupleRef][next], 16 bytes. The key lives in the base
+	// column at tupleRef; the emitted payload is the tuple's row id.
+	IndirectRefOffset  = 0
+	IndirectNextOffset = 8
+	IndirectNodeSize   = 16
+)
+
+// EmptyKey marks an unused inline bucket header. Workload generators must not
+// produce this key; Build rejects it.
+const EmptyKey = ^uint64(0)
+
+// Config describes the index to build.
+type Config struct {
+	// Layout selects inline or indirect nodes.
+	Layout Layout
+	// Hash selects the key-hashing function.
+	Hash HashKind
+	// BucketCount is the number of buckets; it must be a power of two.
+	// Zero lets Build pick the smallest power of two that keeps the load
+	// factor at or below one key per bucket on average.
+	BucketCount uint64
+	// Name prefixes the vm region names, so multiple indexes can coexist.
+	Name string
+}
+
+// Table is a bucket-chained hash index resident in a simulated address space.
+type Table struct {
+	as  *vm.AddressSpace
+	cfg Config
+
+	buckets    uint64
+	nodeSize   uint64
+	bucketBase uint64
+
+	// Overflow node pool: a bump allocator within a pre-sized region.
+	poolBase uint64
+	poolNext uint64
+	poolEnd  uint64
+
+	// Base key column for the indirect layout.
+	keyColBase uint64
+
+	numKeys    uint64
+	numNodes   uint64 // overflow nodes allocated (beyond bucket headers)
+	maxChain   int
+	chainTotal uint64 // total nodes visited if every bucket were walked once
+}
+
+// nextPow2 returns the smallest power of two >= v (and at least 1).
+func nextPow2(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	p := uint64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// Build lays out and populates an index over the given keys. For the inline
+// layout payloads[i] is stored with keys[i]; when payloads is nil the row
+// index is used. For the indirect layout the keys are first materialized into
+// a base column and nodes reference it; the emitted payload is the row index.
+func Build(as *vm.AddressSpace, cfg Config, keys []uint64, payloads []uint64) (*Table, error) {
+	if as == nil {
+		return nil, fmt.Errorf("hashidx: nil address space")
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("hashidx: no keys to index")
+	}
+	if payloads != nil && len(payloads) != len(keys) {
+		return nil, fmt.Errorf("hashidx: %d payloads for %d keys", len(payloads), len(keys))
+	}
+	if cfg.Name == "" {
+		cfg.Name = "index"
+	}
+	buckets := cfg.BucketCount
+	if buckets == 0 {
+		buckets = nextPow2(uint64(len(keys)))
+	}
+	if buckets&(buckets-1) != 0 {
+		return nil, fmt.Errorf("hashidx: bucket count %d is not a power of two", buckets)
+	}
+
+	t := &Table{as: as, cfg: cfg, buckets: buckets}
+	switch cfg.Layout {
+	case LayoutInline:
+		t.nodeSize = InlineNodeSize
+	case LayoutIndirect:
+		t.nodeSize = IndirectNodeSize
+	default:
+		return nil, fmt.Errorf("hashidx: unknown layout %d", cfg.Layout)
+	}
+
+	// Bucket headers are nodes themselves (the paper's header-node
+	// optimization): a one-node bucket needs no pointer dereference.
+	t.bucketBase = as.AllocAligned(cfg.Name+".buckets", buckets*t.nodeSize)
+	// Worst case every key overflows, so size the pool for len(keys) nodes.
+	t.poolBase = as.AllocAligned(cfg.Name+".nodes", uint64(len(keys))*t.nodeSize)
+	t.poolNext = t.poolBase
+	t.poolEnd = t.poolBase + uint64(len(keys))*t.nodeSize
+
+	if cfg.Layout == LayoutIndirect {
+		t.keyColBase = as.AllocAligned(cfg.Name+".keycol", uint64(len(keys))*8)
+		for i, k := range keys {
+			as.Write64(t.keyColBase+uint64(i)*8, k)
+		}
+	}
+
+	// Mark all inline bucket headers empty.
+	if cfg.Layout == LayoutInline {
+		for b := uint64(0); b < buckets; b++ {
+			as.Write64(t.bucketBase+b*t.nodeSize+InlineKeyOffset, EmptyKey)
+		}
+	}
+
+	for i, k := range keys {
+		if k == EmptyKey {
+			return nil, fmt.Errorf("hashidx: key %#x is reserved as the empty marker", EmptyKey)
+		}
+		payload := uint64(i)
+		if payloads != nil {
+			payload = payloads[i]
+		}
+		if err := t.insert(uint64(i), k, payload); err != nil {
+			return nil, err
+		}
+	}
+	t.numKeys = uint64(len(keys))
+	t.computeChainStats()
+	return t, nil
+}
+
+// insert places one key into the index.
+func (t *Table) insert(row, key, payload uint64) error {
+	idx := BucketIndex(HashOf(t.cfg.Hash, key), t.buckets)
+	head := t.bucketBase + idx*t.nodeSize
+
+	switch t.cfg.Layout {
+	case LayoutInline:
+		if t.as.Read64(head+InlineKeyOffset) == EmptyKey {
+			t.as.Write64(head+InlineKeyOffset, key)
+			t.as.Write64(head+InlinePayloadOffset, payload)
+			return nil
+		}
+		node, err := t.allocNode()
+		if err != nil {
+			return err
+		}
+		t.as.Write64(node+InlineKeyOffset, key)
+		t.as.Write64(node+InlinePayloadOffset, payload)
+		// Link behind the header: header.next -> node -> old chain.
+		t.as.Write64(node+InlineNextOffset, t.as.Read64(head+InlineNextOffset))
+		t.as.Write64(head+InlineNextOffset, node)
+		return nil
+
+	case LayoutIndirect:
+		ref := t.keyColBase + row*8
+		if t.as.Read64(head+IndirectRefOffset) == 0 {
+			t.as.Write64(head+IndirectRefOffset, ref)
+			return nil
+		}
+		node, err := t.allocNode()
+		if err != nil {
+			return err
+		}
+		t.as.Write64(node+IndirectRefOffset, ref)
+		t.as.Write64(node+IndirectNextOffset, t.as.Read64(head+IndirectNextOffset))
+		t.as.Write64(head+IndirectNextOffset, node)
+		return nil
+	}
+	return fmt.Errorf("hashidx: unknown layout")
+}
+
+// allocNode carves one overflow node from the pool.
+func (t *Table) allocNode() (uint64, error) {
+	if t.poolNext+t.nodeSize > t.poolEnd {
+		return 0, fmt.Errorf("hashidx: node pool exhausted")
+	}
+	addr := t.poolNext
+	t.poolNext += t.nodeSize
+	t.numNodes++
+	return addr, nil
+}
+
+// computeChainStats walks every bucket once to record chain statistics.
+func (t *Table) computeChainStats() {
+	t.maxChain = 0
+	t.chainTotal = 0
+	for b := uint64(0); b < t.buckets; b++ {
+		n := t.chainLength(b)
+		if n > t.maxChain {
+			t.maxChain = n
+		}
+		t.chainTotal += uint64(n)
+	}
+}
+
+// chainLength returns the number of occupied nodes in bucket b.
+func (t *Table) chainLength(b uint64) int {
+	head := t.bucketBase + b*t.nodeSize
+	switch t.cfg.Layout {
+	case LayoutInline:
+		if t.as.Read64(head+InlineKeyOffset) == EmptyKey {
+			return 0
+		}
+		n := 1
+		next := t.as.Read64(head + InlineNextOffset)
+		for next != 0 {
+			n++
+			next = t.as.Read64(next + InlineNextOffset)
+		}
+		return n
+	default:
+		if t.as.Read64(head+IndirectRefOffset) == 0 {
+			return 0
+		}
+		n := 1
+		next := t.as.Read64(head + IndirectNextOffset)
+		for next != 0 {
+			n++
+			next = t.as.Read64(next + IndirectNextOffset)
+		}
+		return n
+	}
+}
+
+// Config returns the configuration the table was built with.
+func (t *Table) Config() Config { return t.cfg }
+
+// AddressSpace returns the address space holding the index.
+func (t *Table) AddressSpace() *vm.AddressSpace { return t.as }
+
+// Buckets returns the bucket count.
+func (t *Table) Buckets() uint64 { return t.buckets }
+
+// BucketBase returns the virtual address of the bucket header array.
+func (t *Table) BucketBase() uint64 { return t.bucketBase }
+
+// BucketMask returns the index mask applied to hashed keys.
+func (t *Table) BucketMask() uint64 { return t.buckets - 1 }
+
+// NodeSize returns the node stride in bytes for the table's layout.
+func (t *Table) NodeSize() uint64 { return t.nodeSize }
+
+// BucketAddr returns the address of bucket b's header node.
+func (t *Table) BucketAddr(b uint64) uint64 {
+	return t.bucketBase + (b&t.BucketMask())*t.nodeSize
+}
+
+// KeyColumnBase returns the base address of the key column (indirect layout
+// only; zero otherwise).
+func (t *Table) KeyColumnBase() uint64 { return t.keyColBase }
+
+// NumKeys returns the number of keys inserted.
+func (t *Table) NumKeys() uint64 { return t.numKeys }
+
+// OverflowNodes returns the number of nodes allocated beyond bucket headers.
+func (t *Table) OverflowNodes() uint64 { return t.numNodes }
+
+// MaxChain returns the longest bucket chain (in nodes).
+func (t *Table) MaxChain() int { return t.maxChain }
+
+// AvgNodesPerBucket returns the average chain length over occupied buckets.
+func (t *Table) AvgNodesPerBucket() float64 {
+	occupied := uint64(0)
+	for b := uint64(0); b < t.buckets; b++ {
+		if t.chainLength(b) > 0 {
+			occupied++
+		}
+	}
+	if occupied == 0 {
+		return 0
+	}
+	return float64(t.chainTotal) / float64(occupied)
+}
+
+// FootprintBytes returns the index's resident working set: bucket headers,
+// allocated overflow nodes and (for the indirect layout) the key column.
+// This is the quantity that decides whether a query's index is L1-resident,
+// LLC-resident or memory-resident — the axis of Figures 8 and 9.
+func (t *Table) FootprintBytes() uint64 {
+	total := t.buckets*t.nodeSize + t.numNodes*t.nodeSize
+	if t.cfg.Layout == LayoutIndirect {
+		total += t.numKeys * 8
+	}
+	return total
+}

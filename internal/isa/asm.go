@@ -1,0 +1,500 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assembler syntax.
+//
+// The assembler accepts a small, line-oriented dialect used by the
+// custom_schema example and the widxasm tool:
+//
+//	; comment                      -- everything after ';' is ignored
+//	.unit walker                   -- unit kind: dispatcher | walker | producer
+//	.name probe_walk               -- program name (optional)
+//	.in   r1, r2                   -- input-queue registers
+//	.out  r3                       -- output-queue registers
+//	.const r4, 0xFFFF              -- register preload (hex or decimal)
+//	loop:                          -- label
+//	    ld    r5, [r1+8]           -- load with base+displacement
+//	    cmp   r6, r5, r2
+//	    ble   r6, r0, loop         -- branch if r6 <= r0
+//	    addshf r7, r5, r2, 3       -- fused op, shift left 3
+//	    shr   r7, r7, #16          -- '#' marks an immediate operand
+//	    st    [r3+0], r7           -- producer only
+//	    touch [r5+64]
+//	    emit
+//	    halt
+//
+// Branch targets may be labels or signed numeric offsets relative to the next
+// instruction.
+
+// Assemble parses the assembler text into a validated Program.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Name: "anonymous", Kind: Walker, ConstRegs: map[Reg]uint64{}}
+	type pending struct {
+		pc    int
+		label string
+	}
+	labels := map[string]int{}
+	var fixups []pending
+	kindSet := false
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("isa: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".unit":
+				if len(fields) != 2 {
+					return nil, errf(".unit takes exactly one argument")
+				}
+				kind, ok := parseUnitKind(fields[1])
+				if !ok {
+					return nil, errf("unknown unit kind %q", fields[1])
+				}
+				p.Kind = kind
+				kindSet = true
+			case ".name":
+				if len(fields) != 2 {
+					return nil, errf(".name takes exactly one argument")
+				}
+				p.Name = fields[1]
+			case ".in", ".out":
+				regs, err := parseRegList(strings.TrimSpace(line[len(fields[0]):]))
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				if fields[0] == ".in" {
+					p.InputRegs = regs
+				} else {
+					p.OutputRegs = regs
+				}
+			case ".const":
+				rest := strings.TrimSpace(line[len(".const"):])
+				parts := splitOperands(rest)
+				if len(parts) != 2 {
+					return nil, errf(".const takes a register and a value")
+				}
+				r, err := parseReg(parts[0])
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				v, err := parseUint(parts[1])
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				p.ConstRegs[r] = v
+			default:
+				return nil, errf("unknown directive %q", fields[0])
+			}
+			continue
+		}
+
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:idx])
+			if !isIdent(label) {
+				return nil, errf("invalid label %q", label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, errf("duplicate label %q", label)
+			}
+			labels[label] = len(p.Code)
+			line = strings.TrimSpace(line[idx+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+
+		in, labelRef, err := parseInstruction(line)
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{pc: len(p.Code), label: labelRef})
+		}
+		p.Code = append(p.Code, in)
+	}
+
+	if !kindSet {
+		return nil, fmt.Errorf("isa: program is missing a .unit directive")
+	}
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", fx.label)
+		}
+		p.Code[fx.pc].Imm = int64(target - (fx.pc + 1))
+		p.Code[fx.pc].Label = fx.label
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for program literals baked into the repository;
+// it panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders the program back into assembler text that Assemble
+// accepts (labels are synthesized as L<pc> for branch targets).
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".name %s\n.unit %s\n", p.Name, p.Kind)
+	if len(p.InputRegs) > 0 {
+		b.WriteString(".in " + joinRegs(p.InputRegs) + "\n")
+	}
+	if len(p.OutputRegs) > 0 {
+		b.WriteString(".out " + joinRegs(p.OutputRegs) + "\n")
+	}
+	for r := Reg(0); int(r) < NumRegs; r++ {
+		if v, ok := p.ConstRegs[r]; ok {
+			fmt.Fprintf(&b, ".const %s, %#x\n", r, v)
+		}
+	}
+	// Collect branch targets so we can emit labels.
+	targets := map[int]string{}
+	for pc, in := range p.Code {
+		if in.Op.IsBranch() {
+			t := pc + 1 + int(in.Imm)
+			if _, ok := targets[t]; !ok {
+				targets[t] = fmt.Sprintf("L%d", t)
+			}
+		}
+	}
+	for pc, in := range p.Code {
+		if lbl, ok := targets[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		if in.Op.IsBranch() {
+			t := pc + 1 + int(in.Imm)
+			lbl := targets[t]
+			switch in.Op {
+			case BA:
+				fmt.Fprintf(&b, "    ba %s\n", lbl)
+			case BLE:
+				fmt.Fprintf(&b, "    ble %s, %s, %s\n", in.SrcA, in.SrcB, lbl)
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "    %s\n", in.String())
+	}
+	// A trailing target label (branch to just past the end is invalid, so
+	// this only fires for labels at the last instruction, already emitted).
+	return b.String()
+}
+
+func stripComment(line string) string {
+	// Only ';' starts a comment: '#' marks immediate operands.
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func parseUnitKind(s string) (UnitKind, bool) {
+	switch strings.ToLower(s) {
+	case "dispatcher", "hash", "h":
+		return Dispatcher, true
+	case "walker", "walk", "w":
+		return Walker, true
+	case "producer", "output", "p":
+		return Producer, true
+	}
+	return 0, false
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("invalid register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("invalid register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseRegList(s string) ([]Reg, error) {
+	var out []Reg
+	for _, part := range splitOperands(s) {
+		r, err := parseReg(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty register list")
+	}
+	return out, nil
+}
+
+func joinRegs(rs []Reg) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func parseUint(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid constant %q", s)
+	}
+	return v, nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid integer %q", s)
+	}
+	return v, nil
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseMemOperand parses "[rN+disp]" or "[rN-disp]" or "[rN]".
+func parseMemOperand(s string) (Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("invalid memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sign := int64(1)
+	var regPart, dispPart string
+	if i := strings.IndexAny(inner, "+-"); i >= 0 {
+		if inner[i] == '-' {
+			sign = -1
+		}
+		regPart, dispPart = inner[:i], inner[i+1:]
+	} else {
+		regPart, dispPart = inner, "0"
+	}
+	base, err := parseReg(regPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	disp, err := parseInt(dispPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, sign * disp, nil
+}
+
+// parseInstruction parses one instruction line; when the instruction is a
+// branch to a label, the label is returned for later fixup and Imm is left 0.
+func parseInstruction(line string) (Instruction, string, error) {
+	fields := strings.SplitN(line, " ", 2)
+	mnemonic := strings.ToLower(strings.TrimSpace(fields[0]))
+	op, ok := ParseOpcode(mnemonic)
+	if !ok {
+		return Instruction{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	ops := splitOperands(rest)
+	in := Instruction{Op: op}
+
+	switch op {
+	case EMIT, HALT:
+		if len(ops) != 0 {
+			return Instruction{}, "", fmt.Errorf("%s takes no operands", op)
+		}
+		return in, "", nil
+
+	case BA:
+		if len(ops) != 1 {
+			return Instruction{}, "", fmt.Errorf("ba takes one operand")
+		}
+		if isIdent(ops[0]) {
+			return in, ops[0], nil
+		}
+		off, err := parseInt(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		in.Imm = off
+		return in, "", nil
+
+	case BLE:
+		if len(ops) != 3 {
+			return Instruction{}, "", fmt.Errorf("ble takes srcA, srcB, target")
+		}
+		a, err := parseReg(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		b, err := parseReg(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		in.SrcA, in.SrcB = a, b
+		if isIdent(ops[2]) {
+			return in, ops[2], nil
+		}
+		off, err := parseInt(ops[2])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		in.Imm = off
+		return in, "", nil
+
+	case LD:
+		if len(ops) != 2 {
+			return Instruction{}, "", fmt.Errorf("ld takes dst, [base+disp]")
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		base, disp, err := parseMemOperand(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		in.Dst, in.SrcA, in.Imm = d, base, disp
+		return in, "", nil
+
+	case ST:
+		if len(ops) != 2 {
+			return Instruction{}, "", fmt.Errorf("st takes [base+disp], src")
+		}
+		base, disp, err := parseMemOperand(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		src, err := parseReg(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		in.SrcA, in.Imm, in.SrcB = base, disp, src
+		return in, "", nil
+
+	case TOUCH:
+		if len(ops) != 1 {
+			return Instruction{}, "", fmt.Errorf("touch takes [base+disp]")
+		}
+		base, disp, err := parseMemOperand(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		in.SrcA, in.Imm = base, disp
+		return in, "", nil
+
+	case ADDSHF, ANDSHF, XORSHF:
+		if len(ops) != 4 {
+			return Instruction{}, "", fmt.Errorf("%s takes dst, srcA, srcB, shift", op)
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		a, err := parseReg(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		b, err := parseReg(ops[2])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		sh, err := parseInt(ops[3])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		if sh < -63 || sh > 63 {
+			return Instruction{}, "", fmt.Errorf("shift amount %d out of range", sh)
+		}
+		in.Dst, in.SrcA, in.SrcB, in.Shift = d, a, b, int8(sh)
+		return in, "", nil
+
+	default: // ADD, AND, CMP, CMPLE, SHL, SHR, XOR
+		if len(ops) != 3 {
+			return Instruction{}, "", fmt.Errorf("%s takes dst, srcA, srcB|#imm", op)
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		a, err := parseReg(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		in.Dst, in.SrcA = d, a
+		if strings.HasPrefix(ops[2], "#") {
+			imm, err := parseInt(ops[2][1:])
+			if err != nil {
+				return Instruction{}, "", err
+			}
+			in.UseImm = true
+			in.Imm = imm
+		} else {
+			b, err := parseReg(ops[2])
+			if err != nil {
+				return Instruction{}, "", err
+			}
+			in.SrcB = b
+		}
+		return in, "", nil
+	}
+}

@@ -1,0 +1,213 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const walkerSrc = `
+; Probe walker for the inline-key node layout.
+.name  probe_walk
+.unit  walker
+.in    r1, r2          ; r1 = node pointer (bucket head), r2 = probe key
+.out   r3              ; r3 = matching payload
+.const r4, 0xFFFF
+
+loop:
+    ld    r5, [r1+0]      ; node key
+    cmp   r6, r5, r2
+    ble   r6, r0, skip    ; not equal -> skip emit
+    ld    r3, [r1+8]      ; payload
+    emit
+skip:
+    ld    r1, [r1+16]     ; next pointer
+    ble   r0, r1, check   ; if 0 <= next, maybe loop
+    ba    done
+check:
+    ble   r1, r0, done    ; next == 0 -> done
+    ba    loop
+done:
+    halt
+`
+
+func TestAssembleWalker(t *testing.T) {
+	p, err := Assemble(walkerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "probe_walk" || p.Kind != Walker {
+		t.Fatalf("metadata wrong: %q %v", p.Name, p.Kind)
+	}
+	if len(p.InputRegs) != 2 || p.InputRegs[0] != 1 || p.InputRegs[1] != 2 {
+		t.Fatalf("input regs wrong: %v", p.InputRegs)
+	}
+	if len(p.OutputRegs) != 1 || p.OutputRegs[0] != 3 {
+		t.Fatalf("output regs wrong: %v", p.OutputRegs)
+	}
+	if p.ConstRegs[4] != 0xFFFF {
+		t.Fatalf("const wrong: %v", p.ConstRegs)
+	}
+	if p.Code[0].Op != LD || p.Code[0].Dst != 5 || p.Code[0].SrcA != 1 {
+		t.Fatalf("first instruction wrong: %+v", p.Code[0])
+	}
+	// The backward branch "ba loop" must have a negative offset.
+	var foundBack bool
+	for _, in := range p.Code {
+		if in.Op == BA && in.Imm < 0 {
+			foundBack = true
+		}
+	}
+	if !foundBack {
+		t.Fatal("no backward branch resolved")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("assembled program invalid: %v", err)
+	}
+}
+
+func TestAssembleDispatcherWithFusedOps(t *testing.T) {
+	src := `
+.name robust_hash
+.unit dispatcher
+.in   r1
+.out  r2
+.const r10, 0x9E3779B97F4A7C15
+    xorshf r2, r1, r10, -16
+    addshf r2, r2, r10, 3
+    andshf r2, r2, r10, -1
+    shr    r2, r2, #4
+    emit
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != Dispatcher {
+		t.Fatal("kind wrong")
+	}
+	if p.Code[0].Op != XORSHF || p.Code[0].Shift != -16 {
+		t.Fatalf("fused op wrong: %+v", p.Code[0])
+	}
+	if p.Code[3].Op != SHR || !p.Code[3].UseImm || p.Code[3].Imm != 4 {
+		t.Fatalf("immediate shift wrong: %+v", p.Code[3])
+	}
+}
+
+func TestAssembleProducer(t *testing.T) {
+	src := `
+.unit producer
+.in   r1, r2
+.const r3, 0x100000
+    st  [r3+0], r1
+    st  [r3+8], r2
+    add r3, r3, #16
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != Producer || len(p.Code) != 4 {
+		t.Fatalf("producer program wrong: %+v", p)
+	}
+	if p.Code[0].Op != ST || p.Code[0].SrcB != 1 {
+		t.Fatalf("store wrong: %+v", p.Code[0])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing unit":      "add r1, r1, r1\nhalt\n",
+		"unknown directive": ".bogus x\n.unit walker\nhalt\n",
+		"unknown mnemonic":  ".unit walker\nfrob r1, r2, r3\nhalt\n",
+		"bad register":      ".unit walker\nadd r99, r1, r1\nhalt\n",
+		"undefined label":   ".unit walker\nba nowhere\nhalt\n",
+		"duplicate label":   ".unit walker\nx:\nadd r1,r1,r1\nx:\nhalt\n",
+		"st on walker":      ".unit walker\nst [r1+0], r2\nhalt\n",
+		"andshf on walker":  ".unit walker\nandshf r1, r2, r3, 1\nhalt\n",
+		"bad mem operand":   ".unit walker\nld r1, r2\nhalt\n",
+		"bad const":         ".unit walker\n.const r1, zzz\nhalt\n",
+		"const r0":          ".unit walker\n.const r0, 5\nhalt\n",
+		"no operands emit":  ".unit walker\n.out r1\nemit r1\nhalt\n",
+		"shift range":       ".unit dispatcher\n.out r1\naddshf r1, r1, r1, 99\nemit\nhalt\n",
+		"bad label char":    ".unit walker\n1bad:\nhalt\n",
+		"ble operands":      ".unit walker\nble r1, r2\nhalt\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble should panic on invalid source")
+		}
+	}()
+	MustAssemble("add r1, r1, r1")
+}
+
+func TestNumericBranchOffsets(t *testing.T) {
+	src := `
+.unit walker
+.out r1
+    add r1, r0, #1
+    ble r1, r0, +1
+    emit
+    ba  -4
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Imm != 1 || p.Code[3].Imm != -4 {
+		t.Fatalf("numeric offsets wrong: %+v", p.Code)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	orig, err := Assemble(walkerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(orig)
+	if !strings.Contains(text, ".unit walker") || !strings.Contains(text, ".const r4") {
+		t.Fatalf("disassembly missing directives:\n%s", text)
+	}
+	back, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("re-assembling disassembly failed: %v\n%s", err, text)
+	}
+	if len(back.Code) != len(orig.Code) {
+		t.Fatalf("instruction count changed: %d vs %d", len(back.Code), len(orig.Code))
+	}
+	for i := range orig.Code {
+		a, b := orig.Code[i], back.Code[i]
+		a.Label, b.Label = "", ""
+		if a != b {
+			t.Fatalf("instruction %d differs after round trip: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestLabelOnSameLineAsInstruction(t *testing.T) {
+	src := `
+.unit walker
+.out r1
+top: add r1, r1, #1
+     ble r1, r0, top
+     emit
+     halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Imm != -2 {
+		t.Fatalf("label on instruction line resolved wrong: %+v", p.Code[1])
+	}
+}

@@ -1,0 +1,313 @@
+// Package join implements the hash-join workloads of the evaluation: the
+// optimized "no partitioning" hash-join kernel the paper uses for Figure 8
+// (with its Small / Medium / Large index sizes), plus the alternative join
+// algorithms discussed in Section 7 — a radix-partitioned hash join and a
+// sort-merge join — as functional baselines.
+//
+// The kernel lays its hash index out in the simulated address space via
+// internal/hashidx, so the same build can be probed three ways: functionally
+// in software, trace-driven on the baseline core models, and by the Widx
+// accelerator executing its unit programs.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"widx/internal/hashidx"
+	"widx/internal/stats"
+	"widx/internal/vm"
+)
+
+// SizeClass is the index size class of the hash-join kernel (Section 5).
+type SizeClass uint8
+
+const (
+	// Small is the 4K-tuple (32 KB raw) L1/LLC-resident index.
+	Small SizeClass = iota
+	// Medium is the 512K-tuple (4 MB raw) LLC-sized index.
+	Medium
+	// Large is the 128M-tuple (1 GB raw) memory-resident index.
+	Large
+)
+
+// String names the size class.
+func (s SizeClass) String() string {
+	switch s {
+	case Small:
+		return "Small"
+	case Medium:
+		return "Medium"
+	case Large:
+		return "Large"
+	default:
+		return fmt.Sprintf("size(%d)", uint8(s))
+	}
+}
+
+// paperTuples returns the unscaled tuple counts of Section 5.
+func (s SizeClass) paperTuples() int {
+	switch s {
+	case Small:
+		return 4 * 1024
+	case Medium:
+		return 512 * 1024
+	default:
+		return 128 * 1024 * 1024
+	}
+}
+
+// Tuples returns the build-side tuple count at the given scale (1.0 is the
+// paper's size). Scale lets tests and benchmarks shrink the Large class to
+// something a unit test can afford while keeping the Small < Medium < Large
+// relationship to the cache hierarchy intact.
+func (s SizeClass) Tuples(scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(s.paperTuples()) * scale)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// KernelConfig describes one hash-join kernel instance.
+type KernelConfig struct {
+	// Size selects the build-side tuple count.
+	Size SizeClass
+	// Scale shrinks the paper's sizes for test/bench affordability (1.0 is
+	// the paper's configuration).
+	Scale float64
+	// OuterTuples is the probe-side tuple count. The paper uses 128M outer
+	// tuples for every size class; zero derives a scaled value.
+	OuterTuples int
+	// NodesPerBucket is the target average chain length (the kernel uses up
+	// to two nodes per bucket).
+	NodesPerBucket float64
+	// Hash is the hash function (the kernel uses the simple masked XOR).
+	Hash hashidx.HashKind
+	// Seed makes data generation deterministic.
+	Seed uint64
+}
+
+// DefaultKernelConfig returns the paper's kernel configuration for a size
+// class at the given scale.
+func DefaultKernelConfig(size SizeClass, scale float64) KernelConfig {
+	return KernelConfig{
+		Size:           size,
+		Scale:          scale,
+		NodesPerBucket: 2,
+		Hash:           hashidx.HashSimple,
+		Seed:           42,
+	}
+}
+
+// Validate reports configuration errors.
+func (c KernelConfig) Validate() error {
+	if c.Size > Large {
+		return fmt.Errorf("join: unknown size class %d", c.Size)
+	}
+	if c.Scale < 0 {
+		return fmt.Errorf("join: negative scale")
+	}
+	if c.NodesPerBucket <= 0 {
+		return fmt.Errorf("join: NodesPerBucket must be positive")
+	}
+	if c.OuterTuples < 0 {
+		return fmt.Errorf("join: negative outer tuple count")
+	}
+	return nil
+}
+
+// Kernel is a built hash-join kernel instance: the build-side index resident
+// in a simulated address space plus the probe-side key column.
+type Kernel struct {
+	cfg KernelConfig
+
+	AS    *vm.AddressSpace
+	Index *hashidx.Table
+
+	BuildKeys []uint64
+	ProbeKeys []uint64
+	// ProbeKeyBase is the address of the materialized probe key column.
+	ProbeKeyBase uint64
+	// ResultBase is a pre-allocated result region for offloaded probes.
+	ResultBase uint64
+}
+
+// BuildKernel generates the build and probe relations and constructs the
+// in-memory hash index. Build keys are unique; probe keys are drawn uniformly
+// from the build keys (every probe matches, as in the kernel's configuration
+// where the outer relation joins with the inner).
+func BuildKernel(cfg KernelConfig) (*Kernel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	buildN := cfg.Size.Tuples(cfg.Scale)
+	outerN := cfg.OuterTuples
+	if outerN == 0 {
+		// The paper probes with 128M keys regardless of index size; scale it
+		// the same way but keep at least 4x the build side so probe streams
+		// are long enough to measure.
+		outerN = int(float64(128*1024*1024) * cfg.Scale)
+		if outerN < 4*buildN {
+			outerN = 4 * buildN
+		}
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	buildKeys := make([]uint64, buildN)
+	seen := make(map[uint64]bool, buildN)
+	for i := range buildKeys {
+		for {
+			// 4-byte keys as in the kernel (Kim et al. tuple format).
+			k := uint64(rng.Uint32())
+			if k != 0 && !seen[k] {
+				buildKeys[i] = k
+				seen[k] = true
+				break
+			}
+		}
+	}
+	probeKeys := make([]uint64, outerN)
+	for i := range probeKeys {
+		probeKeys[i] = buildKeys[rng.Intn(buildN)]
+	}
+
+	// Bucket count targets the configured chain depth.
+	buckets := uint64(1)
+	for float64(buildN)/float64(buckets) > cfg.NodesPerBucket {
+		buckets <<= 1
+	}
+
+	as := vm.New()
+	idx, err := hashidx.Build(as, hashidx.Config{
+		Layout:      hashidx.LayoutInline,
+		Hash:        cfg.Hash,
+		BucketCount: buckets,
+		Name:        "kernel." + cfg.Size.String(),
+	}, buildKeys, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	probeBase := as.AllocAligned("kernel.probekeys", uint64(outerN)*8)
+	for i, k := range probeKeys {
+		as.Write64(probeBase+uint64(i)*8, k)
+	}
+	resultBase := as.AllocAligned("kernel.results", uint64(outerN)*8+64)
+
+	return &Kernel{
+		cfg:          cfg,
+		AS:           as,
+		Index:        idx,
+		BuildKeys:    buildKeys,
+		ProbeKeys:    probeKeys,
+		ProbeKeyBase: probeBase,
+		ResultBase:   resultBase,
+	}, nil
+}
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() KernelConfig { return k.cfg }
+
+// SoftwareProbe runs the probe phase functionally and returns the number of
+// probes that found a match (all of them, for the kernel's workload).
+func (k *Kernel) SoftwareProbe() int {
+	return k.Index.BulkProbe(k.ProbeKeys)
+}
+
+// Traces returns the per-probe traces for the baseline core timing models.
+// The optional limit truncates the probe stream (0 means all probes).
+func (k *Kernel) Traces(limit int) []hashidx.ProbeTrace {
+	n := len(k.ProbeKeys)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]hashidx.ProbeTrace, n)
+	for i := 0; i < n; i++ {
+		out[i] = k.Index.ProbeFrom(k.ProbeKeys[i], k.ProbeKeyBase+uint64(i)*8).Trace
+	}
+	return out
+}
+
+// FootprintBytes returns the index working-set size, the quantity that puts
+// Small, Medium and Large on different levels of the cache hierarchy.
+func (k *Kernel) FootprintBytes() uint64 { return k.Index.FootprintBytes() }
+
+// HashJoinNative is a straightforward Go map-based hash join returning the
+// number of (build, probe) matches; it is the functional reference the other
+// algorithms are checked against.
+func HashJoinNative(build, probe []uint64) int {
+	ht := make(map[uint64]int, len(build))
+	for _, k := range build {
+		ht[k]++
+	}
+	matches := 0
+	for _, k := range probe {
+		matches += ht[k]
+	}
+	return matches
+}
+
+// RadixPartitionJoin is the hardware-conscious alternative discussed in
+// Section 7: both inputs are partitioned by the low bits of the key so each
+// partition's hash table is cache-resident, then partitions are joined
+// independently. Functionally it must agree with HashJoinNative.
+func RadixPartitionJoin(build, probe []uint64, radixBits int) int {
+	if radixBits <= 0 {
+		radixBits = 6
+	}
+	parts := 1 << radixBits
+	mask := uint64(parts - 1)
+	buildParts := make([][]uint64, parts)
+	probeParts := make([][]uint64, parts)
+	for _, k := range build {
+		p := k & mask
+		buildParts[p] = append(buildParts[p], k)
+	}
+	for _, k := range probe {
+		p := k & mask
+		probeParts[p] = append(probeParts[p], k)
+	}
+	matches := 0
+	for p := 0; p < parts; p++ {
+		matches += HashJoinNative(buildParts[p], probeParts[p])
+	}
+	return matches
+}
+
+// SortMergeJoin is the SIMD-friendly alternative of the sort-vs-hash debate
+// (Section 7): both sides are sorted and merged. It returns the same match
+// count as HashJoinNative for multiset semantics.
+func SortMergeJoin(build, probe []uint64) int {
+	b := append([]uint64(nil), build...)
+	p := append([]uint64(nil), probe...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+
+	matches := 0
+	i, j := 0, 0
+	for i < len(b) && j < len(p) {
+		switch {
+		case b[i] < p[j]:
+			i++
+		case b[i] > p[j]:
+			j++
+		default:
+			// Count the run lengths of equal keys on both sides.
+			v := b[i]
+			bi := i
+			for i < len(b) && b[i] == v {
+				i++
+			}
+			pj := j
+			for j < len(p) && p[j] == v {
+				j++
+			}
+			matches += (i - bi) * (j - pj)
+		}
+	}
+	return matches
+}

@@ -1,0 +1,195 @@
+package mem
+
+// Cache is a set-associative tag-only cache model with true-LRU replacement.
+// Only tags are tracked: the simulated data itself lives in the vm package's
+// address space, so the cache's job is purely to decide hits and misses for
+// the timing model and to expose hit/miss counters.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	blockBits uint
+	setMask   uint64
+
+	// tags[set][way] holds the block address (not just the tag) for clarity;
+	// valid[set][way] marks occupancy and lru[set][way] holds a per-set
+	// sequence number (larger = more recently used).
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewCache builds a cache with the given capacity, associativity and block
+// size (all in bytes). It panics on a geometry that does not divide evenly;
+// Config.Validate catches this earlier for user-supplied configurations.
+func NewCache(name string, sizeBytes, assoc, blockBytes int) *Cache {
+	if sizeBytes <= 0 || assoc <= 0 || blockBytes <= 0 {
+		panic("mem: invalid cache geometry")
+	}
+	if sizeBytes%(assoc*blockBytes) != 0 {
+		panic("mem: cache size not divisible by assoc*block")
+	}
+	sets := sizeBytes / (assoc * blockBytes)
+	if sets&(sets-1) != 0 {
+		panic("mem: cache set count must be a power of two")
+	}
+	blockBits := uint(0)
+	for 1<<blockBits < blockBytes {
+		blockBits++
+	}
+	c := &Cache{
+		name:      name,
+		sets:      sets,
+		ways:      assoc,
+		blockBits: blockBits,
+		setMask:   uint64(sets - 1),
+		tags:      make([][]uint64, sets),
+		valid:     make([][]bool, sets),
+		lru:       make([][]uint64, sets),
+	}
+	for s := 0; s < sets; s++ {
+		c.tags[s] = make([]uint64, assoc)
+		c.valid[s] = make([]bool, assoc)
+		c.lru[s] = make([]uint64, assoc)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// setIndex maps a byte address to its set.
+func (c *Cache) setIndex(addr uint64) int {
+	return int((addr >> c.blockBits) & c.setMask)
+}
+
+// block maps a byte address to its block address.
+func (c *Cache) block(addr uint64) uint64 {
+	return addr >> c.blockBits << c.blockBits
+}
+
+// Lookup probes the cache for the block containing addr. On a hit the LRU
+// state is updated and true is returned; counters are updated either way.
+// Lookup does not allocate on a miss — call Insert for that — so callers can
+// model no-allocate operations (e.g. prefetch probes that get dropped).
+func (c *Cache) Lookup(addr uint64) bool {
+	set := c.setIndex(addr)
+	blk := c.block(addr)
+	c.clock++
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == blk {
+			c.lru[set][w] = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports whether the block containing addr is present without
+// updating LRU state or counters (used by tests and diagnostics).
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.setIndex(addr)
+	blk := c.block(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert allocates the block containing addr, evicting the LRU way of its set
+// if necessary. It returns the evicted block address and whether an eviction
+// of a valid block occurred.
+func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
+	set := c.setIndex(addr)
+	blk := c.block(addr)
+	c.clock++
+	// Already present: refresh LRU only.
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == blk {
+			c.lru[set][w] = c.clock
+			return 0, false
+		}
+	}
+	// Free way?
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			c.valid[set][w] = true
+			c.tags[set][w] = blk
+			c.lru[set][w] = c.clock
+			return 0, false
+		}
+	}
+	// Evict LRU.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	evicted = c.tags[set][victim]
+	c.tags[set][victim] = blk
+	c.lru[set][victim] = c.clock
+	c.evictions++
+	return evicted, true
+}
+
+// Invalidate removes the block containing addr if present, returning whether
+// it was present. Used by tests and by workload warm-up control.
+func (c *Cache) Invalidate(addr uint64) bool {
+	set := c.setIndex(addr)
+	blk := c.block(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == blk {
+			c.valid[set][w] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears all cache content and counters.
+func (c *Cache) Reset() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			c.valid[s][w] = false
+			c.lru[s][w] = 0
+		}
+	}
+	c.clock, c.hits, c.misses, c.evictions = 0, 0, 0, 0
+}
+
+// ResetCounters clears the hit/miss/eviction counters but keeps content,
+// which is how measurement phases start after cache warm-up.
+func (c *Cache) ResetCounters() {
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+// Hits returns the number of hits since the last counter reset.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses since the last counter reset.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Evictions returns the number of valid-block evictions since the last reset.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// MissRatio returns misses / (hits + misses), or 0 with no accesses.
+func (c *Cache) MissRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}

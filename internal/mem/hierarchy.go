@@ -1,0 +1,399 @@
+package mem
+
+import "fmt"
+
+// AccessType distinguishes the memory operations the timing model cares
+// about. Stores complete into a store buffer and are off the critical path;
+// prefetches (the Widx TOUCH instruction) occupy resources but never stall
+// the issuing unit.
+type AccessType uint8
+
+const (
+	// Load is a demand read whose completion the issuing unit waits for.
+	Load AccessType = iota
+	// Store is a write; it consumes an L1 port and may allocate, but the
+	// issuing unit continues after one cycle (store buffer).
+	Store
+	// Prefetch is a non-binding TOUCH: it moves the block toward the L1 but
+	// never stalls the issuer.
+	Prefetch
+)
+
+// String names the access type.
+func (t AccessType) String() string {
+	switch t {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Prefetch:
+		return "prefetch"
+	default:
+		return fmt.Sprintf("access(%d)", uint8(t))
+	}
+}
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+const (
+	// LevelL1 means the access hit in the L1-D.
+	LevelL1 Level = iota
+	// LevelLLC means the access missed the L1-D and hit in the LLC.
+	LevelLLC
+	// LevelMemory means the access went to a memory controller.
+	LevelMemory
+	// LevelCombined means the access merged into an already-outstanding
+	// MSHR for the same block (a secondary miss).
+	LevelCombined
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelLLC:
+		return "LLC"
+	case LevelMemory:
+		return "Memory"
+	case LevelCombined:
+		return "Combined"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Result reports the timing of one access.
+type Result struct {
+	// IssueCycle is when the access actually acquired an L1 port (>= the
+	// requested cycle when ports or translations were busy).
+	IssueCycle uint64
+	// CompleteCycle is when the data is available to the issuer. For stores
+	// and prefetches this is when the issuer may proceed, not when the block
+	// arrives.
+	CompleteCycle uint64
+	// Level records where the access was satisfied.
+	Level Level
+	// TLBMiss reports whether the access took a page walk.
+	TLBMiss bool
+	// TLBReadyCycle is when translation finished (== requested cycle on a
+	// TLB hit).
+	TLBReadyCycle uint64
+}
+
+// Latency is the total observed latency from the requested cycle.
+func (r Result) Latency(requested uint64) uint64 {
+	if r.CompleteCycle < requested {
+		return 0
+	}
+	return r.CompleteCycle - requested
+}
+
+// mshrEntry tracks one outstanding L1 miss.
+type mshrEntry struct {
+	block    uint64
+	complete uint64
+}
+
+// Hierarchy is the shared memory system. It is deliberately not safe for
+// concurrent use: the simulator issues accesses from a single goroutine in
+// timestamp order (or near it), which keeps results deterministic.
+type Hierarchy struct {
+	cfg Config
+
+	l1  *Cache
+	llc *Cache
+	tlb *TLB
+
+	// ports grants L1-D access slots (cfg.L1Ports per cycle).
+	ports *slotSchedule
+	// mshrs holds outstanding L1 misses, at most cfg.L1MSHRs live at once.
+	mshrs []mshrEntry
+	// mcs grants block-transfer slots, one per service interval per
+	// controller, enforcing the effective off-chip bandwidth.
+	mcs []*slotSchedule
+
+	stats Stats
+}
+
+// Stats aggregates hierarchy activity since the last counter reset.
+type Stats struct {
+	Loads      uint64
+	Stores     uint64
+	Prefetches uint64
+
+	L1Hits         uint64
+	L1Misses       uint64
+	LLCHits        uint64
+	LLCMisses      uint64
+	CombinedMisses uint64
+	TLBMisses      uint64
+
+	// MemBlocks is the number of block transfers demanded from the memory
+	// controllers (off-chip traffic).
+	MemBlocks uint64
+
+	// PortStallCycles accumulates cycles accesses waited for an L1 port;
+	// MSHRStallCycles accumulates cycles accesses waited for a free MSHR.
+	PortStallCycles uint64
+	MSHRStallCycles uint64
+}
+
+// L1MissRatio returns L1 misses over all cache lookups.
+func (s Stats) L1MissRatio() float64 {
+	total := s.L1Hits + s.L1Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(total)
+}
+
+// LLCMissRatio returns LLC misses over LLC lookups.
+func (s Stats) LLCMissRatio() float64 {
+	total := s.LLCHits + s.LLCMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LLCMisses) / float64(total)
+}
+
+// NewHierarchy builds a hierarchy from the configuration. It panics on an
+// invalid configuration; call cfg.Validate first when the configuration is
+// user-supplied.
+func NewHierarchy(cfg Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{
+		cfg:   cfg,
+		l1:    NewCache("L1-D", cfg.L1SizeBytes, cfg.L1Assoc, cfg.L1BlockBytes),
+		llc:   NewCache("LLC", cfg.LLCSizeBytes, cfg.LLCAssoc, cfg.L1BlockBytes),
+		tlb:   NewTLB(cfg.TLBEntries, cfg.PageBytes, cfg.TLBWalkCyc, cfg.TLBInFlight),
+		ports: newSlotSchedule(1, cfg.L1Ports),
+		mcs:   make([]*slotSchedule, cfg.MemControllers),
+	}
+	// A memory controller starts at most one 64-byte block transfer per
+	// service interval; rounding the interval up keeps the modelled
+	// bandwidth at or below the configured effective bandwidth.
+	interval := uint64(cfg.MemServiceIntervalCycles() + 0.5)
+	if interval == 0 {
+		interval = 1
+	}
+	for i := range h.mcs {
+		h.mcs[i] = newSlotSchedule(interval, 1)
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// L1 exposes the L1 cache model (for warm-up and tests).
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// LLC exposes the LLC model (for warm-up and tests).
+func (h *Hierarchy) LLC() *Cache { return h.llc }
+
+// TLB exposes the TLB model (for warm-up and tests).
+func (h *Hierarchy) TLB() *TLB { return h.tlb }
+
+// Stats returns a copy of the counters accumulated since the last reset.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetCounters clears all activity counters (but not cache/TLB contents or
+// resource schedules), marking the start of a measurement phase.
+func (h *Hierarchy) ResetCounters() {
+	h.stats = Stats{}
+	h.l1.ResetCounters()
+	h.llc.ResetCounters()
+	h.tlb.ResetCounters()
+}
+
+// blockOf returns addr's cache-block address.
+func (h *Hierarchy) blockOf(addr uint64) uint64 {
+	return addr &^ uint64(h.cfg.L1BlockBytes-1)
+}
+
+// acquirePort finds the earliest cycle >= want at which an L1 port is free,
+// reserves it for one cycle, and returns that cycle.
+func (h *Hierarchy) acquirePort(want uint64) uint64 {
+	start := h.ports.reserve(want)
+	if start > want {
+		h.stats.PortStallCycles += start - want
+	}
+	return start
+}
+
+// reapMSHRs drops entries whose miss has completed by the given cycle.
+func (h *Hierarchy) reapMSHRs(cycle uint64) {
+	live := h.mshrs[:0]
+	for _, e := range h.mshrs {
+		if e.complete > cycle {
+			live = append(live, e)
+		}
+	}
+	h.mshrs = live
+}
+
+// findMSHR returns the outstanding entry for block, if any.
+func (h *Hierarchy) findMSHR(block uint64, cycle uint64) (mshrEntry, bool) {
+	for _, e := range h.mshrs {
+		if e.block == block && e.complete > cycle {
+			return e, true
+		}
+	}
+	return mshrEntry{}, false
+}
+
+// acquireMSHR blocks (advances time) until an MSHR slot is free at or after
+// want, returning the cycle at which the slot is available.
+func (h *Hierarchy) acquireMSHR(want uint64) uint64 {
+	h.reapMSHRs(want)
+	if len(h.mshrs) < h.cfg.L1MSHRs {
+		return want
+	}
+	// Wait for the earliest outstanding miss to complete.
+	earliest := h.mshrs[0].complete
+	for _, e := range h.mshrs[1:] {
+		if e.complete < earliest {
+			earliest = e.complete
+		}
+	}
+	h.stats.MSHRStallCycles += earliest - want
+	h.reapMSHRs(earliest)
+	return earliest
+}
+
+// memAccess schedules one block transfer on the memory controller that owns
+// the block and returns the completion cycle of the data return.
+func (h *Hierarchy) memAccess(block uint64, start uint64) uint64 {
+	mc := int((block / uint64(h.cfg.L1BlockBytes))) % h.cfg.MemControllers
+	begin := h.mcs[mc].reserve(start)
+	h.stats.MemBlocks++
+	return begin + h.cfg.MemLatencyCycles()
+}
+
+// Access issues one memory operation at the requested cycle and returns its
+// timing. The model applies, in order: address translation (TLB), L1 port
+// acquisition, L1 lookup, MSHR allocation / miss combining, LLC lookup and
+// finally a memory-controller transfer.
+func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
+	switch typ {
+	case Load:
+		h.stats.Loads++
+	case Store:
+		h.stats.Stores++
+	case Prefetch:
+		h.stats.Prefetches++
+	}
+
+	// 1. Translation. Widx shares the host MMU; a miss delays the access by
+	// the page-walk latency (bounded to the configured in-flight walks).
+	tlbReady, tlbMiss := h.tlb.Translate(addr, cycle)
+	if tlbMiss {
+		h.stats.TLBMisses++
+	}
+
+	// 2. L1 port.
+	issue := h.acquirePort(tlbReady)
+
+	res := Result{IssueCycle: issue, TLBMiss: tlbMiss, TLBReadyCycle: tlbReady}
+	block := h.blockOf(addr)
+
+	// 3. Miss combining: an access to a block whose fill is still in flight
+	// is a secondary miss. It shares the outstanding MSHR and completes when
+	// the primary fill returns. This check precedes the tag lookup because
+	// the primary miss installs the tag as soon as the fill is scheduled.
+	if e, ok := h.findMSHR(block, issue); ok {
+		h.stats.L1Misses++
+		h.stats.CombinedMisses++
+		res.Level = LevelCombined
+		res.CompleteCycle = e.complete
+		if typ != Load {
+			res.CompleteCycle = issue + 1
+		}
+		return res
+	}
+
+	// 4. L1 lookup.
+	if h.l1.Lookup(addr) {
+		h.stats.L1Hits++
+		res.Level = LevelL1
+		res.CompleteCycle = issue + h.cfg.L1LatencyCyc
+		if typ == Store {
+			res.CompleteCycle = issue + 1
+		}
+		return res
+	}
+	h.stats.L1Misses++
+
+	// 5. Allocate an MSHR (may stall).
+	start := h.acquireMSHR(issue)
+
+	// 6. LLC lookup (after the crossbar hop).
+	llcProbe := start + h.cfg.L1LatencyCyc + h.cfg.InterconnectCyc
+	var complete uint64
+	if h.llc.Lookup(addr) {
+		h.stats.LLCHits++
+		res.Level = LevelLLC
+		complete = llcProbe + h.cfg.LLCLatencyCyc
+	} else {
+		h.stats.LLCMisses++
+		res.Level = LevelMemory
+		complete = h.memAccess(block, llcProbe+h.cfg.LLCLatencyCyc)
+		h.llc.Insert(addr)
+	}
+	h.l1.Insert(addr)
+	h.mshrs = append(h.mshrs, mshrEntry{block: block, complete: complete})
+
+	res.CompleteCycle = complete
+	if typ != Load {
+		// Stores retire into the store buffer; prefetches never block.
+		res.CompleteCycle = issue + 1
+	}
+	return res
+}
+
+// WarmBlock installs addr's block into both cache levels and its page into
+// the TLB without touching counters or resource schedules. Workload builders
+// use it to start measurement from the steady state the paper measures
+// (checkpoints with warmed caches).
+func (h *Hierarchy) WarmBlock(addr uint64) {
+	h.l1.Insert(addr)
+	h.llc.Insert(addr)
+	h.tlb.WarmPage(addr)
+	h.l1.ResetCounters()
+	h.llc.ResetCounters()
+	h.tlb.ResetCounters()
+}
+
+// WarmLLCOnly installs addr's block into the LLC (not the L1) and warms its
+// TLB page. Used to model index data that exceeds the L1 but fits the LLC.
+func (h *Hierarchy) WarmLLCOnly(addr uint64) {
+	h.llc.Insert(addr)
+	h.tlb.WarmPage(addr)
+	h.llc.ResetCounters()
+	h.tlb.ResetCounters()
+}
+
+// AMAT returns the average memory access time implied by the counters and
+// configured latencies, in cycles. It is used by reports and sanity checks;
+// the timing itself never uses AMAT (it uses per-access latencies).
+func (h *Hierarchy) AMAT() float64 {
+	s := h.stats
+	accesses := s.L1Hits + s.L1Misses
+	if accesses == 0 {
+		return float64(h.cfg.L1LatencyCyc)
+	}
+	l1HitRate := float64(s.L1Hits) / float64(accesses)
+	llcLookups := s.LLCHits + s.LLCMisses
+	llcMissRate := 0.0
+	if llcLookups > 0 {
+		llcMissRate = float64(s.LLCMisses) / float64(llcLookups)
+	}
+	l1Lat := float64(h.cfg.L1LatencyCyc)
+	llcLat := float64(h.cfg.InterconnectCyc + h.cfg.LLCLatencyCyc)
+	memLat := float64(h.cfg.MemLatencyCycles())
+	return l1Lat + (1-l1HitRate)*(llcLat+llcMissRate*memLat)
+}

@@ -1,0 +1,82 @@
+package mem
+
+// slotSchedule models a resource with a fixed per-slot capacity (e.g. an L1
+// port array that accepts two accesses per cycle, or a memory controller that
+// starts one block transfer per service interval). Unlike a "next free cycle"
+// counter, it tolerates requests arriving out of time order, which the
+// simulator produces because it processes one work item to completion before
+// the next even though their lifetimes overlap.
+type slotSchedule struct {
+	// slotCycles is the width of one slot in cycles (1 for L1 ports,
+	// the service interval for a memory controller).
+	slotCycles uint64
+	// capacity is how many grants fit in one slot.
+	capacity int
+
+	usage   map[uint64]int
+	maxSlot uint64
+	// horizon is the oldest slot still tracked; requests below it are
+	// clamped (they would have been granted anyway).
+	horizon     uint64
+	sincePrune  int
+	pruneWindow uint64
+}
+
+// newSlotSchedule builds a schedule. slotCycles must be at least 1.
+func newSlotSchedule(slotCycles uint64, capacity int) *slotSchedule {
+	if slotCycles == 0 {
+		slotCycles = 1
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &slotSchedule{
+		slotCycles:  slotCycles,
+		capacity:    capacity,
+		usage:       make(map[uint64]int),
+		pruneWindow: 1 << 17, // slots; ample compared to any realistic skew
+	}
+}
+
+// reserve grants the earliest slot at or after the requested cycle and
+// returns the cycle at which the grant begins.
+func (s *slotSchedule) reserve(want uint64) uint64 {
+	slot := want / s.slotCycles
+	if slot < s.horizon {
+		slot = s.horizon
+	}
+	for s.usage[slot] >= s.capacity {
+		slot++
+	}
+	s.usage[slot]++
+	if slot > s.maxSlot {
+		s.maxSlot = slot
+	}
+	s.sincePrune++
+	if s.sincePrune >= 1<<14 {
+		s.prune()
+	}
+	start := slot * s.slotCycles
+	if start < want {
+		start = want
+	}
+	return start
+}
+
+// prune drops slots far behind the most recent grant. Simulated units run at
+// most a few thousand cycles apart, so a 2^17-slot window is conservative.
+func (s *slotSchedule) prune() {
+	s.sincePrune = 0
+	if s.maxSlot < s.pruneWindow {
+		return
+	}
+	cutoff := s.maxSlot - s.pruneWindow
+	for slot := range s.usage {
+		if slot < cutoff {
+			delete(s.usage, slot)
+		}
+	}
+	if cutoff > s.horizon {
+		s.horizon = cutoff
+	}
+}

@@ -1,0 +1,138 @@
+package mem
+
+// TLB models the host core's data TLB, which Widx shares instead of having
+// its own translation hardware (Section 4.3). Two properties matter to the
+// timing model:
+//
+//  1. a TLB miss costs a page-walk latency before the memory access can
+//     issue, and
+//  2. only a small number of translations may be in flight at once (2 in
+//     Table 2), so a burst of misses from several walkers serializes.
+type TLB struct {
+	entries  int
+	walkCyc  uint64
+	inFlight int
+	pageBits uint
+
+	// Fully associative LRU over virtual page numbers.
+	pages map[uint64]uint64 // vpn -> last-use clock
+	clock uint64
+
+	// Completion cycles of outstanding page walks (bounded by inFlight).
+	walks []uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB builds a TLB with the given entry count, page size, walk latency and
+// number of concurrent walks.
+func NewTLB(entries, pageBytes int, walkCyc uint64, inFlight int) *TLB {
+	if entries <= 0 || inFlight <= 0 || pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("mem: invalid TLB parameters")
+	}
+	bits := uint(0)
+	for 1<<bits < pageBytes {
+		bits++
+	}
+	return &TLB{
+		entries:  entries,
+		walkCyc:  walkCyc,
+		inFlight: inFlight,
+		pageBits: bits,
+		pages:    make(map[uint64]uint64, entries),
+	}
+}
+
+// Translate models the translation of addr issued at the given cycle.
+// It returns the cycle at which the translation is available (equal to cycle
+// on a hit) and whether the access missed in the TLB.
+func (t *TLB) Translate(addr uint64, cycle uint64) (ready uint64, miss bool) {
+	vpn := addr >> t.pageBits
+	t.clock++
+	if _, ok := t.pages[vpn]; ok {
+		t.pages[vpn] = t.clock
+		t.hits++
+		return cycle, false
+	}
+	t.misses++
+
+	// A page walk must find a free walk slot: at most inFlight walks may be
+	// outstanding, so the walk start is delayed until one finishes.
+	start := cycle
+	if len(t.walks) >= t.inFlight {
+		// Drop finished walks first.
+		live := t.walks[:0]
+		for _, c := range t.walks {
+			if c > cycle {
+				live = append(live, c)
+			}
+		}
+		t.walks = live
+		if len(t.walks) >= t.inFlight {
+			earliest := t.walks[0]
+			idx := 0
+			for i, c := range t.walks {
+				if c < earliest {
+					earliest, idx = c, i
+				}
+			}
+			if earliest > start {
+				start = earliest
+			}
+			// Reuse the freed slot.
+			t.walks = append(t.walks[:idx], t.walks[idx+1:]...)
+		}
+	}
+	done := start + t.walkCyc
+	t.walks = append(t.walks, done)
+	t.insert(vpn)
+	return done, true
+}
+
+// insert adds the page to the TLB, evicting the LRU entry if full.
+func (t *TLB) insert(vpn uint64) {
+	if len(t.pages) >= t.entries {
+		var victim uint64
+		oldest := ^uint64(0)
+		for p, used := range t.pages {
+			if used < oldest {
+				oldest, victim = used, p
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[vpn] = t.clock
+}
+
+// WarmPage pre-installs the translation for addr, used when the simulator
+// starts measurement from a warmed state.
+func (t *TLB) WarmPage(addr uint64) {
+	t.clock++
+	t.insert(addr >> t.pageBits)
+}
+
+// Hits returns the TLB hit count since the last reset.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the TLB miss count since the last reset.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// MissRatio returns misses / (hits + misses), or 0 with no accesses.
+func (t *TLB) MissRatio() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(total)
+}
+
+// ResetCounters clears hit/miss counters but keeps TLB content.
+func (t *TLB) ResetCounters() { t.hits, t.misses = 0, 0 }
+
+// Reset clears content, counters and outstanding walks.
+func (t *TLB) Reset() {
+	t.pages = make(map[uint64]uint64, t.entries)
+	t.walks = nil
+	t.clock, t.hits, t.misses = 0, 0, 0
+}

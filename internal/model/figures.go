@@ -1,0 +1,80 @@
+package model
+
+import "fmt"
+
+// Series is one labelled curve of a figure: Y values sampled at the X points.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Point returns the (x, y) pair at index i.
+func (s Series) Point(i int) (float64, float64) { return s.X[i], s.Y[i] }
+
+// Len returns the number of samples.
+func (s Series) Len() int { return len(s.X) }
+
+// llcMissSweep is the x-axis of Figures 4a, 4c and 5.
+func llcMissSweep() []float64 {
+	xs := make([]float64, 0, 11)
+	for m := 0.0; m <= 1.0001; m += 0.1 {
+		xs = append(xs, float64(int(m*10+0.5))/10)
+	}
+	return xs
+}
+
+// Figure4a reproduces Figure 4a: L1-D accesses per cycle as a function of the
+// LLC miss ratio, one curve per walker count (1, 2, 4, 8, 10). The horizontal
+// capacity lines are the L1 port count (1 or 2).
+func Figure4a(p Params) []Series {
+	var out []Series
+	for _, n := range []int{1, 2, 4, 8, 10} {
+		s := Series{Label: fmt.Sprintf("%d walkers", n), X: llcMissSweep()}
+		for _, m := range s.X {
+			s.Y = append(s.Y, p.L1AccessesPerCycle(m, n))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Figure4b reproduces Figure 4b: outstanding L1-D misses as a function of the
+// walker count (1..10). The MSHR count bounds the usable walker count.
+func Figure4b(p Params) Series {
+	s := Series{Label: "outstanding L1 misses"}
+	for n := 1; n <= 10; n++ {
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, p.OutstandingL1Misses(n))
+	}
+	return s
+}
+
+// Figure4c reproduces Figure 4c: walkers sustainable per memory controller as
+// a function of the LLC miss ratio.
+func Figure4c(p Params) Series {
+	s := Series{Label: "walkers per MC"}
+	for _, m := range llcMissSweep() {
+		if m == 0 {
+			continue // the paper's x-axis starts at 0.1; zero misses means no off-chip demand
+		}
+		s.X = append(s.X, m)
+		s.Y = append(s.Y, p.WalkersPerMC(m))
+	}
+	return s
+}
+
+// Figure5 reproduces Figure 5: walker utilization with a single shared
+// dispatcher, as a function of the LLC miss ratio, one curve per walker count
+// (2, 4, 8), for the given nodes-per-bucket depth (the paper shows 1, 2, 3).
+func Figure5(p Params, nodesPerBucket float64) []Series {
+	var out []Series
+	for _, n := range []int{8, 4, 2} {
+		s := Series{Label: fmt.Sprintf("%d walkers", n), X: llcMissSweep()}
+		for _, m := range s.X {
+			s.Y = append(s.Y, p.WalkerUtilization(m, n, nodesPerBucket))
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+
+	"widx/internal/join"
+	"widx/internal/stats"
+)
+
+// KernelPoint is one bar of Figures 8a/8b: a size class at a walker count.
+type KernelPoint struct {
+	Size    join.SizeClass
+	Walkers int
+	// CyclesPerTuple is the Widx indexing cost at this point.
+	CyclesPerTuple float64
+	// Breakdown is the per-tuple Comp/Mem/TLB/Idle split of Figure 8a.
+	Breakdown Breakdown
+	// Speedup is the Figure 8b speedup over the out-of-order baseline.
+	Speedup float64
+}
+
+// KernelExperiment is the full hash-join kernel study (Figure 8).
+type KernelExperiment struct {
+	// OoOCyclesPerTuple is the baseline cost per size class.
+	OoOCyclesPerTuple map[join.SizeClass]float64
+	// Points holds one entry per (size, walkers) pair, in sweep order.
+	Points []KernelPoint
+	// NormalizationBase is the Small/1-walker cycles per tuple that
+	// Figure 8a normalizes against.
+	NormalizationBase float64
+	// GeoMeanSpeedup1W is the one-walker speedup over OoO (the paper reports
+	// a marginal 4% improvement).
+	GeoMeanSpeedup1W float64
+	// GeoMeanSpeedup4W is the four-walker speedup over OoO.
+	GeoMeanSpeedup4W float64
+}
+
+// Normalized returns a point's cycles-per-tuple breakdown normalized to the
+// Small/1-walker total, which is how Figure 8a presents it.
+func (e *KernelExperiment) Normalized(p KernelPoint) Breakdown {
+	if e.NormalizationBase == 0 {
+		return Breakdown{}
+	}
+	return Breakdown{
+		Comp: p.Breakdown.Comp / e.NormalizationBase,
+		Mem:  p.Breakdown.Mem / e.NormalizationBase,
+		TLB:  p.Breakdown.TLB / e.NormalizationBase,
+		Idle: p.Breakdown.Idle / e.NormalizationBase,
+	}
+}
+
+// RunKernel runs the hash-join kernel experiment for the given size classes
+// (Figure 8 uses Small, Medium and Large).
+func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("sim: no kernel size classes")
+	}
+	exp := &KernelExperiment{OoOCyclesPerTuple: map[join.SizeClass]float64{}}
+
+	var sp1, sp4 []float64
+	for _, size := range sizes {
+		kcfg := join.DefaultKernelConfig(size, c.Scale)
+		// The probe stream only needs to cover the detailed sample.
+		kcfg.OuterTuples = c.sampleCount(4 * size.Tuples(c.Scale))
+		kernel, err := join.BuildKernel(kcfg)
+		if err != nil {
+			return nil, err
+		}
+		ph := &indexPhase{
+			as:           kernel.AS,
+			index:        kernel.Index,
+			probeKeyBase: kernel.ProbeKeyBase,
+			probeCount:   len(kernel.ProbeKeys),
+			traces:       kernel.Traces(c.sampleCount(len(kernel.ProbeKeys))),
+		}
+
+		ooo, err := c.runBaseline(ph, oooConfig())
+		if err != nil {
+			return nil, err
+		}
+		exp.OoOCyclesPerTuple[size] = ooo.CyclesPerTuple()
+
+		for _, w := range c.Walkers {
+			res, err := c.runWidx(ph, w, 0)
+			if err != nil {
+				return nil, err
+			}
+			point := KernelPoint{
+				Size:           size,
+				Walkers:        w,
+				CyclesPerTuple: res.CyclesPerTuple(),
+				Breakdown:      scaleBreakdown(res.WalkerTotal, w, res.Tuples),
+				Speedup:        ooo.CyclesPerTuple() / res.CyclesPerTuple(),
+			}
+			exp.Points = append(exp.Points, point)
+			if size == sizes[0] && w == c.Walkers[0] {
+				exp.NormalizationBase = point.CyclesPerTuple
+			}
+			switch w {
+			case 1:
+				sp1 = append(sp1, point.Speedup)
+			case 4:
+				sp4 = append(sp4, point.Speedup)
+			}
+		}
+	}
+	exp.GeoMeanSpeedup1W = stats.GeoMean(sp1)
+	exp.GeoMeanSpeedup4W = stats.GeoMean(sp4)
+	return exp, nil
+}
+
+// Point returns the kernel point for a size class and walker count.
+func (e *KernelExperiment) Point(size join.SizeClass, walkers int) (KernelPoint, bool) {
+	for _, p := range e.Points {
+		if p.Size == size && p.Walkers == walkers {
+			return p, true
+		}
+	}
+	return KernelPoint{}, false
+}

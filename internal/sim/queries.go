@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+
+	"widx/internal/cores"
+	"widx/internal/energy"
+	"widx/internal/engine"
+	"widx/internal/stats"
+	"widx/internal/widx"
+	"widx/internal/workloads"
+)
+
+// oooConfig and inOrderConfig are the Table 2 baselines.
+func oooConfig() cores.Config     { return cores.OoOConfig() }
+func inOrderConfig() cores.Config { return cores.InOrderConfig() }
+
+// QueryResult is one simulated DSS query (one group of bars in Figures 9 and
+// 10, one row of the breakdown of Figure 2).
+type QueryResult struct {
+	Query workloads.QuerySpec
+
+	// Engine-level measurements (Figure 2a/2b reproduction).
+	MeasuredBreakdown workloads.BreakdownShares
+	MeasuredHashShare float64
+
+	// Indexing-phase cycles per tuple per design.
+	OoOCyclesPerTuple     float64
+	InOrderCyclesPerTuple float64
+	// WidxCyclesPerTuple and WidxBreakdown are keyed by walker count.
+	WidxCyclesPerTuple map[int]float64
+	WidxBreakdown      map[int]Breakdown
+
+	// Speedups over the OoO baseline (Figure 10).
+	IndexSpeedup map[int]float64
+	// QuerySpeedup4W projects the four-walker indexing speedup onto the whole
+	// query using the paper's Figure 2a indexing share (Amdahl projection, as
+	// in Section 6.2).
+	QuerySpeedup4W float64
+}
+
+// RunQuery executes one benchmark query end to end: the engine produces the
+// operator breakdown and the index phase, which is then replayed on the
+// baseline cores and on Widx at every configured walker count.
+func (c Config) RunQuery(q workloads.QuerySpec) (*QueryResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	engRes, err := engine.Run(engine.FromWorkload(q, c.Scale))
+	if err != nil {
+		return nil, fmt.Errorf("sim: query %s %s: %w", q.Suite, q.Name, err)
+	}
+	ph := &indexPhase{
+		as:           engRes.AS,
+		index:        engRes.Index,
+		probeKeyBase: engRes.ProbeKeyBase,
+		probeCount:   engRes.ProbeCount,
+		traces:       engRes.Traces,
+	}
+
+	res := &QueryResult{
+		Query:              q,
+		MeasuredBreakdown:  engRes.Breakdown.Shares(),
+		MeasuredHashShare:  engRes.HashShare,
+		WidxCyclesPerTuple: map[int]float64{},
+		WidxBreakdown:      map[int]Breakdown{},
+		IndexSpeedup:       map[int]float64{},
+	}
+
+	ooo, err := c.runBaseline(ph, oooConfig())
+	if err != nil {
+		return nil, err
+	}
+	res.OoOCyclesPerTuple = ooo.CyclesPerTuple()
+
+	inord, err := c.runBaseline(ph, inOrderConfig())
+	if err != nil {
+		return nil, err
+	}
+	res.InOrderCyclesPerTuple = inord.CyclesPerTuple()
+
+	for _, w := range c.Walkers {
+		wres, err := c.runWidx(ph, w, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.WidxCyclesPerTuple[w] = wres.CyclesPerTuple()
+		res.WidxBreakdown[w] = scaleBreakdown(wres.WalkerTotal, w, wres.Tuples)
+		res.IndexSpeedup[w] = res.OoOCyclesPerTuple / wres.CyclesPerTuple()
+	}
+
+	if sp, ok := res.IndexSpeedup[4]; ok {
+		res.QuerySpeedup4W = energy.QuerySpeedup(sp, q.Paper.Breakdown.Index)
+	}
+	return res, nil
+}
+
+// SuiteResult aggregates the simulated queries of Figures 9-11.
+type SuiteResult struct {
+	Queries []*QueryResult
+
+	// Geometric means across all simulated queries (paper: 3.1x indexing,
+	// 1.5x whole-query with four walkers).
+	GeoMeanIndexSpeedup map[int]float64
+	GeoMeanQuerySpeedup float64
+	// InOrderSlowdown is the geometric-mean in-order/OoO runtime ratio
+	// (paper: ~2.2x).
+	InOrderSlowdown float64
+
+	// Energy is the Figure 11 comparison built from geometric-mean runtimes.
+	Energy energy.Figure11
+}
+
+// RunSimulatedQueries runs the twelve simulated queries (Figures 9 and 10)
+// and aggregates the headline numbers.
+func (c Config) RunSimulatedQueries() (*SuiteResult, error) {
+	return c.runQuerySet(workloads.SimulatedQueries())
+}
+
+// runQuerySet runs an arbitrary query list and aggregates it.
+func (c Config) runQuerySet(queries []workloads.QuerySpec) (*SuiteResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("sim: no queries to run")
+	}
+	suite := &SuiteResult{GeoMeanIndexSpeedup: map[int]float64{}}
+	speedups := map[int][]float64{}
+	var querySpeedups, slowdowns, oooCycles, inorderCycles, widx4Cycles []float64
+
+	for _, q := range queries {
+		qr, err := c.RunQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		suite.Queries = append(suite.Queries, qr)
+		for w, sp := range qr.IndexSpeedup {
+			speedups[w] = append(speedups[w], sp)
+		}
+		if qr.QuerySpeedup4W > 0 {
+			querySpeedups = append(querySpeedups, qr.QuerySpeedup4W)
+		}
+		slowdowns = append(slowdowns, qr.InOrderCyclesPerTuple/qr.OoOCyclesPerTuple)
+		oooCycles = append(oooCycles, qr.OoOCyclesPerTuple)
+		inorderCycles = append(inorderCycles, qr.InOrderCyclesPerTuple)
+		if cpt, ok := qr.WidxCyclesPerTuple[4]; ok {
+			widx4Cycles = append(widx4Cycles, cpt)
+		}
+	}
+	for w, sps := range speedups {
+		suite.GeoMeanIndexSpeedup[w] = stats.GeoMean(sps)
+	}
+	suite.GeoMeanQuerySpeedup = stats.GeoMean(querySpeedups)
+	suite.InOrderSlowdown = stats.GeoMean(slowdowns)
+
+	// Figure 11 uses the geometric-mean indexing runtimes of the three
+	// designs (per-tuple cycles are proportional to runtime for a fixed
+	// probe count).
+	if len(widx4Cycles) > 0 {
+		suite.Energy = energy.Default().Compare(
+			stats.GeoMean(oooCycles)*1e6,
+			stats.GeoMean(inorderCycles)*1e6,
+			stats.GeoMean(widx4Cycles)*1e6)
+	}
+	return suite, nil
+}
+
+// BreakdownRow is one query's Figure 2a row: the measured operator shares
+// next to the paper's reported shares.
+type BreakdownRow struct {
+	Query    workloads.QuerySpec
+	Measured workloads.BreakdownShares
+	Paper    workloads.BreakdownShares
+	// MeasuredHashShare and PaperHashShare compare the Figure 2b split
+	// (only meaningful for simulated queries).
+	MeasuredHashShare float64
+	PaperHashShare    float64
+}
+
+// RunBreakdowns reproduces Figure 2a (and 2b for the simulated queries) by
+// executing every query in the inventory through the engine. Set
+// simulatedOnly to restrict the run to the twelve Figure 2b queries.
+func (c Config) RunBreakdowns(simulatedOnly bool) ([]BreakdownRow, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var rows []BreakdownRow
+	for _, q := range workloads.Queries() {
+		if simulatedOnly && !q.Simulated {
+			continue
+		}
+		engRes, err := engine.Run(engine.FromWorkload(q, c.Scale))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BreakdownRow{
+			Query:             q,
+			Measured:          engRes.Breakdown.Shares(),
+			Paper:             q.Paper.Breakdown,
+			MeasuredHashShare: engRes.HashShare,
+			PaperHashShare:    q.Paper.HashShare,
+		})
+	}
+	return rows, nil
+}
+
+// AblationResult compares the Figure 3 design points (coupled hashing,
+// per-walker decoupled hashing, shared dispatcher) on one workload.
+type AblationResult struct {
+	Walkers        int
+	CoupledCPT     float64
+	PerWalkerCPT   float64
+	SharedCPT      float64
+	DecouplingGain float64 // coupled / per-walker (Section 3.1's ~29% claim)
+}
+
+// RunHashingAblation quantifies the benefit of decoupled hashing and of
+// sharing the dispatcher, using a TPC-H-like memory-resident query.
+func (c Config) RunHashingAblation(q workloads.QuerySpec, walkers int) (*AblationResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	engRes, err := engine.Run(engine.FromWorkload(q, c.Scale))
+	if err != nil {
+		return nil, err
+	}
+	ph := &indexPhase{
+		as:           engRes.AS,
+		index:        engRes.Index,
+		probeKeyBase: engRes.ProbeKeyBase,
+		probeCount:   engRes.ProbeCount,
+		traces:       engRes.Traces,
+	}
+	out := &AblationResult{Walkers: walkers}
+	for mode, dst := range map[widx.HashingMode]*float64{
+		widx.Coupled:          &out.CoupledCPT,
+		widx.PerWalkerHash:    &out.PerWalkerCPT,
+		widx.SharedDispatcher: &out.SharedCPT,
+	} {
+		res, err := c.runWidx(ph, walkers, mode)
+		if err != nil {
+			return nil, err
+		}
+		*dst = res.CyclesPerTuple()
+	}
+	out.DecouplingGain = out.CoupledCPT / out.PerWalkerCPT
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"widx/internal/join"
+	"widx/internal/model"
+	"widx/internal/workloads"
+)
+
+func TestFormatKernelAndModel(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Scale = 1.0 / 256
+	cfg.SampleProbes = 1000
+	exp, err := cfg.RunKernel([]join.SizeClass{join.Small, join.Medium})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatKernel(exp)
+	for _, want := range []string{"Figure 8a", "Figure 8b", "Small", "Medium", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("kernel report missing %q:\n%s", want, out)
+		}
+	}
+
+	modelOut := FormatModel(model.Default())
+	for _, want := range []string{"Figure 4a", "Figure 4b", "Figure 4c", "Figure 5", "recommended walkers"} {
+		if !strings.Contains(modelOut, want) {
+			t.Fatalf("model report missing %q", want)
+		}
+	}
+}
+
+func TestFormatQueriesEnergyBreakdownsAblation(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Scale = 1.0 / 256
+	cfg.SampleProbes = 1500
+
+	q17, err := workloads.ByName(workloads.TPCH, "q17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q37, err := workloads.ByName(workloads.TPCDS, "q37")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := cfg.runQuerySet([]workloads.QuerySpec{q17, q37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qOut := FormatQueries(suite)
+	for _, want := range []string{"Figure 9", "Figure 10", "q17", "q37", "geomean indexing speedup"} {
+		if !strings.Contains(qOut, want) {
+			t.Fatalf("query report missing %q", want)
+		}
+	}
+	eOut := FormatEnergy(suite)
+	for _, want := range []string{"Figure 11", "energy-delay", "Section 6.3", "mm2"} {
+		if !strings.Contains(eOut, want) {
+			t.Fatalf("energy report missing %q", want)
+		}
+	}
+
+	rows, err := cfg.RunBreakdowns(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bOut := FormatBreakdowns(rows)
+	for _, want := range []string{"Figure 2a", "Figure 2b", "q20", "hash"} {
+		if !strings.Contains(bOut, want) {
+			t.Fatalf("breakdown report missing %q", want)
+		}
+	}
+
+	ab, err := cfg.RunHashingAblation(q17, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aOut := FormatAblation(ab, "tpch-q17")
+	for _, want := range []string{"coupled", "shared dispatcher", "decoupling gain"} {
+		if !strings.Contains(aOut, want) {
+			t.Fatalf("ablation report missing %q", want)
+		}
+	}
+
+	// The suite aggregation must also report sensible numbers.
+	if suite.GeoMeanIndexSpeedup[4] <= 1 {
+		t.Fatalf("geomean 4-walker speedup = %v", suite.GeoMeanIndexSpeedup[4])
+	}
+	if suite.Energy.Widx.Energy >= 1 {
+		t.Fatal("Widx should reduce energy vs the OoO baseline")
+	}
+	if _, err := cfg.runQuerySet(nil); err == nil {
+		t.Fatal("empty query set accepted")
+	}
+}

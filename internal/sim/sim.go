@@ -1,0 +1,157 @@
+// Package sim is the experiment harness: it wires the workload generators,
+// the query engine, the baseline core models and the Widx accelerator model
+// together and regenerates every table and figure of the paper's evaluation
+// (Figures 2, 8, 9, 10 and 11, plus the Section 6.3 area/energy numbers).
+//
+// Each experiment follows the paper's methodology: the workload is built
+// once, the indexing phase is then executed on every design point — the
+// out-of-order baseline, the in-order core, and Widx with one, two and four
+// walkers — each with its own freshly warmed memory hierarchy, and the
+// measured metric is indexing cycles per tuple. Like the paper's SMARTS-style
+// sampling, only a bounded sample of probes is simulated in detail; the
+// sample is large enough for stable per-tuple averages.
+package sim
+
+import (
+	"fmt"
+
+	"widx/internal/cores"
+	"widx/internal/hashidx"
+	"widx/internal/mem"
+	"widx/internal/program"
+	"widx/internal/vm"
+	"widx/internal/widx"
+)
+
+// Config controls workload scaling and simulation effort.
+type Config struct {
+	// Scale shrinks the paper's workload sizes (1.0 is the paper's setup;
+	// the default benchmarks use a much smaller scale so a laptop-class
+	// machine can regenerate every figure in minutes).
+	Scale float64
+	// SampleProbes caps how many probes are simulated in detail per design
+	// (0 means all probes). This is the SMARTS-like sampling knob.
+	SampleProbes int
+	// Walkers lists the Widx walker counts to evaluate (Figures 8-10 use
+	// 1, 2 and 4).
+	Walkers []int
+	// Mem is the memory hierarchy configuration (Table 2 by default).
+	Mem mem.Config
+}
+
+// DefaultConfig returns the configuration used by the benchmark harness: a
+// workload scale small enough for interactive runs while keeping the Small /
+// Medium / Large classes on different levels of the cache hierarchy.
+func DefaultConfig() Config {
+	return Config{
+		Scale:        1.0 / 64,
+		SampleProbes: 20_000,
+		Walkers:      []int{1, 2, 4},
+		Mem:          mem.DefaultConfig(),
+	}
+}
+
+// QuickConfig returns a much smaller configuration used by unit tests.
+func QuickConfig() Config {
+	return Config{
+		Scale:        1.0 / 512,
+		SampleProbes: 3_000,
+		Walkers:      []int{1, 2, 4},
+		Mem:          mem.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Scale <= 0 {
+		return fmt.Errorf("sim: Scale must be positive")
+	}
+	if c.SampleProbes < 0 {
+		return fmt.Errorf("sim: negative SampleProbes")
+	}
+	if len(c.Walkers) == 0 {
+		return fmt.Errorf("sim: no walker counts to evaluate")
+	}
+	for _, w := range c.Walkers {
+		if w <= 0 {
+			return fmt.Errorf("sim: walker counts must be positive")
+		}
+	}
+	return c.Mem.Validate()
+}
+
+// sampleCount bounds n by the configured probe sample.
+func (c Config) sampleCount(n int) int {
+	if c.SampleProbes > 0 && n > c.SampleProbes {
+		return c.SampleProbes
+	}
+	return n
+}
+
+// Breakdown is a per-tuple cycle breakdown in the categories of Figures 8a
+// and 9 (computation, memory, TLB, idle).
+type Breakdown struct {
+	Comp float64
+	Mem  float64
+	TLB  float64
+	Idle float64
+}
+
+// Total returns the summed per-tuple cycles.
+func (b Breakdown) Total() float64 { return b.Comp + b.Mem + b.TLB + b.Idle }
+
+// scaleBreakdown converts an aggregate walker breakdown into per-tuple cycles
+// averaged over the walker count.
+func scaleBreakdown(total widx.Breakdown, walkers int, tuples uint64) Breakdown {
+	if walkers <= 0 || tuples == 0 {
+		return Breakdown{}
+	}
+	d := float64(walkers) * float64(tuples)
+	return Breakdown{
+		Comp: float64(total.Comp) / d,
+		Mem:  float64(total.Mem) / d,
+		TLB:  float64(total.TLB) / d,
+		Idle: float64(total.Idle) / d,
+	}
+}
+
+// indexPhase bundles everything needed to run one indexing phase on all
+// design points: the data in its address space, the built index, the probe
+// key column and the probe traces.
+type indexPhase struct {
+	as           *vm.AddressSpace
+	index        *hashidx.Table
+	probeKeyBase uint64
+	probeCount   int
+	traces       []hashidx.ProbeTrace
+}
+
+// runBaseline executes the phase's probes on a baseline core with a fresh
+// hierarchy and returns the result.
+func (c Config) runBaseline(ph *indexPhase, coreCfg cores.Config) (cores.Result, error) {
+	hier := mem.NewHierarchy(c.Mem)
+	core, err := cores.New(coreCfg, hier)
+	if err != nil {
+		return cores.Result{}, err
+	}
+	n := c.sampleCount(len(ph.traces))
+	return core.RunProbes(ph.traces[:n], 0)
+}
+
+// runWidx executes the phase's probes on a Widx configuration with a fresh
+// hierarchy and returns the offload result.
+func (c Config) runWidx(ph *indexPhase, walkers int, mode widx.HashingMode) (*widx.OffloadResult, error) {
+	hier := mem.NewHierarchy(c.Mem)
+	resultBase := ph.as.AllocAligned(fmt.Sprintf("results.w%d.m%d", walkers, mode), uint64(ph.probeCount)*8+64)
+	bundle, err := program.ForTable(ph.index, resultBase)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: 2, Mode: mode},
+		hier, ph.as, bundle.Dispatcher, bundle.Walker, bundle.Producer)
+	if err != nil {
+		return nil, err
+	}
+	n := uint64(c.sampleCount(ph.probeCount))
+	return acc.Offload(widx.OffloadRequest{KeyBase: ph.probeKeyBase, KeyCount: n})
+}

@@ -1,0 +1,326 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"uniform", []float64{2, 2, 2, 2}, 2},
+		{"mixed", []float64{1, 2, 3, 4}, 2.5},
+		{"negatives", []float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+				t.Fatalf("Mean(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEqual(got, 2, 1e-9) {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !almostEqual(got, 2, 1e-9) {
+		t.Fatalf("GeoMean(2,2,2) = %v, want 2", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", got)
+	}
+	// Non-positive inputs are clamped rather than producing NaN.
+	if got := GeoMean([]float64{0, 4}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("GeoMean with zero produced %v", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic example is 4.571428..., stddev ~2.138.
+	if got := Variance(xs); !almostEqual(got, 4.571428571428571, 1e-9) {
+		t.Fatalf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(4.571428571428571), 1e-9) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Fatalf("Variance single sample = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Fatalf("Max = %v", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("Min/Max of empty slice should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	p50, err := Percentile(xs, 50)
+	if err != nil || p50 != 3 {
+		t.Fatalf("P50 = %v err=%v", p50, err)
+	}
+	p0, _ := Percentile(xs, 0)
+	p100, _ := Percentile(xs, 100)
+	if p0 != 1 || p100 != 5 {
+		t.Fatalf("P0=%v P100=%v", p0, p100)
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("expected error for empty slice")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("expected error for out-of-range percentile")
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	xs := []float64{10, 10, 10, 10}
+	ci, err := NewConfidenceInterval(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Mean != 10 || ci.HalfWidth != 0 {
+		t.Fatalf("constant samples should give zero half-width, got %+v", ci)
+	}
+	if ci.Low() != 10 || ci.High() != 10 {
+		t.Fatalf("bounds wrong: %v..%v", ci.Low(), ci.High())
+	}
+	if ci.RelativeError() != 0 {
+		t.Fatalf("relative error = %v, want 0", ci.RelativeError())
+	}
+
+	xs2 := []float64{8, 9, 10, 11, 12}
+	ci2, err := NewConfidenceInterval(xs2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci2.Mean != 10 {
+		t.Fatalf("mean = %v", ci2.Mean)
+	}
+	if ci2.HalfWidth <= 0 {
+		t.Fatalf("half width should be positive, got %v", ci2.HalfWidth)
+	}
+	if _, err := NewConfidenceInterval(nil, 0.95); err != ErrEmpty {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+}
+
+func TestNormalizeAndSpeedup(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v", got)
+		}
+	}
+	zeros := Normalize([]float64{1, 2}, 0)
+	if zeros[0] != 0 || zeros[1] != 0 {
+		t.Fatalf("Normalize by zero = %v", zeros)
+	}
+	if s := Speedup(10, 2); s != 5 {
+		t.Fatalf("Speedup = %v", s)
+	}
+	if s := Speedup(10, 0); !math.IsInf(s, 1) {
+		t.Fatalf("Speedup by zero = %v", s)
+	}
+	if s := Speedup(0, 0); s != 0 {
+		t.Fatalf("Speedup(0,0) = %v", s)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed should produce identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	d := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical values out of 100", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must not produce a stuck-at-zero stream")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of bounds: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGUint64n(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(5); v >= 5 {
+			t.Fatalf("Uint64n out of bounds: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) should panic")
+		}
+	}()
+	r.Uint64n(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(13)
+	p := r.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGShuffle(t *testing.T) {
+	r := NewRNG(17)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatalf("Shuffle lost elements: %v", xs)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(21)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must be noticeably more popular than rank 50 under s=1.
+	if counts[0] <= counts[50]*2 {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := NewRNG(1)
+	for _, f := range []func(){
+		func() { NewZipf(r, 0, 1) },
+		func() { NewZipf(r, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: mean of a normalized slice by its own mean is 1 (when mean != 0).
+func TestPropertyNormalizeByMean(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1 // strictly positive
+		}
+		m := Mean(xs)
+		norm := Normalize(xs, m)
+		return almostEqual(Mean(norm), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: geometric mean is bounded by min and max of positive samples.
+func TestPropertyGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v%1000) + 1
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: speedup is anti-symmetric: Speedup(a,b) * Speedup(b,a) == 1.
+func TestPropertySpeedupReciprocal(t *testing.T) {
+	f := func(a, b uint16) bool {
+		fa, fb := float64(a)+1, float64(b)+1
+		return almostEqual(Speedup(fa, fb)*Speedup(fb, fa), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

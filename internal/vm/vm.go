@@ -1,0 +1,249 @@
+// Package vm provides the simulated flat virtual address space in which all
+// workload data structures live: hash tables, node pools, key columns, result
+// buffers and the Widx control block.
+//
+// Laying the data out in a real (simulated) address space, rather than using
+// native Go pointers, serves two purposes. First, the memory-hierarchy timing
+// model (internal/mem) needs addresses to decide cache-set placement,
+// cache-line sharing between adjacent keys, page boundaries for the TLB and
+// memory-controller interleaving — all of which drive the paper's results.
+// Second, Widx unit programs operate on 64-bit virtual addresses exactly as
+// the hardware would, so the same program bytes work regardless of the Go
+// runtime's own memory layout.
+//
+// The address space is sparse and paged: only pages that have been written
+// (or explicitly allocated) consume host memory.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageBits is log2 of the simulated page size. 4 KiB pages match the paper's
+// evaluation platform and determine TLB behaviour.
+const PageBits = 12
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 1 << PageBits
+
+// pageMask extracts the offset within a page.
+const pageMask = PageSize - 1
+
+// AddressSpace is a sparse 64-bit byte-addressable memory with a simple
+// region allocator. It is not safe for concurrent mutation; the simulator is
+// single-threaded by design (timing models need a deterministic order).
+type AddressSpace struct {
+	pages   map[uint64][]byte
+	regions []Region
+	// brk is the next free address handed out by Alloc. The address space
+	// starts allocations well above zero so that a zero value can serve as a
+	// NULL pointer in node lists, exactly as the indexing code expects.
+	brk uint64
+}
+
+// Region describes a named allocation, used in diagnostics and by the
+// workload builders to report index working-set sizes.
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// baseAddress is where allocations begin. Anything below is never handed out,
+// so dereferencing a NULL (zero) next-pointer is always detectable.
+const baseAddress = 0x0000_0001_0000_0000
+
+// New returns an empty address space.
+func New() *AddressSpace {
+	return &AddressSpace{
+		pages: make(map[uint64][]byte),
+		brk:   baseAddress,
+	}
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of two,
+// or 0/1 for byte alignment) and returns the base address. The region is
+// recorded under name for later inspection. Alloc never fails for reasonable
+// sizes; it panics on a zero-byte or overflowing request, which always
+// indicates a workload-builder bug.
+func (as *AddressSpace) Alloc(name string, size, align uint64) uint64 {
+	if size == 0 {
+		panic("vm: zero-byte allocation")
+	}
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("vm: alignment %d is not a power of two", align))
+	}
+	base := (as.brk + align - 1) &^ (align - 1)
+	if base+size < base {
+		panic("vm: address space exhausted")
+	}
+	as.brk = base + size
+	as.regions = append(as.regions, Region{Name: name, Base: base, Size: size})
+	return base
+}
+
+// AllocAligned is Alloc with cache-block (64-byte) alignment, the common case
+// for bucket arrays and node pools.
+func (as *AddressSpace) AllocAligned(name string, size uint64) uint64 {
+	return as.Alloc(name, size, 64)
+}
+
+// Regions returns a copy of all recorded allocations in allocation order.
+func (as *AddressSpace) Regions() []Region {
+	out := make([]Region, len(as.regions))
+	copy(out, as.regions)
+	return out
+}
+
+// RegionByName returns the first region allocated under name.
+func (as *AddressSpace) RegionByName(name string) (Region, bool) {
+	for _, r := range as.regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Footprint returns the total number of bytes allocated (not necessarily
+// touched), which the workload reports as the index working-set size.
+func (as *AddressSpace) Footprint() uint64 {
+	var total uint64
+	for _, r := range as.regions {
+		total += r.Size
+	}
+	return total
+}
+
+// TouchedBytes returns the number of bytes in pages that have actually been
+// written, i.e. host memory consumed by the sparse backing store.
+func (as *AddressSpace) TouchedBytes() uint64 {
+	return uint64(len(as.pages)) * PageSize
+}
+
+// page returns the backing slice for the page containing addr, creating it
+// if create is true. It returns nil when the page does not exist and create
+// is false.
+func (as *AddressSpace) page(addr uint64, create bool) []byte {
+	pn := addr >> PageBits
+	p, ok := as.pages[pn]
+	if !ok && create {
+		p = make([]byte, PageSize)
+		as.pages[pn] = p
+	}
+	return p
+}
+
+// Read64 reads a 64-bit little-endian value at addr. Reads of never-written
+// memory return zero, matching zero-initialized allocations.
+func (as *AddressSpace) Read64(addr uint64) uint64 {
+	if addr&(pageMask) <= PageSize-8 {
+		p := as.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[addr&pageMask:])
+	}
+	// Straddles a page boundary; assemble byte by byte.
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(as.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 writes a 64-bit little-endian value at addr.
+func (as *AddressSpace) Write64(addr uint64, v uint64) {
+	if addr&(pageMask) <= PageSize-8 {
+		p := as.page(addr, true)
+		binary.LittleEndian.PutUint64(p[addr&pageMask:], v)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		as.Write8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// Read32 reads a 32-bit little-endian value at addr.
+func (as *AddressSpace) Read32(addr uint64) uint32 {
+	if addr&(pageMask) <= PageSize-4 {
+		p := as.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(p[addr&pageMask:])
+	}
+	var v uint32
+	for i := uint64(0); i < 4; i++ {
+		v |= uint32(as.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write32 writes a 32-bit little-endian value at addr.
+func (as *AddressSpace) Write32(addr uint64, v uint32) {
+	if addr&(pageMask) <= PageSize-4 {
+		p := as.page(addr, true)
+		binary.LittleEndian.PutUint32(p[addr&pageMask:], v)
+		return
+	}
+	for i := uint64(0); i < 4; i++ {
+		as.Write8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// Read8 reads one byte at addr.
+func (as *AddressSpace) Read8(addr uint64) byte {
+	p := as.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 writes one byte at addr.
+func (as *AddressSpace) Write8(addr uint64, v byte) {
+	p := as.page(addr, true)
+	p[addr&pageMask] = v
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (as *AddressSpace) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = as.Read8(addr + uint64(i))
+	}
+	return out
+}
+
+// WriteBytes writes the given bytes starting at addr.
+func (as *AddressSpace) WriteBytes(addr uint64, data []byte) {
+	for i, b := range data {
+		as.Write8(addr+uint64(i), b)
+	}
+}
+
+// PageNumber returns the virtual page number containing addr.
+func PageNumber(addr uint64) uint64 { return addr >> PageBits }
+
+// BlockAddress returns addr rounded down to its 64-byte cache block.
+func BlockAddress(addr uint64) uint64 { return addr &^ 63 }
+
+// DumpRegions formats the allocation map, largest first, for diagnostics.
+func (as *AddressSpace) DumpRegions() string {
+	rs := as.Regions()
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Size > rs[j].Size })
+	s := ""
+	for _, r := range rs {
+		s += fmt.Sprintf("%-24s base=%#x size=%d\n", r.Name, r.Base, r.Size)
+	}
+	return s
+}

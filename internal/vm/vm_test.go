@@ -1,0 +1,197 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignmentAndOrdering(t *testing.T) {
+	as := New()
+	a := as.Alloc("a", 100, 64)
+	b := as.Alloc("b", 10, 64)
+	c := as.Alloc("c", 8, 8)
+	if a%64 != 0 || b%64 != 0 || c%8 != 0 {
+		t.Fatalf("alignment violated: %x %x %x", a, b, c)
+	}
+	if !(a < b && b < c) {
+		t.Fatalf("allocations should be monotonically increasing: %x %x %x", a, b, c)
+	}
+	if b < a+100 {
+		t.Fatal("allocations overlap")
+	}
+	if as.Footprint() != 118 {
+		t.Fatalf("footprint = %d", as.Footprint())
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	as := New()
+	for name, f := range map[string]func(){
+		"zero size": func() { as.Alloc("x", 0, 8) },
+		"bad align": func() { as.Alloc("x", 8, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNullIsNeverAllocated(t *testing.T) {
+	as := New()
+	a := as.Alloc("x", 1<<20, 64)
+	if a == 0 {
+		t.Fatal("allocation at address 0")
+	}
+	if a < baseAddress {
+		t.Fatalf("allocation below base address: %#x", a)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	as := New()
+	as.Alloc("buckets", 4096, 64)
+	as.Alloc("nodes", 8192, 64)
+	rs := as.Regions()
+	if len(rs) != 2 || rs[0].Name != "buckets" || rs[1].Name != "nodes" {
+		t.Fatalf("regions wrong: %+v", rs)
+	}
+	r, ok := as.RegionByName("nodes")
+	if !ok || r.Size != 8192 {
+		t.Fatalf("RegionByName wrong: %+v %v", r, ok)
+	}
+	if r.End() != r.Base+8192 {
+		t.Fatal("End wrong")
+	}
+	if _, ok := as.RegionByName("missing"); ok {
+		t.Fatal("found nonexistent region")
+	}
+	if as.DumpRegions() == "" {
+		t.Fatal("DumpRegions empty")
+	}
+}
+
+func TestReadWrite64(t *testing.T) {
+	as := New()
+	base := as.Alloc("data", 1024, 64)
+	as.Write64(base, 0xDEADBEEFCAFEBABE)
+	if got := as.Read64(base); got != 0xDEADBEEFCAFEBABE {
+		t.Fatalf("Read64 = %#x", got)
+	}
+	// Unwritten memory reads as zero.
+	if got := as.Read64(base + 512); got != 0 {
+		t.Fatalf("unwritten read = %#x", got)
+	}
+	// 32-bit and 8-bit accessors see the same bytes (little endian).
+	if got := as.Read32(base); got != 0xCAFEBABE {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	if got := as.Read8(base + 7); got != 0xDE {
+		t.Fatalf("Read8 = %#x", got)
+	}
+	as.Write32(base+16, 0x12345678)
+	if got := as.Read32(base + 16); got != 0x12345678 {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	as.Write8(base+20, 0xAB)
+	if got := as.Read8(base + 20); got != 0xAB {
+		t.Fatalf("Read8 = %#x", got)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	as := New()
+	// Place a 64-bit value straddling a page boundary.
+	region := as.Alloc("cross", 2*PageSize, PageSize)
+	addr := region + PageSize - 4
+	as.Write64(addr, 0x1122334455667788)
+	if got := as.Read64(addr); got != 0x1122334455667788 {
+		t.Fatalf("cross-page Read64 = %#x", got)
+	}
+	addr32 := region + PageSize - 2
+	as.Write32(addr32, 0xA1B2C3D4)
+	if got := as.Read32(addr32); got != 0xA1B2C3D4 {
+		t.Fatalf("cross-page Read32 = %#x", got)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	as := New()
+	base := as.Alloc("blob", 256, 1)
+	data := []byte("the quick brown fox")
+	as.WriteBytes(base, data)
+	if got := string(as.ReadBytes(base, len(data))); got != string(data) {
+		t.Fatalf("ReadBytes = %q", got)
+	}
+}
+
+func TestTouchedBytesSparse(t *testing.T) {
+	as := New()
+	as.Alloc("huge", 1<<30, 64) // 1 GiB reserved
+	if as.TouchedBytes() != 0 {
+		t.Fatal("allocation alone should not touch pages")
+	}
+	base, _ := as.RegionByName("huge")
+	as.Write64(base.Base, 1)
+	as.Write64(base.Base+(1<<29), 2)
+	if as.TouchedBytes() != 2*PageSize {
+		t.Fatalf("TouchedBytes = %d, want %d", as.TouchedBytes(), 2*PageSize)
+	}
+}
+
+func TestPageAndBlockHelpers(t *testing.T) {
+	if PageNumber(0x12345) != 0x12 {
+		t.Fatalf("PageNumber = %#x", PageNumber(0x12345))
+	}
+	if BlockAddress(0x1234567) != 0x1234540 {
+		t.Fatalf("BlockAddress = %#x", BlockAddress(0x1234567))
+	}
+	if BlockAddress(64) != 64 || BlockAddress(63) != 0 {
+		t.Fatal("BlockAddress boundary wrong")
+	}
+}
+
+// Property: a 64-bit write followed by a read at any allocated address
+// returns the written value.
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	as := New()
+	base := as.Alloc("prop", 1<<20, 64)
+	f := func(off uint32, v uint64) bool {
+		addr := base + uint64(off%(1<<20-8))
+		as.Write64(addr, v)
+		return as.Read64(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocations never overlap and respect alignment.
+func TestPropertyAllocationsDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		as := New()
+		type iv struct{ lo, hi uint64 }
+		var prev []iv
+		for _, s := range sizes {
+			size := uint64(s%4096) + 1
+			base := as.Alloc("r", size, 64)
+			if base%64 != 0 {
+				return false
+			}
+			for _, p := range prev {
+				if base < p.hi && p.lo < base+size {
+					return false
+				}
+			}
+			prev = append(prev, iv{base, base + size})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package widx models the Widx accelerator of Section 4: a dispatcher unit
+// that hashes probe keys, a set of walker units that traverse hash-bucket
+// node lists concurrently, and an output producer that stores matches — all
+// built from the same 2-stage, 32-register, 64-bit RISC unit executing the
+// ISA of internal/isa, communicating through small decoupling queues, and
+// sharing the host core's MMU and cache hierarchy (internal/mem).
+//
+// The model is execution-driven: each unit interprets its real program
+// against the simulated address space, so the functional results (which keys
+// match, what payloads are emitted) are produced by the same instructions
+// whose timing is being measured, exactly as on hardware. Timing is tracked
+// per unit with the cycle categories the paper reports in Figures 8 and 9:
+// computation, memory, TLB and idle (waiting on the dispatcher).
+package widx
+
+import (
+	"fmt"
+
+	"widx/internal/isa"
+	"widx/internal/mem"
+	"widx/internal/vm"
+)
+
+// maxInstructionsPerItem bounds a single work item's execution so that a
+// buggy program (for example a walk over a corrupted, cyclic node list)
+// fails loudly instead of hanging the simulation.
+const maxInstructionsPerItem = 1 << 20
+
+// ItemResult reports the execution of one work item on one unit.
+type ItemResult struct {
+	// StartCycle and FinishCycle bound the item's execution.
+	StartCycle  uint64
+	FinishCycle uint64
+	// CompCycles is time spent executing non-memory instructions.
+	CompCycles uint64
+	// MemCycles is time stalled waiting for the memory hierarchy (post
+	// translation).
+	MemCycles uint64
+	// TLBCycles is time stalled waiting for address translation.
+	TLBCycles uint64
+	// Emitted holds the values pushed to the output queue, one slice per
+	// EMIT executed, in program order.
+	Emitted [][]uint64
+	// Instructions is the dynamic instruction count.
+	Instructions uint64
+	// MemOps is the number of memory operations issued.
+	MemOps uint64
+}
+
+// Busy returns the cycles the unit was occupied by this item.
+func (r ItemResult) Busy() uint64 { return r.FinishCycle - r.StartCycle }
+
+// Unit is one Widx processing element executing a fixed program, with
+// registers that persist across work items (constants are loaded once at
+// configuration time; the output producer exploits persistence for its write
+// cursor).
+type Unit struct {
+	name string
+	prog *isa.Program
+	hier *mem.Hierarchy
+	as   *vm.AddressSpace
+
+	regs [isa.NumRegs]uint64
+}
+
+// NewUnit builds a unit for the given validated program. The program's
+// constant registers are loaded immediately (the control-block load).
+func NewUnit(name string, prog *isa.Program, hier *mem.Hierarchy, as *vm.AddressSpace) (*Unit, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("widx: nil program")
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if hier == nil || as == nil {
+		return nil, fmt.Errorf("widx: unit %q needs a memory hierarchy and an address space", name)
+	}
+	u := &Unit{name: name, prog: prog, hier: hier, as: as}
+	u.Reset()
+	return u, nil
+}
+
+// Name returns the unit's diagnostic name.
+func (u *Unit) Name() string { return u.name }
+
+// Kind returns the unit kind of the loaded program.
+func (u *Unit) Kind() isa.UnitKind { return u.prog.Kind }
+
+// Program returns the loaded program.
+func (u *Unit) Program() *isa.Program { return u.prog }
+
+// Reset reloads the constant registers and clears the rest, as the
+// configuration step (Section 4.3) does.
+func (u *Unit) Reset() {
+	for i := range u.regs {
+		u.regs[i] = 0
+	}
+	for r, v := range u.prog.ConstRegs {
+		u.regs[r] = v
+	}
+}
+
+// Reg returns the current value of a register (for tests and diagnostics).
+func (u *Unit) Reg(r isa.Reg) uint64 { return u.regs[r] }
+
+// readReg reads a register; r0 is hardwired to zero.
+func (u *Unit) readReg(r isa.Reg) uint64 {
+	if r == 0 {
+		return 0
+	}
+	return u.regs[r]
+}
+
+// writeReg writes a register; writes to r0 are discarded.
+func (u *Unit) writeReg(r isa.Reg, v uint64) {
+	if r == 0 {
+		return
+	}
+	u.regs[r] = v
+}
+
+// shiftVal applies the fused-op shift to v: positive shifts left, negative
+// shifts right (logical).
+func shiftVal(v uint64, shift int8) uint64 {
+	switch {
+	case shift > 0:
+		return v << uint(shift)
+	case shift < 0:
+		return v >> uint(-shift)
+	default:
+		return v
+	}
+}
+
+// RunItem executes the unit's program for one work item whose input values
+// become available at startCycle. The inputs are bound to the program's
+// InputRegs in order; missing inputs are an error, extra inputs are ignored.
+func (u *Unit) RunItem(inputs []uint64, startCycle uint64) (ItemResult, error) {
+	if len(inputs) < len(u.prog.InputRegs) {
+		return ItemResult{}, fmt.Errorf("widx: unit %q expects %d inputs, got %d",
+			u.name, len(u.prog.InputRegs), len(inputs))
+	}
+	for i, r := range u.prog.InputRegs {
+		u.writeReg(r, inputs[i])
+	}
+
+	res := ItemResult{StartCycle: startCycle}
+	cycle := startCycle
+	pc := 0
+
+	for {
+		if res.Instructions >= maxInstructionsPerItem {
+			return res, fmt.Errorf("widx: unit %q exceeded %d instructions on one item (cyclic node list?)",
+				u.name, maxInstructionsPerItem)
+		}
+		if pc < 0 || pc >= len(u.prog.Code) {
+			return res, fmt.Errorf("widx: unit %q ran off the end of its program (pc=%d)", u.name, pc)
+		}
+		in := u.prog.Code[pc]
+		res.Instructions++
+
+		switch in.Op {
+		case isa.HALT:
+			// The 2-stage pipeline retires the halt in one cycle.
+			cycle++
+			res.CompCycles++
+			res.FinishCycle = cycle
+			return res, nil
+
+		case isa.EMIT:
+			out := make([]uint64, len(u.prog.OutputRegs))
+			for i, r := range u.prog.OutputRegs {
+				out[i] = u.readReg(r)
+			}
+			res.Emitted = append(res.Emitted, out)
+			cycle++
+			res.CompCycles++
+			pc++
+
+		case isa.LD, isa.ST, isa.TOUCH:
+			addr := u.readReg(in.SrcA) + uint64(in.Imm)
+			var typ mem.AccessType
+			switch in.Op {
+			case isa.LD:
+				typ = mem.Load
+			case isa.ST:
+				typ = mem.Store
+			default:
+				typ = mem.Prefetch
+			}
+			r := u.hier.Access(addr, cycle, typ)
+			res.MemOps++
+			// Split the stall into translation time and memory time.
+			tlbWait := r.TLBReadyCycle - cycle
+			res.TLBCycles += tlbWait
+			if r.CompleteCycle > r.TLBReadyCycle {
+				res.MemCycles += r.CompleteCycle - r.TLBReadyCycle
+			}
+			switch in.Op {
+			case isa.LD:
+				u.writeReg(in.Dst, u.as.Read64(addr))
+			case isa.ST:
+				u.as.Write64(addr, u.readReg(in.SrcB))
+			}
+			if r.CompleteCycle > cycle {
+				cycle = r.CompleteCycle
+			} else {
+				cycle++
+			}
+			pc++
+
+		case isa.BA:
+			cycle++
+			res.CompCycles++
+			pc = pc + 1 + int(in.Imm)
+
+		case isa.BLE:
+			cycle++
+			res.CompCycles++
+			if int64(u.readReg(in.SrcA)) <= int64(u.readReg(in.SrcB)) {
+				pc = pc + 1 + int(in.Imm)
+			} else {
+				pc++
+			}
+
+		default:
+			// ALU operations: one cycle each on the 2-stage pipeline.
+			a := u.readReg(in.SrcA)
+			var b uint64
+			if in.UseImm {
+				b = uint64(in.Imm)
+			} else {
+				b = u.readReg(in.SrcB)
+			}
+			var v uint64
+			switch in.Op {
+			case isa.ADD:
+				v = a + b
+			case isa.AND:
+				v = a & b
+			case isa.XOR:
+				v = a ^ b
+			case isa.SHL:
+				v = a << (b & 63)
+			case isa.SHR:
+				v = a >> (b & 63)
+			case isa.CMP:
+				if a == b {
+					v = 1
+				}
+			case isa.CMPLE:
+				if int64(a) <= int64(b) {
+					v = 1
+				}
+			case isa.ADDSHF:
+				v = a + shiftVal(b, in.Shift)
+			case isa.ANDSHF:
+				v = a & shiftVal(b, in.Shift)
+			case isa.XORSHF:
+				v = a ^ shiftVal(b, in.Shift)
+			default:
+				return res, fmt.Errorf("widx: unit %q hit unimplemented opcode %v", u.name, in.Op)
+			}
+			u.writeReg(in.Dst, v)
+			cycle++
+			res.CompCycles++
+			pc++
+		}
+	}
+}

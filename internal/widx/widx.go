@@ -1,0 +1,533 @@
+package widx
+
+import (
+	"fmt"
+
+	"widx/internal/isa"
+	"widx/internal/mem"
+	"widx/internal/vm"
+)
+
+// HashingMode selects which of the paper's design points (Figure 3) the
+// accelerator uses. The default and the design the paper builds is
+// SharedDispatcher; the other two exist for the ablation benchmarks.
+type HashingMode uint8
+
+const (
+	// SharedDispatcher is Figure 3d / Figure 6: one decoupled hashing unit
+	// (the dispatcher) feeds all walkers.
+	SharedDispatcher HashingMode = iota
+	// PerWalkerHash is Figure 3c: every walker has its own decoupled hashing
+	// unit, so hashing of the next key overlaps that walker's current walk.
+	PerWalkerHash
+	// Coupled is Figure 3b: each walker hashes and then walks sequentially,
+	// with no decoupling (hashing sits on the critical path).
+	Coupled
+)
+
+// String names the mode.
+func (m HashingMode) String() string {
+	switch m {
+	case SharedDispatcher:
+		return "shared-dispatcher"
+	case PerWalkerHash:
+		return "per-walker-hash"
+	case Coupled:
+		return "coupled"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Config selects the accelerator organization.
+type Config struct {
+	// NumWalkers is the number of walker units (the paper evaluates 1-4;
+	// Section 3.2 shows >4 is not useful with practical L1/MSHR budgets).
+	NumWalkers int
+	// QueueDepth is the per-walker depth of the dispatch queue (2-entry
+	// buffers in the paper's synthesized design).
+	QueueDepth int
+	// Mode selects the hashing organization (Figure 3 design points).
+	Mode HashingMode
+}
+
+// DefaultConfig returns the paper's evaluated configuration: four walkers,
+// 2-entry queues, a single shared decoupled dispatcher.
+func DefaultConfig() Config {
+	return Config{NumWalkers: 4, QueueDepth: 2, Mode: SharedDispatcher}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumWalkers <= 0 {
+		return fmt.Errorf("widx: NumWalkers must be positive")
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("widx: QueueDepth must be positive")
+	}
+	if c.Mode > Coupled {
+		return fmt.Errorf("widx: unknown hashing mode %d", c.Mode)
+	}
+	return nil
+}
+
+// Breakdown is the per-walker cycle accounting of Figures 8a, 9a and 9b.
+type Breakdown struct {
+	Comp uint64 // effective-address computation and key comparison
+	Mem  uint64 // memory hierarchy stalls
+	TLB  uint64 // address-translation stalls
+	Idle uint64 // waiting for a hashed key from the dispatcher
+}
+
+// Total returns the sum of all categories.
+func (b Breakdown) Total() uint64 { return b.Comp + b.Mem + b.TLB + b.Idle }
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Comp += o.Comp
+	b.Mem += o.Mem
+	b.TLB += o.TLB
+	b.Idle += o.Idle
+}
+
+// addItem folds one work item's unit timing into the breakdown.
+func (b *Breakdown) addItem(r ItemResult) {
+	b.Comp += r.CompCycles
+	b.Mem += r.MemCycles
+	b.TLB += r.TLBCycles
+}
+
+// OffloadRequest describes one bulk indexing offload: the probe-side input
+// key column and its extent. This mirrors the configuration registers the
+// host core writes before signalling Widx to start (Section 4.3).
+type OffloadRequest struct {
+	// KeyBase is the virtual address of the first probe key.
+	KeyBase uint64
+	// KeyCount is the number of keys to probe.
+	KeyCount uint64
+	// KeyStride is the distance between consecutive keys in bytes
+	// (8 for a dense 64-bit column; zero defaults to 8).
+	KeyStride uint64
+	// StartCycle is the cycle the offload begins at.
+	StartCycle uint64
+}
+
+// OffloadResult reports one completed offload.
+type OffloadResult struct {
+	// Tuples is the number of probe keys processed.
+	Tuples uint64
+	// TotalCycles spans from the offload start to the last unit finishing.
+	TotalCycles uint64
+	// Matches holds every payload emitted by the walkers, in completion
+	// order. For the indirect layout these are base-column references.
+	Matches []uint64
+	// Walkers holds the per-walker cycle breakdown; WalkerTotal aggregates it.
+	Walkers     []Breakdown
+	WalkerTotal Breakdown
+	// Dispatcher reports the hashing unit's activity (shared mode) or the
+	// sum over per-walker hashing units (other modes).
+	DispatcherBusy  uint64
+	DispatcherStall uint64 // cycles the dispatcher waited on full queues
+	// Producer reports the output producer's busy cycles.
+	ProducerBusy uint64
+	// MemStats is the memory-system activity during the offload.
+	MemStats mem.Stats
+}
+
+// CyclesPerTuple is the headline metric of Figures 8a and 9.
+func (r OffloadResult) CyclesPerTuple() float64 {
+	if r.Tuples == 0 {
+		return 0
+	}
+	return float64(r.TotalCycles) / float64(r.Tuples)
+}
+
+// WalkerUtilization returns the fraction of aggregate walker time not spent
+// idle, the quantity modelled in Figure 5.
+func (r OffloadResult) WalkerUtilization() float64 {
+	total := r.WalkerTotal.Total()
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(r.WalkerTotal.Idle)/float64(total)
+}
+
+// Accelerator is a configured Widx instance bound to a host core's memory
+// hierarchy and address space.
+type Accelerator struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	as   *vm.AddressSpace
+
+	dispProg *isa.Program
+	walkProg *isa.Program
+	prodProg *isa.Program
+}
+
+// New builds an accelerator from the three unit programs. The programs'
+// queue interfaces must be compatible (dispatcher output arity == walker
+// input arity, walker output arity == producer input arity).
+func New(cfg Config, hier *mem.Hierarchy, as *vm.AddressSpace,
+	dispatcher, walker, producer *isa.Program) (*Accelerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hier == nil || as == nil {
+		return nil, fmt.Errorf("widx: accelerator needs a memory hierarchy and address space")
+	}
+	for _, check := range []struct {
+		p    *isa.Program
+		kind isa.UnitKind
+	}{{dispatcher, isa.Dispatcher}, {walker, isa.Walker}, {producer, isa.Producer}} {
+		if check.p == nil {
+			return nil, fmt.Errorf("widx: missing %s program", check.kind)
+		}
+		if err := check.p.Validate(); err != nil {
+			return nil, err
+		}
+		if check.p.Kind != check.kind {
+			return nil, fmt.Errorf("widx: program %q is a %s, expected a %s",
+				check.p.Name, check.p.Kind, check.kind)
+		}
+	}
+	if len(dispatcher.OutputRegs) != len(walker.InputRegs) {
+		return nil, fmt.Errorf("widx: dispatcher emits %d values but walker expects %d",
+			len(dispatcher.OutputRegs), len(walker.InputRegs))
+	}
+	if len(walker.OutputRegs) != len(producer.InputRegs) {
+		return nil, fmt.Errorf("widx: walker emits %d values but producer expects %d",
+			len(walker.OutputRegs), len(producer.InputRegs))
+	}
+	return &Accelerator{
+		cfg:      cfg,
+		hier:     hier,
+		as:       as,
+		dispProg: dispatcher,
+		walkProg: walker,
+		prodProg: producer,
+	}, nil
+}
+
+// NewFromControlBlock configures the accelerator the way hardware does: from
+// the serialized control block the host core points it at. The block must
+// contain exactly one dispatcher, one walker and one producer section.
+func NewFromControlBlock(cfg Config, hier *mem.Hierarchy, as *vm.AddressSpace, cb *isa.ControlBlock) (*Accelerator, error) {
+	progs, err := cb.Programs()
+	if err != nil {
+		return nil, err
+	}
+	var d, w, p *isa.Program
+	for _, prog := range progs {
+		switch prog.Kind {
+		case isa.Dispatcher:
+			d = prog
+		case isa.Walker:
+			w = prog
+		case isa.Producer:
+			p = prog
+		}
+	}
+	return New(cfg, hier, as, d, w, p)
+}
+
+// Config returns the accelerator configuration.
+func (a *Accelerator) Config() Config { return a.cfg }
+
+// Offload runs one bulk indexing operation to completion and returns its
+// functional and timing results. The host core is assumed idle for the
+// duration (full offload), which the energy model relies on.
+func (a *Accelerator) Offload(req OffloadRequest) (*OffloadResult, error) {
+	if req.KeyCount == 0 {
+		return nil, fmt.Errorf("widx: offload with zero keys")
+	}
+	stride := req.KeyStride
+	if stride == 0 {
+		stride = 8
+	}
+
+	switch a.cfg.Mode {
+	case SharedDispatcher:
+		return a.offloadShared(req, stride)
+	case PerWalkerHash, Coupled:
+		return a.offloadPerWalker(req, stride)
+	default:
+		return nil, fmt.Errorf("widx: unknown mode %v", a.cfg.Mode)
+	}
+}
+
+// offloadShared models the Figure 3d organization: a single dispatcher unit
+// hashes keys in input order and deposits (bucket, key) pairs into a shared
+// bounded queue; the earliest-free walker picks up each pair.
+func (a *Accelerator) offloadShared(req OffloadRequest, stride uint64) (*OffloadResult, error) {
+	n := a.cfg.NumWalkers
+	queueCap := a.cfg.QueueDepth * n
+
+	dispatcher, err := NewUnit("dispatcher", a.dispProg.Clone(), a.hier, a.as)
+	if err != nil {
+		return nil, err
+	}
+	producer, err := NewUnit("producer", a.prodProg.Clone(), a.hier, a.as)
+	if err != nil {
+		return nil, err
+	}
+	walkers := make([]*Unit, n)
+	for i := range walkers {
+		walkers[i], err = NewUnit(fmt.Sprintf("walker%d", i), a.walkProg.Clone(), a.hier, a.as)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &OffloadResult{Tuples: req.KeyCount, Walkers: make([]Breakdown, n)}
+	memBefore := a.hier.Stats()
+
+	dispTime := req.StartCycle
+	prodTime := req.StartCycle
+	walkerFree := make([]uint64, n)
+	for i := range walkerFree {
+		walkerFree[i] = req.StartCycle
+	}
+	// popTimes[i] records when item i left the dispatch queue; the dispatcher
+	// may only be queueCap items ahead of the walkers.
+	popTimes := make([]uint64, req.KeyCount)
+
+	for i := uint64(0); i < req.KeyCount; i++ {
+		keyAddr := req.KeyBase + i*stride
+
+		slotReady := req.StartCycle
+		if i >= uint64(queueCap) {
+			slotReady = popTimes[i-uint64(queueCap)]
+		}
+		start := dispTime
+		if slotReady > start {
+			res.DispatcherStall += slotReady - start
+			start = slotReady
+		}
+		dres, err := dispatcher.RunItem([]uint64{keyAddr}, start)
+		if err != nil {
+			return nil, err
+		}
+		dispTime = dres.FinishCycle
+		res.DispatcherBusy += dres.Busy()
+		if len(dres.Emitted) != 1 {
+			return nil, fmt.Errorf("widx: dispatcher emitted %d items for one key", len(dres.Emitted))
+		}
+		item := dres.Emitted[0]
+		available := dres.FinishCycle
+
+		// Earliest-free walker takes the item.
+		w := 0
+		for j := 1; j < n; j++ {
+			if walkerFree[j] < walkerFree[w] {
+				w = j
+			}
+		}
+		wStart := walkerFree[w]
+		if available > wStart {
+			res.Walkers[w].Idle += available - wStart
+			wStart = available
+		}
+		popTimes[i] = wStart
+
+		wres, err := walkers[w].RunItem(item, wStart)
+		if err != nil {
+			return nil, err
+		}
+		walkerFree[w] = wres.FinishCycle
+		res.Walkers[w].addItem(wres)
+
+		// Matches stream to the producer; its stores are off the critical
+		// path but still consume time and bandwidth.
+		for _, match := range wres.Emitted {
+			pStart := prodTime
+			if wres.FinishCycle > pStart {
+				pStart = wres.FinishCycle
+			}
+			pres, err := producer.RunItem(match, pStart)
+			if err != nil {
+				return nil, err
+			}
+			prodTime = pres.FinishCycle
+			res.ProducerBusy += pres.Busy()
+			res.Matches = append(res.Matches, match[0])
+		}
+	}
+
+	end := dispTime
+	for _, f := range walkerFree {
+		if f > end {
+			end = f
+		}
+	}
+	if prodTime > end {
+		end = prodTime
+	}
+	res.TotalCycles = end - req.StartCycle
+	for _, w := range res.Walkers {
+		res.WalkerTotal.Add(w)
+	}
+	res.MemStats = diffStats(memBefore, a.hier.Stats())
+	return res, nil
+}
+
+// offloadPerWalker models the Figure 3b and 3c organizations: keys are dealt
+// round-robin to walkers. In PerWalkerHash mode each walker owns a hashing
+// unit whose work overlaps the walker's previous walk (bounded by the queue
+// depth); in Coupled mode hashing executes on the walker itself, serialized
+// with the walk.
+func (a *Accelerator) offloadPerWalker(req OffloadRequest, stride uint64) (*OffloadResult, error) {
+	n := a.cfg.NumWalkers
+	res := &OffloadResult{Tuples: req.KeyCount, Walkers: make([]Breakdown, n)}
+	memBefore := a.hier.Stats()
+
+	producer, err := NewUnit("producer", a.prodProg.Clone(), a.hier, a.as)
+	if err != nil {
+		return nil, err
+	}
+	prodTime := req.StartCycle
+
+	type lane struct {
+		hash  *Unit
+		walk  *Unit
+		hTime uint64
+		wTime uint64
+		// popTimes[k] is when the lane's k-th item left its queue (walk
+		// start); the hashing unit may only run QueueDepth items ahead.
+		popTimes []uint64
+	}
+	lanes := make([]*lane, n)
+	for i := range lanes {
+		h, err := NewUnit(fmt.Sprintf("hash%d", i), a.dispProg.Clone(), a.hier, a.as)
+		if err != nil {
+			return nil, err
+		}
+		w, err := NewUnit(fmt.Sprintf("walker%d", i), a.walkProg.Clone(), a.hier, a.as)
+		if err != nil {
+			return nil, err
+		}
+		lanes[i] = &lane{hash: h, walk: w, hTime: req.StartCycle, wTime: req.StartCycle}
+	}
+
+	end := req.StartCycle
+	for i := uint64(0); i < req.KeyCount; i++ {
+		keyAddr := req.KeyBase + i*stride
+		l := lanes[i%uint64(n)]
+		w := int(i % uint64(n))
+
+		if a.cfg.Mode == Coupled {
+			// Hash and walk back to back on the same unit timeline: hashing
+			// sits on the critical path of every probe (Figure 3b).
+			hres, err := l.hash.RunItem([]uint64{keyAddr}, l.wTime)
+			if err != nil {
+				return nil, err
+			}
+			res.DispatcherBusy += hres.Busy()
+			res.Walkers[w].addItem(hres) // hashing occupies the walker itself
+			if len(hres.Emitted) != 1 {
+				return nil, fmt.Errorf("widx: hash unit emitted %d items", len(hres.Emitted))
+			}
+			wres, err := l.walk.RunItem(hres.Emitted[0], hres.FinishCycle)
+			if err != nil {
+				return nil, err
+			}
+			l.wTime = wres.FinishCycle
+			res.Walkers[w].addItem(wres)
+			prodTime = a.produce(producer, wres, prodTime, res)
+			if l.wTime > end {
+				end = l.wTime
+			}
+			continue
+		}
+
+		// PerWalkerHash (Figure 3c): the hashing unit runs ahead of its
+		// walker, bounded by the queue depth.
+		slotReady := req.StartCycle
+		if k := len(l.popTimes); k >= a.cfg.QueueDepth {
+			slotReady = l.popTimes[k-a.cfg.QueueDepth]
+		}
+		hStart := l.hTime
+		if slotReady > hStart {
+			res.DispatcherStall += slotReady - hStart
+			hStart = slotReady
+		}
+		hres, err := l.hash.RunItem([]uint64{keyAddr}, hStart)
+		if err != nil {
+			return nil, err
+		}
+		l.hTime = hres.FinishCycle
+		res.DispatcherBusy += hres.Busy()
+		if len(hres.Emitted) != 1 {
+			return nil, fmt.Errorf("widx: hash unit emitted %d items", len(hres.Emitted))
+		}
+
+		ready := hres.FinishCycle
+		wStart := l.wTime
+		if ready > wStart {
+			res.Walkers[w].Idle += ready - wStart
+			wStart = ready
+		}
+		l.popTimes = append(l.popTimes, wStart)
+		wres, err := l.walk.RunItem(hres.Emitted[0], wStart)
+		if err != nil {
+			return nil, err
+		}
+		l.wTime = wres.FinishCycle
+		res.Walkers[w].addItem(wres)
+		prodTime = a.produce(producer, wres, prodTime, res)
+
+		if l.wTime > end {
+			end = l.wTime
+		}
+		if l.hTime > end {
+			end = l.hTime
+		}
+	}
+
+	if prodTime > end {
+		end = prodTime
+	}
+	res.TotalCycles = end - req.StartCycle
+	for _, w := range res.Walkers {
+		res.WalkerTotal.Add(w)
+	}
+	res.MemStats = diffStats(memBefore, a.hier.Stats())
+	return res, nil
+}
+
+// produce runs the producer for every match a walker emitted.
+func (a *Accelerator) produce(producer *Unit, wres ItemResult, prodTime uint64, res *OffloadResult) uint64 {
+	for _, match := range wres.Emitted {
+		pStart := prodTime
+		if wres.FinishCycle > pStart {
+			pStart = wres.FinishCycle
+		}
+		pres, err := producer.RunItem(match, pStart)
+		if err != nil {
+			// The producer program is validated at construction; an error here
+			// indicates a harness bug, so surface it loudly.
+			panic(err)
+		}
+		prodTime = pres.FinishCycle
+		res.ProducerBusy += pres.Busy()
+		res.Matches = append(res.Matches, match[0])
+	}
+	return prodTime
+}
+
+// diffStats subtracts two cumulative Stats snapshots.
+func diffStats(before, after mem.Stats) mem.Stats {
+	return mem.Stats{
+		Loads:           after.Loads - before.Loads,
+		Stores:          after.Stores - before.Stores,
+		Prefetches:      after.Prefetches - before.Prefetches,
+		L1Hits:          after.L1Hits - before.L1Hits,
+		L1Misses:        after.L1Misses - before.L1Misses,
+		LLCHits:         after.LLCHits - before.LLCHits,
+		LLCMisses:       after.LLCMisses - before.LLCMisses,
+		CombinedMisses:  after.CombinedMisses - before.CombinedMisses,
+		TLBMisses:       after.TLBMisses - before.TLBMisses,
+		MemBlocks:       after.MemBlocks - before.MemBlocks,
+		PortStallCycles: after.PortStallCycles - before.PortStallCycles,
+		MSHRStallCycles: after.MSHRStallCycles - before.MSHRStallCycles,
+	}
+}

@@ -1,0 +1,207 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"widx/internal/stats"
+)
+
+func TestInventoryShape(t *testing.T) {
+	all := Queries()
+	var tpch, tpcds int
+	for _, q := range all {
+		switch q.Suite {
+		case TPCH:
+			tpch++
+		case TPCDS:
+			tpcds++
+		}
+	}
+	// Figure 2a profiles 16 TPC-H queries (index time > 5%) and 9 TPC-DS
+	// queries.
+	if tpch != 16 {
+		t.Fatalf("TPC-H query count = %d, want 16", tpch)
+	}
+	if tpcds != 9 {
+		t.Fatalf("TPC-DS query count = %d, want 9", tpcds)
+	}
+	// Twelve simulated queries: TPC-H 2, 11, 17, 19, 20, 22 and TPC-DS 5,
+	// 37, 40, 52, 64, 82.
+	sim := SimulatedQueries()
+	if len(sim) != 12 {
+		t.Fatalf("simulated query count = %d, want 12", len(sim))
+	}
+	wantSim := map[string]Suite{
+		"q2": TPCH, "q11": TPCH, "q17": TPCH, "q19": TPCH, "q20": TPCH, "q22": TPCH,
+		"q5": TPCDS, "q37": TPCDS, "q40": TPCDS, "q52": TPCDS, "q64": TPCDS, "q82": TPCDS,
+	}
+	for _, q := range sim {
+		if wantSuite, ok := wantSim[q.Name]; !ok || wantSuite != q.Suite {
+			t.Fatalf("unexpected simulated query %s %s", q.Suite, q.Name)
+		}
+	}
+}
+
+func TestSpecFieldsSane(t *testing.T) {
+	for _, q := range Queries() {
+		if q.Name == "" {
+			t.Fatal("query without a name")
+		}
+		if q.BuildRows <= 0 || q.ProbeRows <= 0 {
+			t.Fatalf("%s %s: non-positive workload sizes", q.Suite, q.Name)
+		}
+		if q.NodesPerBucket <= 0 {
+			t.Fatalf("%s %s: non-positive bucket depth", q.Suite, q.Name)
+		}
+		if s := q.Paper.Breakdown.Sum(); math.Abs(s-1) > 0.01 {
+			t.Fatalf("%s %s: breakdown shares sum to %v", q.Suite, q.Name, s)
+		}
+		if q.Paper.Breakdown.Index < 0.05 {
+			t.Fatalf("%s %s: the inventory only contains queries with >5%% index time", q.Suite, q.Name)
+		}
+		if q.Simulated {
+			if q.Paper.HashShare <= 0 || q.Paper.HashShare >= 1 {
+				t.Fatalf("%s %s: simulated query needs a hash share", q.Suite, q.Name)
+			}
+			if q.Paper.IndexSpeedup4W < 1 {
+				t.Fatalf("%s %s: simulated query needs a paper speedup", q.Suite, q.Name)
+			}
+		}
+		if q.Class > MemoryResident {
+			t.Fatalf("%s %s: bad size class", q.Suite, q.Name)
+		}
+	}
+}
+
+// TestPaperAnchors checks the values the paper's text states explicitly.
+func TestPaperAnchors(t *testing.T) {
+	q17, err := ByName(TPCH, "q17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q17.Paper.Breakdown.Index != 0.94 {
+		t.Fatalf("q17 indexing share = %v, the paper states 94%%", q17.Paper.Breakdown.Index)
+	}
+	q37, err := ByName(TPCDS, "q37")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q37.Paper.Breakdown.Index != 0.29 {
+		t.Fatalf("q37 indexing share = %v, the paper states 29%%", q37.Paper.Breakdown.Index)
+	}
+	if q37.Paper.IndexSpeedup4W != 1.5 {
+		t.Fatalf("q37 is the paper's 1.5x minimum, got %v", q37.Paper.IndexSpeedup4W)
+	}
+	q20, err := ByName(TPCH, "q20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q20.Paper.IndexSpeedup4W != 5.5 {
+		t.Fatalf("q20 is the paper's 5.5x maximum, got %v", q20.Paper.IndexSpeedup4W)
+	}
+	if !q20.RobustHash {
+		t.Fatal("q20 should use the computationally intensive hash")
+	}
+	// Maximum hash share stated in the text is 68%.
+	if q37.Paper.HashShare != 0.68 {
+		t.Fatalf("q37 hash share = %v, paper maximum is 68%%", q37.Paper.HashShare)
+	}
+}
+
+// TestAverageShares checks the suite-level averages the paper states: TPC-H
+// queries average ~35% indexing time, TPC-DS ~45%.
+func TestAverageShares(t *testing.T) {
+	var tpch, tpcds []float64
+	for _, q := range Queries() {
+		if q.Suite == TPCH {
+			tpch = append(tpch, q.Paper.Breakdown.Index)
+		} else {
+			tpcds = append(tpcds, q.Paper.Breakdown.Index)
+		}
+	}
+	if avg := stats.Mean(tpch); avg < 0.30 || avg > 0.45 {
+		t.Fatalf("TPC-H average index share = %v, paper states ~35%%", avg)
+	}
+	if avg := stats.Mean(tpcds); avg < 0.40 || avg > 0.52 {
+		t.Fatalf("TPC-DS average index share = %v, paper states ~45%%", avg)
+	}
+}
+
+// TestSpeedupGeoMean checks that the recorded per-query speedups are
+// consistent with the paper's 3.1x geometric mean (within reading-off-the-
+// figure tolerance) and its stated extremes.
+func TestSpeedupGeoMean(t *testing.T) {
+	var sp []float64
+	minQ, maxQ := "", ""
+	minV, maxV := math.Inf(1), 0.0
+	for _, q := range SimulatedQueries() {
+		sp = append(sp, q.Paper.IndexSpeedup4W)
+		if q.Paper.IndexSpeedup4W < minV {
+			minV, minQ = q.Paper.IndexSpeedup4W, q.Name
+		}
+		if q.Paper.IndexSpeedup4W > maxV {
+			maxV, maxQ = q.Paper.IndexSpeedup4W, q.Name
+		}
+	}
+	g := stats.GeoMean(sp)
+	if g < 2.5 || g > 3.5 {
+		t.Fatalf("recorded speedup geomean = %v, paper states 3.1", g)
+	}
+	if minQ != "q37" || minV != 1.5 {
+		t.Fatalf("minimum speedup should be q37 at 1.5x, got %s at %v", minQ, minV)
+	}
+	if maxQ != "q20" || maxV != 5.5 {
+		t.Fatalf("maximum speedup should be q20 at 5.5x, got %s at %v", maxQ, maxV)
+	}
+}
+
+func TestSizeClassesMatchNarrative(t *testing.T) {
+	// The paper notes TPC-DS indexes are small (429 columns): several of the
+	// simulated TPC-DS queries are L1-resident, while the memory-intensive
+	// TPC-H queries (19, 20, 22) are memory-resident.
+	l1 := 0
+	for _, name := range []string{"q5", "q37", "q64", "q82"} {
+		q, err := ByName(TPCDS, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Class == L1Resident {
+			l1++
+		}
+	}
+	if l1 < 3 {
+		t.Fatalf("expected most small TPC-DS queries to be L1-resident, got %d", l1)
+	}
+	for _, name := range []string{"q19", "q20", "q22"} {
+		q, err := ByName(TPCH, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Class != MemoryResident {
+			t.Fatalf("TPC-H %s should be memory-resident", name)
+		}
+	}
+}
+
+func TestByNameAndStrings(t *testing.T) {
+	if _, err := ByName(TPCH, "q99"); err == nil {
+		t.Fatal("nonexistent query found")
+	}
+	if TPCH.String() != "TPC-H" || TPCDS.String() != "TPC-DS" || Suite(9).String() == "" {
+		t.Fatal("suite names wrong")
+	}
+	if L1Resident.String() == "" || LLCResident.String() == "" || MemoryResident.String() == "" ||
+		SizeClass(9).String() == "" {
+		t.Fatal("size class names wrong")
+	}
+}
+
+func TestHeadlineConstants(t *testing.T) {
+	if PaperIndexGeoMeanSpeedup != 3.1 || PaperQueryGeoMeanSpeedup != 1.5 {
+		t.Fatal("headline speedups wrong")
+	}
+	if PaperEnergyReduction != 0.83 || PaperEDPImprovement != 17.5 {
+		t.Fatal("energy headlines wrong")
+	}
+}
