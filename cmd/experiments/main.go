@@ -7,13 +7,18 @@
 // Usage:
 //
 //	experiments [-run all|fig2|fig4|fig5|fig8|fig9|fig10|fig11|ablation]
-//	            [-scale 0.015] [-sample 20000]
+//	            [-scale 0.015] [-sample 20000] [-parallel N]
+//
+// Design points are independent experiments, so -parallel fans them out to N
+// worker goroutines (default: all CPUs); the output is byte-identical at any
+// parallelism level.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"widx/internal/join"
@@ -26,11 +31,13 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig8, fig9, fig10, fig11, ablation")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
 	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.SampleProbes = *sample
+	cfg.Parallelism = *parallel
 
 	want := func(name string) bool { return *run == "all" || strings.EqualFold(*run, name) }
 	printed := false

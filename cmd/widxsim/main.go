@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	widxsim -kernel Large  [-scale 0.01] [-sample 20000]
-//	widxsim -suite TPC-H -query q17 [-scale 0.01] [-sample 20000]
+//	widxsim -kernel Large  [-scale 0.01] [-sample 20000] [-parallel N]
+//	widxsim -suite TPC-H -query q17 [-scale 0.01] [-sample 20000] [-parallel N]
+//
+// -parallel fans the independent design points out to N worker goroutines
+// (default: all CPUs) without changing any reported number.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"widx/internal/join"
 	"widx/internal/sim"
@@ -24,11 +28,13 @@ func main() {
 	query := flag.String("query", "", "query name, e.g. q17")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
 	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.SampleProbes = *sample
+	cfg.Parallelism = *parallel
 
 	switch {
 	case *kernel != "":

@@ -1,0 +1,3 @@
+module widx
+
+go 1.24

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"widx/internal/cores"
 	"widx/internal/join"
 	"widx/internal/stats"
 )
@@ -49,8 +50,17 @@ func (e *KernelExperiment) Normalized(p KernelPoint) Breakdown {
 	}
 }
 
+// kernelSizeResult holds one size class's design-point results, collected by
+// the parallel runner and aggregated in size order afterwards.
+type kernelSizeResult struct {
+	oooCPT float64
+	points []KernelPoint
+}
+
 // RunKernel runs the hash-join kernel experiment for the given size classes
-// (Figure 8 uses Small, Medium and Large).
+// (Figure 8 uses Small, Medium and Large). Size classes fan out across
+// workers — each builds its own kernel workload and address space — and the
+// design points within a size fan out in turn.
 func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -58,16 +68,19 @@ func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("sim: no kernel size classes")
 	}
-	exp := &KernelExperiment{OoOCyclesPerTuple: map[join.SizeClass]float64{}}
 
-	var sp1, sp4 []float64
-	for _, size := range sizes {
+	perSize := make([]kernelSizeResult, len(sizes))
+	// Split the worker budget between the size classes and the design points
+	// within each, so nesting does not exceed c.Parallelism workers in total.
+	inner := c.innerConfig(len(sizes))
+	if err := c.runTasks(len(sizes), func(i int) error {
+		size := sizes[i]
 		kcfg := join.DefaultKernelConfig(size, c.Scale)
 		// The probe stream only needs to cover the detailed sample.
 		kcfg.OuterTuples = c.sampleCount(4 * size.Tuples(c.Scale))
 		kernel, err := join.BuildKernel(kcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ph := &indexPhase{
 			as:           kernel.AS,
@@ -77,29 +90,38 @@ func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
 			traces:       kernel.Traces(c.sampleCount(len(kernel.ProbeKeys))),
 		}
 
-		ooo, err := c.runBaseline(ph, oooConfig())
+		baseRes, widxRes, err := inner.runPhase(ph,
+			[]cores.Config{oooConfig()}, c.walkerPoints(0))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		exp.OoOCyclesPerTuple[size] = ooo.CyclesPerTuple()
-
-		for _, w := range c.Walkers {
-			res, err := c.runWidx(ph, w, 0)
-			if err != nil {
-				return nil, err
-			}
-			point := KernelPoint{
+		ooo := baseRes[0]
+		perSize[i].oooCPT = ooo.CyclesPerTuple()
+		for j, w := range c.Walkers {
+			res := widxRes[j]
+			perSize[i].points = append(perSize[i].points, KernelPoint{
 				Size:           size,
 				Walkers:        w,
 				CyclesPerTuple: res.CyclesPerTuple(),
 				Breakdown:      scaleBreakdown(res.WalkerTotal, w, res.Tuples),
 				Speedup:        ooo.CyclesPerTuple() / res.CyclesPerTuple(),
-			}
+			})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	exp := &KernelExperiment{OoOCyclesPerTuple: map[join.SizeClass]float64{}}
+	var sp1, sp4 []float64
+	for i, size := range sizes {
+		exp.OoOCyclesPerTuple[size] = perSize[i].oooCPT
+		for _, point := range perSize[i].points {
 			exp.Points = append(exp.Points, point)
-			if size == sizes[0] && w == c.Walkers[0] {
+			if size == sizes[0] && point.Walkers == c.Walkers[0] {
 				exp.NormalizationBase = point.CyclesPerTuple
 			}
-			switch w {
+			switch point.Walkers {
 			case 1:
 				sp1 = append(sp1, point.Speedup)
 			case 4:

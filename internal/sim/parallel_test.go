@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"widx/internal/join"
+	"widx/internal/workloads"
+)
+
+// parallelTestConfig is a small configuration used by the determinism tests,
+// returned at the requested parallelism.
+func parallelTestConfig(parallelism int) Config {
+	cfg := QuickConfig()
+	cfg.Scale = 1.0 / 256
+	cfg.SampleProbes = 1500
+	cfg.Parallelism = parallelism
+	return cfg
+}
+
+// TestRunTasks exercises the worker pool itself: every index runs exactly
+// once at every parallelism level, and the first error in index order wins.
+func TestRunTasks(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 7, 64} {
+		cfg := Config{Parallelism: p}
+		const n = 23
+		hits := make([]int, n)
+		if err := cfg.runTasks(n, func(i int) error {
+			hits[i]++
+			return nil
+		}); err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallelism %d: task %d ran %d times", p, i, h)
+			}
+		}
+		// A single failing task always reports its error, even though tasks
+		// that have not started when a failure lands may be skipped.
+		err := cfg.runTasks(n, func(i int) error {
+			if i == 5 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 5 failed" {
+			t.Fatalf("parallelism %d: expected the task-5 error, got %v", p, err)
+		}
+	}
+}
+
+// TestInnerConfig checks the nested-fan-out budget split: outer workers times
+// the inner share never exceeds the configured parallelism.
+func TestInnerConfig(t *testing.T) {
+	cases := []struct {
+		parallelism, outer, want int
+	}{
+		{8, 4, 2},
+		{8, 3, 3},
+		{8, 16, 1},
+		{8, 1, 8},
+		{1, 5, 1},
+		{0, 5, 1},
+	}
+	for _, tc := range cases {
+		c := Config{Parallelism: tc.parallelism}
+		if got := c.innerConfig(tc.outer).Parallelism; got != tc.want {
+			t.Errorf("innerConfig(%d) with Parallelism %d = %d, want %d",
+				tc.outer, tc.parallelism, got, tc.want)
+		}
+	}
+}
+
+// TestParallelKernelDeterminism asserts the tentpole guarantee: the parallel
+// runner produces byte-identical FormatKernel output to a sequential run of
+// the same configuration.
+func TestParallelKernelDeterminism(t *testing.T) {
+	sizes := []join.SizeClass{join.Small, join.Medium}
+
+	seqExp, err := parallelTestConfig(1).RunKernel(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := FormatKernel(seqExp)
+
+	for _, p := range []int{2, 8} {
+		parExp, err := parallelTestConfig(p).RunKernel(sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par := FormatKernel(parExp); par != seq {
+			t.Fatalf("parallelism %d changed the kernel report\nsequential:\n%s\nparallel:\n%s", p, seq, par)
+		}
+	}
+}
+
+// TestParallelQueryDeterminism checks the DSS-query path: per-query results
+// and the suite report (Figures 9-11) are identical under parallelism.
+func TestParallelQueryDeterminism(t *testing.T) {
+	q17, err := workloads.ByName(workloads.TPCH, "q17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q37, err := workloads.ByName(workloads.TPCDS, "q37")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []workloads.QuerySpec{q17, q37}
+
+	seqSuite, err := parallelTestConfig(1).runQuerySet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSuite, err := parallelTestConfig(6).runQuerySet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := FormatQueries(seqSuite) + FormatEnergy(seqSuite)
+	par := FormatQueries(parSuite) + FormatEnergy(parSuite)
+	if seq != par {
+		t.Fatalf("parallelism changed the query report\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}
+
+// TestParallelAblationDeterminism checks that the hashing ablation reports
+// the same numbers sequentially and in parallel (its design points used to be
+// launched in Go map order, which randomized result-buffer addresses).
+func TestParallelAblationDeterminism(t *testing.T) {
+	q20, err := workloads.ByName(workloads.TPCH, "q20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqAb, err := parallelTestConfig(1).RunHashingAblation(q20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parAb, err := parallelTestConfig(4).RunHashingAblation(q20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := FormatAblation(seqAb, "TPC-H q20")
+	par := FormatAblation(parAb, "TPC-H q20")
+	if seq != par {
+		t.Fatalf("parallelism changed the ablation report\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}
+
+// TestParallelBreakdownDeterminism checks the Figure 2 path, which
+// parallelizes whole engine executions rather than design points.
+func TestParallelBreakdownDeterminism(t *testing.T) {
+	seqRows, err := parallelTestConfig(1).RunBreakdowns(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRows, err := parallelTestConfig(8).RunBreakdowns(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, par := FormatBreakdowns(seqRows), FormatBreakdowns(parRows); seq != par {
+		t.Fatalf("parallelism changed the breakdown report\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}

@@ -67,23 +67,18 @@ func (c Config) RunQuery(q workloads.QuerySpec) (*QueryResult, error) {
 		IndexSpeedup:       map[int]float64{},
 	}
 
-	ooo, err := c.runBaseline(ph, oooConfig())
+	// All design points — the two baselines and the walker sweep — replay the
+	// same phase on fresh hierarchies and fan out across workers.
+	baseRes, widxRes, err := c.runPhase(ph,
+		[]cores.Config{oooConfig(), inOrderConfig()}, c.walkerPoints(0))
 	if err != nil {
 		return nil, err
 	}
-	res.OoOCyclesPerTuple = ooo.CyclesPerTuple()
+	res.OoOCyclesPerTuple = baseRes[0].CyclesPerTuple()
+	res.InOrderCyclesPerTuple = baseRes[1].CyclesPerTuple()
 
-	inord, err := c.runBaseline(ph, inOrderConfig())
-	if err != nil {
-		return nil, err
-	}
-	res.InOrderCyclesPerTuple = inord.CyclesPerTuple()
-
-	for _, w := range c.Walkers {
-		wres, err := c.runWidx(ph, w, 0)
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range c.Walkers {
+		wres := widxRes[i]
 		res.WidxCyclesPerTuple[w] = wres.CyclesPerTuple()
 		res.WidxBreakdown[w] = scaleBreakdown(wres.WalkerTotal, w, wres.Tuples)
 		res.IndexSpeedup[w] = res.OoOCyclesPerTuple / wres.CyclesPerTuple()
@@ -117,20 +112,34 @@ func (c Config) RunSimulatedQueries() (*SuiteResult, error) {
 	return c.runQuerySet(workloads.SimulatedQueries())
 }
 
-// runQuerySet runs an arbitrary query list and aggregates it.
+// runQuerySet runs an arbitrary query list and aggregates it. The queries
+// fan out across workers; aggregation happens afterwards in input order, so
+// the suite result does not depend on completion order.
 func (c Config) runQuerySet(queries []workloads.QuerySpec) (*SuiteResult, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("sim: no queries to run")
 	}
+	results := make([]*QueryResult, len(queries))
+	// Each in-flight query gets its share of the worker budget for its own
+	// design points, keeping the total at c.Parallelism (and avoiding one
+	// address-space clone per design point per in-flight query).
+	inner := c.innerConfig(len(queries))
+	if err := c.runTasks(len(queries), func(i int) error {
+		qr, err := inner.RunQuery(queries[i])
+		if err != nil {
+			return err
+		}
+		results[i] = qr
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
 	suite := &SuiteResult{GeoMeanIndexSpeedup: map[int]float64{}}
 	speedups := map[int][]float64{}
 	var querySpeedups, slowdowns, oooCycles, inorderCycles, widx4Cycles []float64
 
-	for _, q := range queries {
-		qr, err := c.RunQuery(q)
-		if err != nil {
-			return nil, err
-		}
+	for _, qr := range results {
 		suite.Queries = append(suite.Queries, qr)
 		for w, sp := range qr.IndexSpeedup {
 			speedups[w] = append(speedups[w], sp)
@@ -182,22 +191,30 @@ func (c Config) RunBreakdowns(simulatedOnly bool) ([]BreakdownRow, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	var rows []BreakdownRow
+	var queries []workloads.QuerySpec
 	for _, q := range workloads.Queries() {
 		if simulatedOnly && !q.Simulated {
 			continue
 		}
+		queries = append(queries, q)
+	}
+	rows := make([]BreakdownRow, len(queries))
+	if err := c.runTasks(len(queries), func(i int) error {
+		q := queries[i]
 		engRes, err := engine.Run(engine.FromWorkload(q, c.Scale))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, BreakdownRow{
+		rows[i] = BreakdownRow{
 			Query:             q,
 			Measured:          engRes.Breakdown.Shares(),
 			Paper:             q.Paper.Breakdown,
 			MeasuredHashShare: engRes.HashShare,
 			PaperHashShare:    q.Paper.HashShare,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -230,17 +247,21 @@ func (c Config) RunHashingAblation(q workloads.QuerySpec, walkers int) (*Ablatio
 		traces:       engRes.Traces,
 	}
 	out := &AblationResult{Walkers: walkers}
-	for mode, dst := range map[widx.HashingMode]*float64{
-		widx.Coupled:          &out.CoupledCPT,
-		widx.PerWalkerHash:    &out.PerWalkerCPT,
-		widx.SharedDispatcher: &out.SharedCPT,
-	} {
-		res, err := c.runWidx(ph, walkers, mode)
-		if err != nil {
-			return nil, err
-		}
-		*dst = res.CyclesPerTuple()
+	// Fixed design-point order: the previous map iteration randomized the
+	// result-region allocation order (and with it buffer addresses) from run
+	// to run, making the ablation numbers nondeterministic.
+	points := []widxPoint{
+		{walkers, widx.Coupled},
+		{walkers, widx.PerWalkerHash},
+		{walkers, widx.SharedDispatcher},
 	}
+	_, widxRes, err := c.runPhase(ph, nil, points)
+	if err != nil {
+		return nil, err
+	}
+	out.CoupledCPT = widxRes[0].CyclesPerTuple()
+	out.PerWalkerCPT = widxRes[1].CyclesPerTuple()
+	out.SharedCPT = widxRes[2].CyclesPerTuple()
 	out.DecouplingGain = out.CoupledCPT / out.PerWalkerCPT
 	return out, nil
 }

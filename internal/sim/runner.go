@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"widx/internal/cores"
+	"widx/internal/vm"
+	"widx/internal/widx"
+)
+
+// This file is the parallel experiment runner. Design points (and whole
+// workloads) are independent experiments — each gets a freshly warmed memory
+// hierarchy — so they can run on separate goroutines as long as nothing
+// mutable is shared. The two rules that keep parallel results bit-identical
+// to a sequential run are:
+//
+//  1. Result slots are indexed, never appended: every task writes its result
+//     into a pre-sized slice at its own index, so collection order is stable
+//     regardless of completion order.
+//  2. Address-space allocations happen before the fan-out, in the exact order
+//     the sequential runner would perform them, and every Widx task then runs
+//     against its own vm.AddressSpace clone. Allocation order fixes result-
+//     buffer addresses, addresses fix cache-set and TLB behaviour, and the
+//     clone keeps the producer's result stores private to the task.
+
+// parallelism returns the effective worker count (at least 1).
+func (c Config) parallelism() int {
+	if c.Parallelism < 1 {
+		return 1
+	}
+	return c.Parallelism
+}
+
+// runTasks executes task(0..n-1), fanning out to at most c.parallelism()
+// workers. With a parallelism of 1 the tasks run inline in index order,
+// exactly like the historical sequential loops. Once any task fails, tasks
+// that have not started yet are skipped (experiments are minutes long; there
+// is no point finishing a doomed run), and the lowest-indexed error that was
+// recorded is returned.
+func (c Config) runTasks(n int, task func(i int) error) error {
+	p := c.parallelism()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	idx := make(chan int)
+	errs := make([]error, n)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				if err := task(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// innerConfig returns a copy of c whose Parallelism is one worker's share of
+// the budget after fanning out outerTasks, so that nested fan-outs (queries
+// within a suite, design points within a query) do not multiply the total
+// worker count far beyond c.Parallelism. The share rounds up — leaving cores
+// idle costs more than a few extra CPU-bound goroutines for the scheduler to
+// multiplex.
+func (c Config) innerConfig(outerTasks int) Config {
+	p := c.parallelism()
+	if outerTasks > p {
+		outerTasks = p
+	}
+	inner := c
+	if outerTasks > 0 {
+		inner.Parallelism = (p + outerTasks - 1) / outerTasks
+	}
+	return inner
+}
+
+// widxPoint identifies one Widx design point of a phase.
+type widxPoint struct {
+	walkers int
+	mode    widx.HashingMode
+}
+
+// runPhase executes one indexing phase on every requested design point: the
+// given baseline cores plus Widx at every point. Result-region allocations
+// for all Widx points are performed up front, in point order, on the phase's
+// own address space (the order a sequential runner would produce); each Widx
+// task then runs on a private clone when fanning out. Returned slices are
+// parallel to the input slices.
+func (c Config) runPhase(ph *indexPhase, baselines []cores.Config, points []widxPoint) ([]cores.Result, []*widx.OffloadResult, error) {
+	resultBases := make([]uint64, len(points))
+	for i, p := range points {
+		resultBases[i] = ph.allocResultRegion(p.walkers, p.mode)
+	}
+	// Private memory images for parallel Widx tasks: the producer's result
+	// stores must not touch the address space other tasks are reading. The
+	// clones are copy-on-write and must all be taken before the fan-out
+	// (vm.AddressSpace.Clone mutates the parent's sharing bookkeeping).
+	spaces := make([]*vm.AddressSpace, len(points))
+	for i := range spaces {
+		if c.parallelism() <= 1 {
+			spaces[i] = ph.as
+		} else {
+			spaces[i] = ph.as.Clone()
+		}
+	}
+	baseRes := make([]cores.Result, len(baselines))
+	widxRes := make([]*widx.OffloadResult, len(points))
+
+	err := c.runTasks(len(baselines)+len(points), func(i int) error {
+		if i < len(baselines) {
+			r, err := c.runBaseline(ph, baselines[i])
+			if err != nil {
+				return err
+			}
+			baseRes[i] = r
+			return nil
+		}
+		j := i - len(baselines)
+		r, err := c.runWidx(ph, spaces[j], resultBases[j], points[j].walkers, points[j].mode)
+		if err != nil {
+			return err
+		}
+		widxRes[j] = r
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return baseRes, widxRes, nil
+}
+
+// walkerPoints returns the configured walker sweep as phase design points.
+func (c Config) walkerPoints(mode widx.HashingMode) []widxPoint {
+	pts := make([]widxPoint, len(c.Walkers))
+	for i, w := range c.Walkers {
+		pts[i] = widxPoint{walkers: w, mode: mode}
+	}
+	return pts
+}

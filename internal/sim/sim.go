@@ -10,10 +10,18 @@
 // measured metric is indexing cycles per tuple. Like the paper's SMARTS-style
 // sampling, only a bounded sample of probes is simulated in detail; the
 // sample is large enough for stable per-tuple averages.
+//
+// Because the design points are independent experiments, the harness can run
+// them concurrently: Config.Parallelism sets the worker count, and the runner
+// (runner.go) gives every worker a private memory hierarchy and a private
+// vm.AddressSpace clone while pre-allocating result regions in sequential
+// order, so a parallel run produces byte-identical reports to Parallelism: 1
+// for the same configuration and seed.
 package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"widx/internal/cores"
 	"widx/internal/hashidx"
@@ -37,6 +45,12 @@ type Config struct {
 	Walkers []int
 	// Mem is the memory hierarchy configuration (Table 2 by default).
 	Mem mem.Config
+	// Parallelism is the number of worker goroutines the harness fans
+	// independent experiments (workloads and design points) out to. Values
+	// below 2 run strictly sequentially. Results are bit-identical at every
+	// parallelism level: workers never share a memory hierarchy, an address
+	// space or RNG state, and results are collected in a stable order.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration used by the benchmark harness: a
@@ -48,6 +62,7 @@ func DefaultConfig() Config {
 		SampleProbes: 20_000,
 		Walkers:      []int{1, 2, 4},
 		Mem:          mem.DefaultConfig(),
+		Parallelism:  runtime.NumCPU(),
 	}
 }
 
@@ -58,6 +73,7 @@ func QuickConfig() Config {
 		SampleProbes: 3_000,
 		Walkers:      []int{1, 2, 4},
 		Mem:          mem.DefaultConfig(),
+		Parallelism:  runtime.NumCPU(),
 	}
 }
 
@@ -76,6 +92,9 @@ func (c Config) Validate() error {
 		if w <= 0 {
 			return fmt.Errorf("sim: walker counts must be positive")
 		}
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("sim: negative Parallelism")
 	}
 	return c.Mem.Validate()
 }
@@ -126,6 +145,14 @@ type indexPhase struct {
 	traces       []hashidx.ProbeTrace
 }
 
+// allocResultRegion reserves the result buffer for one Widx design point on
+// the phase's address space. The runner performs these allocations for every
+// design point before fanning out, in sequential order, so buffer addresses —
+// and with them cache and TLB behaviour — do not depend on the parallelism.
+func (ph *indexPhase) allocResultRegion(walkers int, mode widx.HashingMode) uint64 {
+	return ph.as.AllocAligned(fmt.Sprintf("results.w%d.m%d", walkers, mode), uint64(ph.probeCount)*8+64)
+}
+
 // runBaseline executes the phase's probes on a baseline core with a fresh
 // hierarchy and returns the result.
 func (c Config) runBaseline(ph *indexPhase, coreCfg cores.Config) (cores.Result, error) {
@@ -139,16 +166,18 @@ func (c Config) runBaseline(ph *indexPhase, coreCfg cores.Config) (cores.Result,
 }
 
 // runWidx executes the phase's probes on a Widx configuration with a fresh
-// hierarchy and returns the offload result.
-func (c Config) runWidx(ph *indexPhase, walkers int, mode widx.HashingMode) (*widx.OffloadResult, error) {
+// hierarchy and returns the offload result. The address space may be the
+// phase's own (sequential runs) or a private clone (parallel runs); the
+// result region at resultBase must already be allocated on the phase's
+// address space via allocResultRegion.
+func (c Config) runWidx(ph *indexPhase, as *vm.AddressSpace, resultBase uint64, walkers int, mode widx.HashingMode) (*widx.OffloadResult, error) {
 	hier := mem.NewHierarchy(c.Mem)
-	resultBase := ph.as.AllocAligned(fmt.Sprintf("results.w%d.m%d", walkers, mode), uint64(ph.probeCount)*8+64)
 	bundle, err := program.ForTable(ph.index, resultBase)
 	if err != nil {
 		return nil, err
 	}
 	acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: 2, Mode: mode},
-		hier, ph.as, bundle.Dispatcher, bundle.Walker, bundle.Producer)
+		hier, as, bundle.Dispatcher, bundle.Walker, bundle.Producer)
 	if err != nil {
 		return nil, err
 	}

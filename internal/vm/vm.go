@@ -32,11 +32,16 @@ const PageSize = 1 << PageBits
 const pageMask = PageSize - 1
 
 // AddressSpace is a sparse 64-bit byte-addressable memory with a simple
-// region allocator. It is not safe for concurrent mutation; the simulator is
-// single-threaded by design (timing models need a deterministic order).
+// region allocator. It is not safe for concurrent mutation; a simulation
+// thread needs a deterministic access order, so parallel experiment runners
+// give each worker its own Clone instead of sharing one instance.
 type AddressSpace struct {
 	pages   map[uint64][]byte
 	regions []Region
+	// cow marks pages whose backing slice is shared with a Clone; the page is
+	// copied privately on the first write through this space. Nil when no
+	// pages are shared.
+	cow map[uint64]bool
 	// brk is the next free address handed out by Alloc. The address space
 	// starts allocations well above zero so that a zero value can serve as a
 	// NULL pointer in node lists, exactly as the indexing code expects.
@@ -64,6 +69,37 @@ func New() *AddressSpace {
 		pages: make(map[uint64][]byte),
 		brk:   baseAddress,
 	}
+}
+
+// Clone returns a logical copy of the address space: same allocations, same
+// break, same contents. Writes through the clone never affect the original
+// (and vice versa), which lets independent design points of one experiment
+// run concurrently against identical memory images — identical addresses mean
+// identical cache-set placement, TLB behaviour and therefore identical
+// timing. The copy is lazy: both spaces share the touched pages until one of
+// them writes, so cloning a multi-gigabyte workload image costs one pointer
+// per page, not one copy per byte.
+//
+// Clone itself mutates the original's copy-on-write bookkeeping, so take all
+// clones before fanning workers out; afterwards the spaces may be used (read
+// and written) concurrently with each other.
+func (as *AddressSpace) Clone() *AddressSpace {
+	c := &AddressSpace{
+		pages:   make(map[uint64][]byte, len(as.pages)),
+		regions: make([]Region, len(as.regions)),
+		cow:     make(map[uint64]bool, len(as.pages)),
+		brk:     as.brk,
+	}
+	copy(c.regions, as.regions)
+	if as.cow == nil {
+		as.cow = make(map[uint64]bool, len(as.pages))
+	}
+	for pn, p := range as.pages {
+		c.pages[pn] = p
+		c.cow[pn] = true
+		as.cow[pn] = true
+	}
+	return c
 }
 
 // Alloc reserves size bytes aligned to align (which must be a power of two,
@@ -131,13 +167,25 @@ func (as *AddressSpace) TouchedBytes() uint64 {
 
 // page returns the backing slice for the page containing addr, creating it
 // if create is true. It returns nil when the page does not exist and create
-// is false.
+// is false. All writers pass create=true, so a page shared with a Clone is
+// copied privately here before it can be modified.
 func (as *AddressSpace) page(addr uint64, create bool) []byte {
 	pn := addr >> PageBits
 	p, ok := as.pages[pn]
-	if !ok && create {
+	if !ok {
+		if !create {
+			return nil
+		}
 		p = make([]byte, PageSize)
 		as.pages[pn] = p
+		return p
+	}
+	if create && as.cow[pn] {
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		as.pages[pn] = cp
+		delete(as.cow, pn)
+		return cp
 	}
 	return p
 }

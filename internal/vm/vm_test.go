@@ -195,3 +195,45 @@ func TestPropertyAllocationsDisjoint(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClone(t *testing.T) {
+	as := New()
+	base := as.AllocAligned("data", 3*PageSize)
+	as.Write64(base, 0x1111)
+	as.Write64(base+PageSize, 0x2222)
+
+	c := as.Clone()
+	if c.Read64(base) != 0x1111 || c.Read64(base+PageSize) != 0x2222 {
+		t.Fatal("clone did not copy page contents")
+	}
+	if len(c.Regions()) != 1 || c.Regions()[0] != as.Regions()[0] {
+		t.Fatalf("clone regions differ: %+v vs %+v", c.Regions(), as.Regions())
+	}
+
+	// Allocations after the clone land at the same address in both spaces:
+	// the break is part of the copied state.
+	if a, b := as.Alloc("x", 8, 8), c.Alloc("x", 8, 8); a != b {
+		t.Fatalf("diverging allocation addresses after clone: %x vs %x", a, b)
+	}
+
+	// Writes through either space stay private to it, including writes to a
+	// page that was shared copy-on-write at clone time.
+	c.Write64(base, 0x3333)
+	if as.Read64(base) != 0x1111 {
+		t.Fatal("write through the clone leaked into the original")
+	}
+	as.Write64(base+PageSize, 0x5555)
+	if c.Read64(base+PageSize) != 0x2222 {
+		t.Fatal("write through the original leaked into the clone")
+	}
+	as.Write64(base+2*PageSize, 0x4444)
+	if c.Read64(base+2*PageSize) != 0 {
+		t.Fatal("fresh page in the original leaked into the clone")
+	}
+
+	// A second clone still sees the original's current contents.
+	c2 := as.Clone()
+	if c2.Read64(base) != 0x1111 || c2.Read64(base+PageSize) != 0x5555 {
+		t.Fatal("second clone contents wrong")
+	}
+}
