@@ -32,12 +32,14 @@ func main() {
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
 	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
+	strictOrder := flag.Bool("strict-order", false, "assert that memory accesses reach the hierarchy in monotonic cycle order (debug)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.SampleProbes = *sample
 	cfg.Parallelism = *parallel
+	cfg.StrictMemOrder = *strictOrder
 
 	want := func(name string) bool { return *run == "all" || strings.EqualFold(*run, name) }
 	printed := false

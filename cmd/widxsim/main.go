@@ -9,9 +9,16 @@
 //
 // -parallel fans the independent design points out to N worker goroutines
 // (default: all CPUs) without changing any reported number.
+//
+// -breakdown-json PATH additionally dumps the per-walker cycle breakdowns
+// and the MSHR-occupancy histograms of every Widx design point as JSON for
+// offline plotting ("-" writes to stdout). -strict-order enables the debug
+// assertion that all memory accesses reach the hierarchy in monotonically
+// non-decreasing cycle order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +26,7 @@ import (
 
 	"widx/internal/join"
 	"widx/internal/sim"
+	"widx/internal/widx"
 	"widx/internal/workloads"
 )
 
@@ -29,12 +37,15 @@ func main() {
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
 	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
+	breakdownJSON := flag.String("breakdown-json", "", "dump per-walker cycle breakdowns and MSHR-occupancy histograms as JSON to this file (\"-\" = stdout)")
+	strictOrder := flag.Bool("strict-order", false, "assert that memory accesses reach the hierarchy in monotonic cycle order (debug)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.SampleProbes = *sample
 	cfg.Parallelism = *parallel
+	cfg.StrictMemOrder = *strictOrder
 
 	switch {
 	case *kernel != "":
@@ -47,6 +58,15 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(sim.FormatKernel(exp))
+		if *breakdownJSON != "" {
+			dump := breakdownDump{Workload: "kernel-" + size.String()}
+			for _, p := range exp.Points {
+				dump.Points = append(dump.Points, newBreakdownPoint(p.Walkers, widx.SharedDispatcher, p.Raw))
+			}
+			if err := writeDump(*breakdownJSON, dump); err != nil {
+				fail(err)
+			}
+		}
 	case *query != "":
 		s, err := parseSuite(*suite)
 		if err != nil {
@@ -65,10 +85,93 @@ func main() {
 			GeoMeanQuerySpeedup: res.QuerySpeedup4W,
 			InOrderSlowdown:     res.InOrderCyclesPerTuple / res.OoOCyclesPerTuple}
 		fmt.Print(sim.FormatQueries(suiteRes))
+		if *breakdownJSON != "" {
+			dump := breakdownDump{Workload: fmt.Sprintf("%s-%s", q.Suite, q.Name)}
+			for _, w := range cfg.Walkers {
+				if raw := res.WidxRaw[w]; raw != nil {
+					dump.Points = append(dump.Points, newBreakdownPoint(w, widx.SharedDispatcher, raw))
+				}
+			}
+			if err := writeDump(*breakdownJSON, dump); err != nil {
+				fail(err)
+			}
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// breakdownDump is the -breakdown-json schema: one entry per Widx design
+// point carrying what the text report aggregates away — each walker's cycle
+// breakdown and the memory system's time-weighted MSHR-occupancy histogram.
+type breakdownDump struct {
+	Workload string           `json:"workload"`
+	Points   []breakdownPoint `json:"points"`
+}
+
+type breakdownPoint struct {
+	Walkers        int     `json:"walkers"`
+	Mode           string  `json:"mode"`
+	Tuples         uint64  `json:"tuples"`
+	TotalCycles    uint64  `json:"total_cycles"`
+	CyclesPerTuple float64 `json:"cycles_per_tuple"`
+	// PerWalker[i] is walker i's aggregate cycle breakdown.
+	PerWalker []walkerBreakdown `json:"per_walker"`
+	// Dispatcher/producer activity (cycles).
+	DispatcherBusy  uint64 `json:"dispatcher_busy"`
+	DispatcherStall uint64 `json:"dispatcher_stall"`
+	ProducerBusy    uint64 `json:"producer_busy"`
+	// MSHROccupancyCycles[k] is the number of cycles exactly k L1 MSHRs
+	// were live; MSHRSaturated is the share of cycles at the full budget.
+	MSHROccupancyCycles []uint64 `json:"mshr_occupancy_cycles"`
+	MSHRSaturated       float64  `json:"mshr_saturated_share"`
+	PortStallCycles     uint64   `json:"port_stall_cycles"`
+	MSHRStallCycles     uint64   `json:"mshr_stall_cycles"`
+}
+
+type walkerBreakdown struct {
+	Comp uint64 `json:"comp"`
+	Mem  uint64 `json:"mem"`
+	TLB  uint64 `json:"tlb"`
+	Idle uint64 `json:"idle"`
+}
+
+func newBreakdownPoint(walkers int, mode widx.HashingMode, r *widx.OffloadResult) breakdownPoint {
+	p := breakdownPoint{
+		Walkers:             walkers,
+		Mode:                mode.String(),
+		Tuples:              r.Tuples,
+		TotalCycles:         r.TotalCycles,
+		CyclesPerTuple:      r.CyclesPerTuple(),
+		DispatcherBusy:      r.DispatcherBusy,
+		DispatcherStall:     r.DispatcherStall,
+		ProducerBusy:        r.ProducerBusy,
+		MSHROccupancyCycles: r.MemStats.MSHROccupancy,
+		PortStallCycles:     r.MemStats.PortStallCycles,
+		MSHRStallCycles:     r.MemStats.MSHRStallCycles,
+	}
+	if n := len(r.MemStats.MSHROccupancy); n > 0 {
+		p.MSHRSaturated = r.MemStats.MSHRSaturationShare(n - 1)
+	}
+	for _, w := range r.Walkers {
+		p.PerWalker = append(p.PerWalker, walkerBreakdown{Comp: w.Comp, Mem: w.Mem, TLB: w.TLB, Idle: w.Idle})
+	}
+	return p
+}
+
+// writeDump serializes the dump to path ("-" = stdout).
+func writeDump(path string, dump breakdownDump) error {
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func fail(err error) {

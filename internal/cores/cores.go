@@ -228,9 +228,119 @@ func (c *Core) inFlightWindow(instrPerProbe float64) int {
 	return w
 }
 
+// probePhase is where an in-flight probe's state machine is paused.
+type probePhase uint8
+
+const (
+	phKeyFetch probePhase = iota // before the input-column key load
+	phNode                       // before the next node load
+	phRefFetch                   // before a step's indirect key fetch
+	phDone                       // all accesses issued; finish at t
+)
+
+// probeRun is one in-flight probe: a resumable replay of its trace that
+// yields before every memory access, so the core can interleave the
+// accesses of all overlapping probes in global cycle order (the same
+// stepping discipline the Widx units use).
+type probeRun struct {
+	tr        *hashidx.ProbeTrace
+	seq       int    // admission order, for squash age comparisons
+	t         uint64 // local clock; while paused, the next access's cycle
+	step      int    // index of the trace step being replayed
+	phase     probePhase
+	hashStart uint64
+	walkStart uint64
+	longExit  bool
+}
+
+// advance runs the probe's local (non-memory) work from its current phase up
+// to the next memory access or to completion, charging computation to res.
+func (p *probeRun) advance(c *Core, res *Result) {
+	for {
+		switch p.phase {
+		case phKeyFetch:
+			if p.tr.KeyAddr != 0 {
+				return // yield: key load at p.t
+			}
+			p.finishHash(c, res)
+		case phNode:
+			if p.step < len(p.tr.Steps) {
+				return // yield: node load at p.t
+			}
+			// Mispredicted exit branch of the node-list loop.
+			p.t += c.cfg.BranchMissPenalty
+			res.CompCycles += c.cfg.BranchMissPenalty
+			res.WalkCycles += p.t - p.walkStart
+			p.phase = phDone
+			return
+		case phRefFetch:
+			return // yield: indirect key fetch at p.t
+		case phDone:
+			return
+		}
+	}
+}
+
+// finishHash charges the hash computation and enters the walk.
+func (p *probeRun) finishHash(c *Core, res *Result) {
+	hc := c.compCycles(float64(p.tr.HashOps) + 2)
+	res.CompCycles += hc
+	p.t += hc
+	res.HashCycles += p.t - p.hashStart
+	p.walkStart = p.t
+	p.phase = phNode
+}
+
+// grant issues the memory access the probe is paused at and advances the
+// state machine past it (including the post-access computation of the step).
+func (p *probeRun) grant(c *Core, res *Result) {
+	issue := func(addr uint64) mem.Result {
+		r := c.hier.Access(addr, p.t, mem.Load)
+		res.TLBCycles += r.TLBReadyCycle - p.t
+		if r.CompleteCycle > r.TLBReadyCycle {
+			res.MemCycles += r.CompleteCycle - r.TLBReadyCycle
+		}
+		p.t = r.CompleteCycle
+		return r
+	}
+	switch p.phase {
+	case phKeyFetch:
+		issue(p.tr.KeyAddr)
+		p.finishHash(c, res)
+	case phNode:
+		step := &p.tr.Steps[p.step]
+		r := issue(step.NodeAddr)
+		p.longExit = r.Level == mem.LevelMemory || r.Level == mem.LevelCombined
+		if step.KeyFetchAddr != 0 {
+			p.phase = phRefFetch
+		} else {
+			p.finishStep(c, res)
+		}
+	case phRefFetch:
+		issue(p.tr.Steps[p.step].KeyFetchAddr)
+		p.finishStep(c, res)
+	}
+	p.advance(c, res)
+}
+
+// finishStep charges a step's comparison work and moves to the next node.
+func (p *probeRun) finishStep(c *Core, res *Result) {
+	cc := c.compCycles(float64(p.tr.Steps[p.step].CompareOps) + 2)
+	res.CompCycles += cc
+	p.t += cc
+	p.step++
+	p.phase = phNode
+}
+
 // RunProbes executes the probe traces starting at startCycle and returns the
 // timing result. The traces must come from the same index build that the
 // hierarchy's address space holds, so cache behaviour matches the data.
+//
+// Probes overlap up to the in-flight window, and their memory accesses reach
+// the hierarchy in monotonically non-decreasing cycle order: each iteration
+// grants the single pending access with the globally smallest cycle, exactly
+// like the Widx scheduler. Admission follows trace order, gated by the front
+// end's dispatch throughput.
 func (c *Core) RunProbes(traces []hashidx.ProbeTrace, startCycle uint64) (Result, error) {
 	if len(traces) == 0 {
 		return Result{}, fmt.Errorf("cores: no probes to run")
@@ -254,101 +364,88 @@ func (c *Core) RunProbes(traces []hashidx.ProbeTrace, startCycle uint64) (Result
 		dispatchInterval = 1
 	}
 
-	slots := make([]uint64, window)
-	for i := range slots {
-		slots[i] = startCycle
+	slots := make([]*probeRun, window)
+	slotFree := make([]uint64, window)
+	for i := range slotFree {
+		slotFree[i] = startCycle
 	}
+	next := 0
 	nextDispatch := startCycle
 	end := startCycle
 
-	for _, tr := range traces {
-		res.Instructions += uint64(probeInstructions(tr)*c.cfg.InstrExpansion + 0.5)
+	// complete retires a finished probe from its slot.
+	complete := func(s int) {
+		p := slots[s]
+		slots[s] = nil
+		slotFree[s] = p.t
+		if c.cfg.SquashOnLongExit && p.longExit {
+			// The exit branch waited on a memory-latency load and resolves
+			// (mispredicted) only at p.t: the speculative run-ahead of every
+			// younger in-flight probe is squashed, so none of their
+			// remaining work can land before the resolution, and no new
+			// probe can dispatch earlier either.
+			if p.t > nextDispatch {
+				nextDispatch = p.t
+			}
+			for _, q := range slots {
+				if q != nil && q.seq > p.seq && q.t < p.t {
+					q.t = p.t
+				}
+			}
+		}
+		if p.t > end {
+			end = p.t
+		}
+	}
 
-		// Pick the earliest-free slot, but not before the front end has
-		// dispatched this probe.
-		s := 0
-		for i := 1; i < window; i++ {
-			if slots[i] < slots[s] {
+	for {
+		// Admit traces (in order) into free slots, earliest-free first.
+		for next < len(traces) {
+			s := -1
+			for i := range slots {
+				if slots[i] == nil && (s < 0 || slotFree[i] < slotFree[s]) {
+					s = i
+				}
+			}
+			if s < 0 {
+				break
+			}
+			tr := &traces[next]
+			seq := next
+			next++
+			res.Instructions += uint64(probeInstructions(*tr)*c.cfg.InstrExpansion + 0.5)
+			start := slotFree[s]
+			if nextDispatch > start {
+				start = nextDispatch
+			}
+			nextDispatch = start + dispatchInterval
+			p := &probeRun{tr: tr, seq: seq, t: start, hashStart: start}
+			p.advance(c, &res)
+			if p.phase == phDone {
+				slots[s] = p
+				complete(s)
+				continue
+			}
+			slots[s] = p
+		}
+
+		// Grant the pending access with the globally smallest cycle.
+		s := -1
+		for i, p := range slots {
+			if p != nil && (s < 0 || p.t < slots[s].t) {
 				s = i
 			}
 		}
-		start := slots[s]
-		if nextDispatch > start {
-			start = nextDispatch
+		if s < 0 {
+			break // no probes in flight and none left to admit
 		}
-		nextDispatch = start + dispatchInterval
-
-		t := start
-		hashStart := t
-		longExit := false
-
-		// Key fetch from the probe-side input column.
-		if tr.KeyAddr != 0 {
-			r := c.hier.Access(tr.KeyAddr, t, mem.Load)
-			res.TLBCycles += r.TLBReadyCycle - t
-			if r.CompleteCycle > r.TLBReadyCycle {
-				res.MemCycles += r.CompleteCycle - r.TLBReadyCycle
-			}
-			t = r.CompleteCycle
-		}
-		// Hash computation.
-		hc := c.compCycles(float64(tr.HashOps) + 2)
-		res.CompCycles += hc
-		t += hc
-		res.HashCycles += t - hashStart
-
-		walkStart := t
-		for _, step := range tr.Steps {
-			r := c.hier.Access(step.NodeAddr, t, mem.Load)
-			res.TLBCycles += r.TLBReadyCycle - t
-			if r.CompleteCycle > r.TLBReadyCycle {
-				res.MemCycles += r.CompleteCycle - r.TLBReadyCycle
-			}
-			t = r.CompleteCycle
-			longExit = r.Level == mem.LevelMemory || r.Level == mem.LevelCombined
-			if step.KeyFetchAddr != 0 {
-				r2 := c.hier.Access(step.KeyFetchAddr, t, mem.Load)
-				res.TLBCycles += r2.TLBReadyCycle - t
-				if r2.CompleteCycle > r2.TLBReadyCycle {
-					res.MemCycles += r2.CompleteCycle - r2.TLBReadyCycle
-				}
-				t = r2.CompleteCycle
-			}
-			cc := c.compCycles(float64(step.CompareOps) + 2)
-			res.CompCycles += cc
-			t += cc
-		}
-		// Mispredicted exit branch of the node-list loop.
-		t += c.cfg.BranchMissPenalty
-		res.CompCycles += c.cfg.BranchMissPenalty
-		res.WalkCycles += t - walkStart
-
-		slots[s] = t
-		if c.cfg.SquashOnLongExit && longExit {
-			// The exit branch waited on a memory-latency load; the squash
-			// discards whatever run-ahead the next probes had accumulated.
-			nextDispatch = t
-		}
-		if t > end {
-			end = t
+		slots[s].grant(c, &res)
+		if slots[s].phase == phDone {
+			complete(s)
 		}
 	}
 
 	res.TotalCycles = end - startCycle
-	after := c.hier.Stats()
-	res.MemStats = mem.Stats{
-		Loads:           after.Loads - memBefore.Loads,
-		Stores:          after.Stores - memBefore.Stores,
-		Prefetches:      after.Prefetches - memBefore.Prefetches,
-		L1Hits:          after.L1Hits - memBefore.L1Hits,
-		L1Misses:        after.L1Misses - memBefore.L1Misses,
-		LLCHits:         after.LLCHits - memBefore.LLCHits,
-		LLCMisses:       after.LLCMisses - memBefore.LLCMisses,
-		CombinedMisses:  after.CombinedMisses - memBefore.CombinedMisses,
-		TLBMisses:       after.TLBMisses - memBefore.TLBMisses,
-		MemBlocks:       after.MemBlocks - memBefore.MemBlocks,
-		PortStallCycles: after.PortStallCycles - memBefore.PortStallCycles,
-		MSHRStallCycles: after.MSHRStallCycles - memBefore.MSHRStallCycles,
-	}
+	res.MemStats = c.hier.Stats().Sub(memBefore)
 	return res, nil
 }

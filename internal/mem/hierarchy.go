@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // AccessType distinguishes the memory operations the timing model cares
 // about. Stores complete into a store buffer and are off the critical path;
@@ -90,15 +93,21 @@ func (r Result) Latency(requested uint64) uint64 {
 	return r.CompleteCycle - requested
 }
 
-// mshrEntry tracks one outstanding L1 miss.
+// mshrEntry tracks one outstanding L1 miss. The MSHR is occupied from the
+// allocation cycle (start) until the fill returns (complete).
 type mshrEntry struct {
 	block    uint64
+	start    uint64
 	complete uint64
 }
 
 // Hierarchy is the shared memory system. It is deliberately not safe for
 // concurrent use: the simulator issues accesses from a single goroutine in
-// timestamp order (or near it), which keeps results deterministic.
+// monotonically non-decreasing cycle order (the stepped execution core in
+// internal/widx and the interleaved replay in internal/cores guarantee this),
+// which keeps results deterministic and makes live resource occupancy
+// well-defined. SetStrictOrder turns the ordering contract into a hard
+// assertion for debugging.
 type Hierarchy struct {
 	cfg Config
 
@@ -113,6 +122,18 @@ type Hierarchy struct {
 	// mcs grants block-transfer slots, one per service interval per
 	// controller, enforcing the effective off-chip bandwidth.
 	mcs []*slotSchedule
+
+	// strictOrder makes Access panic when a request's cycle precedes an
+	// earlier request's cycle (debug assertion for the execution core).
+	strictOrder bool
+	// lastRequest is the cycle of the most recent Access request.
+	lastRequest uint64
+	// occLast is the cycle up to which the MSHR-occupancy histogram has
+	// been accounted; occStarted is false until the measurement phase's
+	// first access anchors the accounting (so the histogram never charges
+	// time from before the phase began).
+	occLast    uint64
+	occStarted bool
 
 	stats Stats
 }
@@ -138,6 +159,57 @@ type Stats struct {
 	// MSHRStallCycles accumulates cycles accesses waited for a free MSHR.
 	PortStallCycles uint64
 	MSHRStallCycles uint64
+
+	// MSHROccupancy is a time-weighted histogram of live MSHR occupancy:
+	// MSHROccupancy[k] is the number of cycles exactly k MSHRs were
+	// outstanding. It is meaningful only when accesses are issued in
+	// monotonically non-decreasing cycle order (the execution core's
+	// contract); the last bucket (k == L1MSHRs) measures full-saturation
+	// time. The histogram covers cycles between the first and most recent
+	// access of the measurement phase.
+	MSHROccupancy []uint64
+}
+
+// Sub returns the difference of two cumulative Stats snapshots (s - prev),
+// used to scope counters to one measurement phase.
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.Loads -= prev.Loads
+	d.Stores -= prev.Stores
+	d.Prefetches -= prev.Prefetches
+	d.L1Hits -= prev.L1Hits
+	d.L1Misses -= prev.L1Misses
+	d.LLCHits -= prev.LLCHits
+	d.LLCMisses -= prev.LLCMisses
+	d.CombinedMisses -= prev.CombinedMisses
+	d.TLBMisses -= prev.TLBMisses
+	d.MemBlocks -= prev.MemBlocks
+	d.PortStallCycles -= prev.PortStallCycles
+	d.MSHRStallCycles -= prev.MSHRStallCycles
+	d.MSHROccupancy = append([]uint64(nil), s.MSHROccupancy...)
+	for i := range d.MSHROccupancy {
+		if i < len(prev.MSHROccupancy) {
+			d.MSHROccupancy[i] -= prev.MSHROccupancy[i]
+		}
+	}
+	return d
+}
+
+// MSHRSaturationShare returns the fraction of accounted cycles spent with at
+// least `level` MSHRs live — the quantity that explains why walker scaling
+// flattens once the shared MSHR budget is exhausted (Section 3.2).
+func (s Stats) MSHRSaturationShare(level int) float64 {
+	var total, at uint64
+	for k, cyc := range s.MSHROccupancy {
+		total += cyc
+		if k >= level {
+			at += cyc
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(at) / float64(total)
 }
 
 // L1MissRatio returns L1 misses over all cache lookups.
@@ -183,8 +255,16 @@ func NewHierarchy(cfg Config) *Hierarchy {
 	for i := range h.mcs {
 		h.mcs[i] = newSlotSchedule(interval, 1)
 	}
+	h.stats.MSHROccupancy = make([]uint64, cfg.L1MSHRs+1)
 	return h
 }
+
+// SetStrictOrder toggles the debug assertion that Access requests arrive in
+// monotonically non-decreasing cycle order. The stepped execution core
+// guarantees this ordering by construction; enabling the assertion makes any
+// scheduler regression fail loudly instead of silently corrupting resource
+// accounting.
+func (h *Hierarchy) SetStrictOrder(on bool) { h.strictOrder = on }
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
@@ -199,12 +279,21 @@ func (h *Hierarchy) LLC() *Cache { return h.llc }
 func (h *Hierarchy) TLB() *TLB { return h.tlb }
 
 // Stats returns a copy of the counters accumulated since the last reset.
-func (h *Hierarchy) Stats() Stats { return h.stats }
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	s.MSHROccupancy = append([]uint64(nil), h.stats.MSHROccupancy...)
+	return s
+}
 
-// ResetCounters clears all activity counters (but not cache/TLB contents or
-// resource schedules), marking the start of a measurement phase.
+// ResetCounters clears all activity counters (but not cache/TLB contents,
+// resource schedules or in-flight misses), marking the start of a
+// measurement phase. The MSHR-occupancy histogram re-anchors at the phase's
+// first access. The cycle clock continues across the reset — restarting
+// cycle numbering requires a fresh Hierarchy, since outstanding fills and
+// resource reservations live on the old timebase.
 func (h *Hierarchy) ResetCounters() {
-	h.stats = Stats{}
+	h.stats = Stats{MSHROccupancy: make([]uint64, h.cfg.L1MSHRs+1)}
+	h.occStarted = false
 	h.l1.ResetCounters()
 	h.llc.ResetCounters()
 	h.tlb.ResetCounters()
@@ -225,11 +314,14 @@ func (h *Hierarchy) acquirePort(want uint64) uint64 {
 	return start
 }
 
-// reapMSHRs drops entries whose miss has completed by the given cycle.
+// reapMSHRs drops entries whose miss has completed by the given cycle and
+// whose live span has been fully folded into the occupancy histogram
+// (complete <= occLast); later entries stay until the accounting clock
+// passes them.
 func (h *Hierarchy) reapMSHRs(cycle uint64) {
 	live := h.mshrs[:0]
 	for _, e := range h.mshrs {
-		if e.complete > cycle {
+		if e.complete > cycle || e.complete > h.occLast {
 			live = append(live, e)
 		}
 	}
@@ -246,23 +338,79 @@ func (h *Hierarchy) findMSHR(block uint64, cycle uint64) (mshrEntry, bool) {
 	return mshrEntry{}, false
 }
 
+// recordOccupancy advances the MSHR-occupancy histogram from the last
+// accounted cycle to now, walking the outstanding-miss completion events in
+// time order so every intermediate occupancy level is charged its cycles.
+// Requests arriving out of order (now <= occLast) contribute nothing; under
+// the execution core's monotonic issue order the histogram is exact.
+func (h *Hierarchy) recordOccupancy(now uint64) {
+	if !h.occStarted {
+		// Anchor accounting at the phase's first access rather than
+		// charging the span from cycle zero (or from a previous phase).
+		h.occStarted = true
+		h.occLast = now
+		return
+	}
+	for t := h.occLast; t < now; {
+		live := 0
+		next := now
+		for _, e := range h.mshrs {
+			// An entry occupies its MSHR from allocation to fill return;
+			// both edges bound the constant-occupancy segment.
+			if e.start <= t && e.complete > t {
+				live++
+			}
+			if e.start > t && e.start < next {
+				next = e.start
+			}
+			if e.complete > t && e.complete < next {
+				next = e.complete
+			}
+		}
+		if live < len(h.stats.MSHROccupancy) {
+			h.stats.MSHROccupancy[live] += next - t
+		} else if n := len(h.stats.MSHROccupancy); n > 0 {
+			h.stats.MSHROccupancy[n-1] += next - t
+		}
+		t = next
+	}
+	if now > h.occLast {
+		h.occLast = now
+	}
+}
+
 // acquireMSHR blocks (advances time) until an MSHR slot is free at or after
-// want, returning the cycle at which the slot is available.
+// want, returning the cycle at which the slot is available. An entry
+// occupies its slot over [start, complete), so the allocation must wait for
+// enough completions that the concurrent-occupancy cap is respected at the
+// returned cycle — waiting for the single earliest completion is not enough
+// when requests with out-of-order issue cycles left more than a cap's worth
+// of fills in flight past `want`.
 func (h *Hierarchy) acquireMSHR(want uint64) uint64 {
 	h.reapMSHRs(want)
-	if len(h.mshrs) < h.cfg.L1MSHRs {
+	// Completions of entries still in flight at want, i.e. spans that
+	// overlap the candidate allocation.
+	live := h.completesAfter(want)
+	if len(live) < h.cfg.L1MSHRs {
 		return want
 	}
-	// Wait for the earliest outstanding miss to complete.
-	earliest := h.mshrs[0].complete
-	for _, e := range h.mshrs[1:] {
-		if e.complete < earliest {
-			earliest = e.complete
+	// Wait until all but (cap-1) of the overlapping fills have returned.
+	slices.Sort(live)
+	start := live[len(live)-h.cfg.L1MSHRs]
+	h.stats.MSHRStallCycles += start - want
+	return start
+}
+
+// completesAfter returns the completion cycles of entries whose fill is
+// still outstanding after the given cycle.
+func (h *Hierarchy) completesAfter(cycle uint64) []uint64 {
+	out := make([]uint64, 0, len(h.mshrs))
+	for _, e := range h.mshrs {
+		if e.complete > cycle {
+			out = append(out, e.complete)
 		}
 	}
-	h.stats.MSHRStallCycles += earliest - want
-	h.reapMSHRs(earliest)
-	return earliest
+	return out
 }
 
 // memAccess schedules one block transfer on the memory controller that owns
@@ -279,6 +427,15 @@ func (h *Hierarchy) memAccess(block uint64, start uint64) uint64 {
 // acquisition, L1 lookup, MSHR allocation / miss combining, LLC lookup and
 // finally a memory-controller transfer.
 func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
+	if h.strictOrder && cycle < h.lastRequest {
+		panic(fmt.Sprintf("mem: out-of-order access: %s of %#x at cycle %d after a request at cycle %d",
+			typ, addr, cycle, h.lastRequest))
+	}
+	if cycle > h.lastRequest {
+		h.lastRequest = cycle
+	}
+	h.recordOccupancy(cycle)
+
 	switch typ {
 	case Load:
 		h.stats.Loads++
@@ -345,7 +502,7 @@ func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 		h.llc.Insert(addr)
 	}
 	h.l1.Insert(addr)
-	h.mshrs = append(h.mshrs, mshrEntry{block: block, complete: complete})
+	h.mshrs = append(h.mshrs, mshrEntry{block: block, start: start, complete: complete})
 
 	res.CompleteCycle = complete
 	if typ != Load {

@@ -6,6 +6,7 @@ import (
 	"widx/internal/cores"
 	"widx/internal/join"
 	"widx/internal/stats"
+	"widx/internal/widx"
 )
 
 // KernelPoint is one bar of Figures 8a/8b: a size class at a walker count.
@@ -18,6 +19,19 @@ type KernelPoint struct {
 	Breakdown Breakdown
 	// Speedup is the Figure 8b speedup over the out-of-order baseline.
 	Speedup float64
+	// Raw is the offload's timing detail (per-walker breakdowns, queue
+	// stalls, memory stats with the MSHR-occupancy histogram) for offline
+	// analysis such as cmd/widxsim's -breakdown-json dump. Its Matches
+	// slice is dropped to avoid retaining per-match payloads.
+	Raw *widx.OffloadResult
+}
+
+// rawDetail strips the bulk match payloads from an offload result, keeping
+// only the timing detail the report consumers read.
+func rawDetail(res *widx.OffloadResult) *widx.OffloadResult {
+	detail := *res
+	detail.Matches = nil
+	return &detail
 }
 
 // KernelExperiment is the full hash-join kernel study (Figure 8).
@@ -105,6 +119,7 @@ func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
 				CyclesPerTuple: res.CyclesPerTuple(),
 				Breakdown:      scaleBreakdown(res.WalkerTotal, w, res.Tuples),
 				Speedup:        ooo.CyclesPerTuple() / res.CyclesPerTuple(),
+				Raw:            rawDetail(res),
 			})
 		}
 		return nil

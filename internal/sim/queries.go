@@ -30,6 +30,10 @@ type QueryResult struct {
 	// WidxCyclesPerTuple and WidxBreakdown are keyed by walker count.
 	WidxCyclesPerTuple map[int]float64
 	WidxBreakdown      map[int]Breakdown
+	// WidxRaw keeps the offload timing detail per walker count for offline
+	// analysis (cmd/widxsim's -breakdown-json dump); match payloads are
+	// stripped.
+	WidxRaw map[int]*widx.OffloadResult
 
 	// Speedups over the OoO baseline (Figure 10).
 	IndexSpeedup map[int]float64
@@ -64,6 +68,7 @@ func (c Config) RunQuery(q workloads.QuerySpec) (*QueryResult, error) {
 		MeasuredHashShare:  engRes.HashShare,
 		WidxCyclesPerTuple: map[int]float64{},
 		WidxBreakdown:      map[int]Breakdown{},
+		WidxRaw:            map[int]*widx.OffloadResult{},
 		IndexSpeedup:       map[int]float64{},
 	}
 
@@ -81,6 +86,7 @@ func (c Config) RunQuery(q workloads.QuerySpec) (*QueryResult, error) {
 		wres := widxRes[i]
 		res.WidxCyclesPerTuple[w] = wres.CyclesPerTuple()
 		res.WidxBreakdown[w] = scaleBreakdown(wres.WalkerTotal, w, wres.Tuples)
+		res.WidxRaw[w] = rawDetail(wres)
 		res.IndexSpeedup[w] = res.OoOCyclesPerTuple / wres.CyclesPerTuple()
 	}
 

@@ -51,6 +51,11 @@ type Config struct {
 	// parallelism level: workers never share a memory hierarchy, an address
 	// space or RNG state, and results are collected in a stable order.
 	Parallelism int
+	// StrictMemOrder enables the debug assertion that every design point's
+	// memory accesses reach the hierarchy in monotonically non-decreasing
+	// cycle order — the execution core's contract. A violation panics with
+	// the offending access; it indicates a scheduler bug, never bad input.
+	StrictMemOrder bool
 }
 
 // DefaultConfig returns the configuration used by the benchmark harness: a
@@ -66,14 +71,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// QuickConfig returns a much smaller configuration used by unit tests.
+// QuickConfig returns a much smaller configuration used by unit tests. Tests
+// run with the strict memory-order assertion enabled so any scheduler
+// regression fails loudly.
 func QuickConfig() Config {
 	return Config{
-		Scale:        1.0 / 512,
-		SampleProbes: 3_000,
-		Walkers:      []int{1, 2, 4},
-		Mem:          mem.DefaultConfig(),
-		Parallelism:  runtime.NumCPU(),
+		Scale:          1.0 / 512,
+		SampleProbes:   3_000,
+		Walkers:        []int{1, 2, 4},
+		Mem:            mem.DefaultConfig(),
+		Parallelism:    runtime.NumCPU(),
+		StrictMemOrder: true,
 	}
 }
 
@@ -157,6 +165,7 @@ func (ph *indexPhase) allocResultRegion(walkers int, mode widx.HashingMode) uint
 // hierarchy and returns the result.
 func (c Config) runBaseline(ph *indexPhase, coreCfg cores.Config) (cores.Result, error) {
 	hier := mem.NewHierarchy(c.Mem)
+	hier.SetStrictOrder(c.StrictMemOrder)
 	core, err := cores.New(coreCfg, hier)
 	if err != nil {
 		return cores.Result{}, err
@@ -172,6 +181,7 @@ func (c Config) runBaseline(ph *indexPhase, coreCfg cores.Config) (cores.Result,
 // address space via allocResultRegion.
 func (c Config) runWidx(ph *indexPhase, as *vm.AddressSpace, resultBase uint64, walkers int, mode widx.HashingMode) (*widx.OffloadResult, error) {
 	hier := mem.NewHierarchy(c.Mem)
+	hier.SetStrictOrder(c.StrictMemOrder)
 	bundle, err := program.ForTable(ph.index, resultBase)
 	if err != nil {
 		return nil, err

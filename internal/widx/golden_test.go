@@ -1,0 +1,104 @@
+package widx
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"widx/internal/hashidx"
+)
+
+// matchFingerprint hashes the exact match stream (values and order) so tests
+// can assert byte-identity of the functional output across model refactors.
+func matchFingerprint(matches []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, m := range matches {
+		for i := range buf {
+			buf[i] = byte(m >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// seedGoldens records the match-stream fingerprints produced by the original
+// run-to-completion seed model (PR 1) for a fixed fixture matrix. The stepped
+// scheduler must reproduce every one byte-for-byte: the matches a probe
+// stream yields are a functional property of the index and the programs, and
+// must not depend on the timing model, the hashing organization or the
+// walker count.
+var seedGoldens = map[string]uint64{
+	"inline/simple/shared-dispatcher/w1":   0x60b0bd3aa5852aef,
+	"inline/simple/shared-dispatcher/w4":   0x60b0bd3aa5852aef,
+	"inline/simple/per-walker-hash/w4":     0x60b0bd3aa5852aef,
+	"inline/simple/coupled/w4":             0x60b0bd3aa5852aef,
+	"inline/robust/shared-dispatcher/w1":   0x60b0bd3aa5852aef,
+	"inline/robust/shared-dispatcher/w4":   0x60b0bd3aa5852aef,
+	"inline/robust/per-walker-hash/w4":     0x60b0bd3aa5852aef,
+	"inline/robust/coupled/w4":             0x60b0bd3aa5852aef,
+	"indirect/simple/shared-dispatcher/w1": 0xd8f538050f12205e,
+	"indirect/simple/shared-dispatcher/w4": 0xd8f538050f12205e,
+	"indirect/simple/per-walker-hash/w4":   0xd8f538050f12205e,
+	"indirect/simple/coupled/w4":           0xd8f538050f12205e,
+	"indirect/robust/shared-dispatcher/w1": 0xd8f538050f12205e,
+	"indirect/robust/shared-dispatcher/w4": 0xd8f538050f12205e,
+	"indirect/robust/per-walker-hash/w4":   0xd8f538050f12205e,
+	"indirect/robust/coupled/w4":           0xd8f538050f12205e,
+}
+
+type goldenPoint struct {
+	layout  hashidx.Layout
+	hash    hashidx.HashKind
+	mode    HashingMode
+	walkers int
+}
+
+func goldenMatrix() []goldenPoint {
+	var pts []goldenPoint
+	for _, layout := range []hashidx.Layout{hashidx.LayoutInline, hashidx.LayoutIndirect} {
+		for _, hash := range []hashidx.HashKind{hashidx.HashSimple, hashidx.HashRobust} {
+			pts = append(pts,
+				goldenPoint{layout, hash, SharedDispatcher, 1},
+				goldenPoint{layout, hash, SharedDispatcher, 4},
+				goldenPoint{layout, hash, PerWalkerHash, 4},
+				goldenPoint{layout, hash, Coupled, 4},
+			)
+		}
+	}
+	return pts
+}
+
+func goldenKey(p goldenPoint) string {
+	layout := "inline"
+	if p.layout == hashidx.LayoutIndirect {
+		layout = "indirect"
+	}
+	hash := "simple"
+	if p.hash == hashidx.HashRobust {
+		hash = "robust"
+	}
+	return fmt.Sprintf("%s/%s/%v/w%d", layout, hash, p.mode, p.walkers)
+}
+
+// TestMatchesByteIdenticalToSeedModel asserts the refactor contract: the
+// match stream of every design point is byte-identical to what the seed model
+// emitted. The logged GOLDEN lines regenerate the table after an intentional
+// functional change.
+func TestMatchesByteIdenticalToSeedModel(t *testing.T) {
+	for _, p := range goldenMatrix() {
+		key := goldenKey(p)
+		f := newFixture(t, p.layout, p.hash, 500, 300, 256)
+		acc := f.accelerator(t, Config{NumWalkers: p.walkers, QueueDepth: 2, Mode: p.mode})
+		res := f.offload(t, acc)
+		got := matchFingerprint(res.Matches)
+		t.Logf("GOLDEN %q: %#x (matches=%d)", key, got, len(res.Matches))
+		want, ok := seedGoldens[key]
+		if !ok {
+			t.Fatalf("no golden recorded for %q", key)
+		}
+		if got != want {
+			t.Errorf("%s: match stream fingerprint %#x, want seed-model %#x", key, got, want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package widx
+
+import (
+	"testing"
+	"time"
+
+	"widx/internal/hashidx"
+	"widx/internal/mem"
+)
+
+// The benchmark-smoke guard for the stepped execution core. The scheduler's
+// wall-clock overhead is measured *relative* to the same probe stream
+// executed through the unscheduled RunItem path (run-to-completion per work
+// item, the seed model's execution style), in the same process. Both sides
+// interpret the same programs against the same kind of hierarchy, so the
+// ratio isolates what the scheduler adds and is independent of how fast the
+// CI runner happens to be.
+const (
+	// maxSchedulerOverheadRatio fails the guard when the stepped offload
+	// takes more than this multiple of the unscheduled baseline. At
+	// introduction the ratio measured ~1.6x; the limit sits at roughly
+	// twice that, so a change that doubles scheduler overhead fails.
+	maxSchedulerOverheadRatio = 3.0
+	// minKeysPerSec is a sanity floor (absolute) that catches gross
+	// regressions affecting both paths equally, far below the ~370k keys/s
+	// measured on a slow single-CPU container.
+	minKeysPerSec = 40_000
+)
+
+// guardWorkload builds the fixed guard fixture (memory-resident index).
+func guardWorkload(tb testing.TB) *fixture {
+	tb.Helper()
+	return newFixture(tb, hashidx.LayoutInline, hashidx.HashRobust, 60000, 4000, 1<<16)
+}
+
+// steppedRun executes the guard workload on the scheduled core and returns
+// the wall-clock of the offload.
+func steppedRun(tb testing.TB, f *fixture) time.Duration {
+	tb.Helper()
+	hier := mem.NewHierarchy(mem.DefaultConfig())
+	acc, err := New(Config{NumWalkers: 4, QueueDepth: 2}, hier, f.as,
+		f.bundle.Dispatcher, f.bundle.Walker, f.bundle.Producer)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := acc.Offload(OffloadRequest{KeyBase: f.keyBase, KeyCount: uint64(len(f.probeKeys))}); err != nil {
+		tb.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// baselineRun executes the same probe stream through RunItem (no scheduler,
+// no queues: dispatcher, one walker and the producer run each item to
+// completion back to back) and returns its wall-clock.
+func baselineRun(tb testing.TB, f *fixture) time.Duration {
+	tb.Helper()
+	hier := mem.NewHierarchy(mem.DefaultConfig())
+	d, err := NewUnit("d", f.bundle.Dispatcher.Clone(), hier, f.as)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w, err := NewUnit("w", f.bundle.Walker.Clone(), hier, f.as)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p, err := NewUnit("p", f.bundle.Producer.Clone(), hier, f.as)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	start := time.Now()
+	cycle := uint64(0)
+	for i := range f.probeKeys {
+		dres, err := d.RunItem([]uint64{f.keyBase + uint64(i)*8}, cycle)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		wres, err := w.RunItem(dres.Emitted[0], dres.FinishCycle)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for _, m := range wres.Emitted {
+			if _, err := p.RunItem(m, wres.FinishCycle); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		cycle = dres.FinishCycle
+	}
+	return time.Since(start)
+}
+
+// TestSchedulerOverheadBudget is the benchmark-smoke guard: the stepped core
+// must not silently regress simulation wall-clock. The primary check is the
+// scheduler-vs-baseline ratio (runner-speed independent); the absolute floor
+// backstops regressions that slow both paths.
+func TestSchedulerOverheadBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock guard is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("perf guard skipped in short mode")
+	}
+	f := guardWorkload(t)
+	// Warm both paths once, then take the best of three to shed noise.
+	steppedRun(t, f)
+	baselineRun(t, f)
+	best := func(run func(testing.TB, *fixture) time.Duration) time.Duration {
+		b := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			if d := run(t, f); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	stepped := best(steppedRun)
+	baseline := best(baselineRun)
+
+	ratio := float64(stepped) / float64(baseline)
+	keysPerSec := float64(len(f.probeKeys)) / stepped.Seconds()
+	t.Logf("stepped=%v baseline=%v ratio=%.2fx throughput=%.0f keys/sec", stepped, baseline, ratio, keysPerSec)
+	if ratio > maxSchedulerOverheadRatio {
+		t.Fatalf("scheduler overhead ratio %.2fx exceeds the %.1fx budget (stepped %v vs baseline %v)",
+			ratio, maxSchedulerOverheadRatio, stepped, baseline)
+	}
+	if keysPerSec < minKeysPerSec {
+		t.Fatalf("stepped core simulates %.0f keys/sec, below the %d keys/sec sanity floor", keysPerSec, minKeysPerSec)
+	}
+}
+
+// BenchmarkOffloadScheduler measures the stepped core on the guard workload
+// (keys/sec is reported as a metric).
+func BenchmarkOffloadScheduler(b *testing.B) {
+	f := guardWorkload(b)
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		elapsed += steppedRun(b, f)
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(len(f.probeKeys)*b.N)/elapsed.Seconds(), "sim-keys/sec")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package widx
+
+// raceEnabled reports whether the race detector is compiled in; perf guards
+// scale their budgets accordingly.
+const raceEnabled = false

@@ -1,0 +1,535 @@
+// The cycle-interleaved execution core.
+//
+// The seed model ran each unit's work item to completion on a private cycle
+// counter, so memory accesses from "concurrent" walkers reached the shared
+// hierarchy serially and out of cycle order, and shared-resource contention
+// (L1 ports, MSHRs, page-walk slots, memory controllers) was structurally
+// mismodeled. This file replaces the hand-rolled per-organization timelines
+// with one scheduler that steps every unit — the dispatcher (or per-walker
+// hashing units), all walkers, and the output producer — in global cycle
+// order:
+//
+//   - units are resumable steppers (unit.go) that yield before every memory
+//     access and at every EMIT;
+//   - decoupling queues are modelled explicitly, with capacity backpressure
+//     applied at the EMIT that needs the slot;
+//   - the scheduler repeatedly settles all queue traffic (computation is
+//     local to a unit and needs no global ordering) and then grants the
+//     single pending memory access with the globally smallest cycle.
+//
+// Because every Access call carries a cycle no smaller than the previous
+// one, the hierarchy's live MSHR occupancy and resource schedules are exact;
+// mem.Hierarchy.SetStrictOrder turns that contract into an assertion.
+//
+// Functional output is timing-independent: matches are collected per probe
+// key and released to the producer in key order, so the emitted match stream
+// is byte-identical to the seed model's (which processed keys one at a time)
+// regardless of the hashing organization, the walker count, or how walks
+// interleave.
+
+package widx
+
+import "fmt"
+
+// qitem is one entry of a decoupling queue.
+type qitem struct {
+	vals []uint64
+	// key is the probe-key index the entry belongs to.
+	key uint64
+	// avail is the cycle the entry becomes visible to the consumer (the
+	// producing EMIT's retire cycle, or the walk finish for matches).
+	avail uint64
+}
+
+// dqueue is a bounded decoupling queue between units. Capacity backpressure
+// uses the seed model's rule: the k-th push needs the (k-cap)-th pop to have
+// happened, and a blocked push is granted at that pop's cycle.
+type dqueue struct {
+	cap    int
+	items  []qitem
+	pushes uint64
+	// popCycles[j] is the cycle the j-th pop left the queue (the consumer's
+	// item start cycle).
+	popCycles []uint64
+}
+
+// canPush reports whether a slot is free.
+func (q *dqueue) canPush() bool { return len(q.items) < q.cap }
+
+// pushReadyAt returns the earliest cycle >= want the next push may happen,
+// assuming canPush (the slot that frees it has been popped).
+func (q *dqueue) pushReadyAt(want uint64) uint64 {
+	if q.pushes >= uint64(q.cap) {
+		if t := q.popCycles[q.pushes-uint64(q.cap)]; t > want {
+			return t
+		}
+	}
+	return want
+}
+
+// push appends an entry.
+func (q *dqueue) push(it qitem) {
+	q.items = append(q.items, it)
+	q.pushes++
+}
+
+// pop removes the head, recording the cycle the consumer took it.
+func (q *dqueue) pop(at uint64) qitem {
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.popCycles = append(q.popCycles, at)
+	return it
+}
+
+// keyOutput records one finished walk, pending release to the producer.
+type keyOutput struct {
+	emitted [][]uint64
+	finish  uint64
+}
+
+// sched drives one offload on the stepped execution core.
+type sched struct {
+	acc    *Accelerator
+	req    OffloadRequest
+	stride uint64
+	res    *OffloadResult
+
+	n    int
+	mode HashingMode
+
+	// hashUnits is the single shared dispatcher (SharedDispatcher) or one
+	// hashing unit per lane (PerWalkerHash, Coupled).
+	hashUnits []*Unit
+	walkers   []*Unit
+	producer  *Unit
+
+	// queues[i] feeds the walkers: one shared queue of depth QueueDepth*n,
+	// or per-lane queues of depth QueueDepth.
+	queues []*dqueue
+
+	// hashNext[i] is the next key index hash unit i will receive; it
+	// advances by len(hashUnits). hashKey[i] is the key it is working on.
+	hashNext []uint64
+	hashKey  []uint64
+	// laneGate/laneAvail serialize hashing with walking in Coupled mode:
+	// lane i may only receive its next key once its previous walk finished.
+	laneGate  []bool
+	laneAvail []uint64
+
+	// walkKey[i] is the key walker i is walking.
+	walkKey []uint64
+
+	// lastFinish tracks per-unit completion cycles for idle accounting and
+	// the offload end time. Index: hash units, then walkers, then producer.
+	hashLast []uint64
+	walkLast []uint64
+	prodLast uint64
+
+	// Producer-side reordering: walks complete out of order, but matches are
+	// released to the producer (and to res.Matches) in key order, which keeps
+	// the functional output identical to the seed model and independent of
+	// timing. done holds finished keys awaiting release; nextOut is the next
+	// key index to release; prodQ is the released match stream.
+	done    map[uint64]keyOutput
+	nextOut uint64
+	prodQ   []qitem
+	// releaseClock is the reorder buffer's drain clock: a key's matches
+	// become visible to the producer no earlier than every preceding key's
+	// walk finish (a match is only known to be next-in-order once all
+	// earlier walks have resolved). It also keeps producer stores on the
+	// global monotonic cycle order when a key finished long before the
+	// earlier key that was blocking its release.
+	releaseClock uint64
+}
+
+// newSched builds the units and queues for the accelerator's organization.
+func newSched(a *Accelerator, req OffloadRequest, stride uint64) (*sched, error) {
+	n := a.cfg.NumWalkers
+	s := &sched{
+		acc:    a,
+		req:    req,
+		stride: stride,
+		res:    &OffloadResult{Tuples: req.KeyCount, Walkers: make([]Breakdown, n)},
+		n:      n,
+		mode:   a.cfg.Mode,
+		done:   map[uint64]keyOutput{},
+	}
+
+	var err error
+	if s.mode == SharedDispatcher {
+		d, err := NewUnit("dispatcher", a.dispProg.Clone(), a.hier, a.as)
+		if err != nil {
+			return nil, err
+		}
+		s.hashUnits = []*Unit{d}
+		s.queues = []*dqueue{{cap: a.cfg.QueueDepth * n}}
+		s.hashNext = []uint64{0}
+	} else {
+		s.hashUnits = make([]*Unit, n)
+		s.queues = make([]*dqueue, n)
+		s.hashNext = make([]uint64, n)
+		depth := a.cfg.QueueDepth
+		if s.mode == Coupled {
+			// Hashing is serialized with the walk by the lane gate; the
+			// queue is a single-entry handoff buffer.
+			depth = 1
+		}
+		for i := 0; i < n; i++ {
+			s.hashUnits[i], err = NewUnit(fmt.Sprintf("hash%d", i), a.dispProg.Clone(), a.hier, a.as)
+			if err != nil {
+				return nil, err
+			}
+			s.queues[i] = &dqueue{cap: depth}
+			s.hashNext[i] = uint64(i)
+		}
+	}
+	s.hashKey = make([]uint64, len(s.hashUnits))
+	s.laneGate = make([]bool, len(s.hashUnits))
+	s.laneAvail = make([]uint64, len(s.hashUnits))
+	for i := range s.laneGate {
+		s.laneGate[i] = true
+		s.laneAvail[i] = req.StartCycle
+	}
+
+	s.walkers = make([]*Unit, n)
+	s.walkKey = make([]uint64, n)
+	for i := range s.walkers {
+		s.walkers[i], err = NewUnit(fmt.Sprintf("walker%d", i), a.walkProg.Clone(), a.hier, a.as)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.producer, err = NewUnit("producer", a.prodProg.Clone(), a.hier, a.as)
+	if err != nil {
+		return nil, err
+	}
+
+	s.hashLast = make([]uint64, len(s.hashUnits))
+	s.walkLast = make([]uint64, n)
+	for i := range s.hashLast {
+		s.hashLast[i] = req.StartCycle
+	}
+	for i := range s.walkLast {
+		s.walkLast[i] = req.StartCycle
+	}
+	s.prodLast = req.StartCycle
+	return s, nil
+}
+
+// laneQueue returns the queue walker i consumes from.
+func (s *sched) laneQueue(i int) *dqueue {
+	if s.mode == SharedDispatcher {
+		return s.queues[0]
+	}
+	return s.queues[i]
+}
+
+// run executes the offload to completion and fills in the result's unit
+// accounting (the caller adds memory stats and total cycles).
+func (s *sched) run() error {
+	for {
+		if err := s.settle(); err != nil {
+			return err
+		}
+		u := s.pickMem()
+		if u == nil {
+			if s.finished() {
+				return nil
+			}
+			return fmt.Errorf("widx: scheduler stalled with work remaining (%d/%d keys released)",
+				s.nextOut, s.req.KeyCount)
+		}
+		if err := u.GrantMem(); err != nil {
+			return err
+		}
+		if err := s.collect(u); err != nil {
+			return err
+		}
+	}
+}
+
+// pickMem returns the unit whose pending memory access has the globally
+// smallest cycle (ties broken by fixed unit order: hash units, walkers,
+// producer), or nil when no unit waits on memory.
+func (s *sched) pickMem() *Unit {
+	var best *Unit
+	consider := func(u *Unit) {
+		if u.State() != UnitWaitMem {
+			return
+		}
+		if best == nil || u.WantCycle() < best.WantCycle() {
+			best = u
+		}
+	}
+	for _, u := range s.hashUnits {
+		consider(u)
+	}
+	for _, u := range s.walkers {
+		consider(u)
+	}
+	consider(s.producer)
+	return best
+}
+
+// settle propagates all non-memory progress until quiescence: granting
+// emits that have queue space, starting idle units on available inputs, and
+// folding finished items into the offload accounting. Everything here is
+// computation or queue traffic local to the units, so it cannot violate the
+// global memory-cycle order.
+func (s *sched) settle() error {
+	for {
+		progress := false
+
+		// Hashing units: unblock emits, then feed the next key.
+		for i, u := range s.hashUnits {
+			if u.State() == UnitWaitEmit {
+				q := s.queues[i]
+				if !q.canPush() {
+					continue
+				}
+				at := q.pushReadyAt(u.WantCycle())
+				out, err := u.GrantEmit(at)
+				if err != nil {
+					return err
+				}
+				q.push(qitem{vals: out, key: s.hashKey[i], avail: at + 1})
+				progress = true
+				if err := s.collect(u); err != nil {
+					return err
+				}
+			}
+			if u.State() == UnitIdle && s.hashNext[i] < s.req.KeyCount && s.laneGate[i] {
+				key := s.hashNext[i]
+				start := s.hashLast[i]
+				if s.laneAvail[i] > start {
+					start = s.laneAvail[i]
+				}
+				s.hashKey[i] = key
+				s.hashNext[i] += uint64(len(s.hashUnits))
+				if s.mode == Coupled {
+					s.laneGate[i] = false
+				}
+				if err := u.Start([]uint64{s.req.KeyBase + key*s.stride}, start); err != nil {
+					return err
+				}
+				progress = true
+				if err := s.collect(u); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Walkers: unblock emits (the walker-to-producer path is staged
+		// through the reorder buffer and never exerts backpressure), then
+		// assign queued work to the walker that can start it earliest.
+		for _, u := range s.walkers {
+			if u.State() != UnitWaitEmit {
+				continue
+			}
+			// The emitted values are accumulated in the item result and
+			// collected when the walk finishes.
+			if _, err := u.GrantEmit(u.WantCycle()); err != nil {
+				return err
+			}
+			progress = true
+			if err := s.collect(u); err != nil {
+				return err
+			}
+		}
+		for qi := range s.queues {
+			q := s.queues[qi]
+			for len(q.items) > 0 {
+				head := q.items[0]
+				w := s.pickWalker(qi, head.avail)
+				if w < 0 {
+					break
+				}
+				u := s.walkers[w]
+				start := s.walkLast[w]
+				if head.avail > start {
+					// Waiting for a hashed key is walker idle time — except
+					// in Coupled mode, where the wait IS the lane's hashing
+					// (already charged to the walker via the hash item).
+					if s.mode != Coupled {
+						s.res.Walkers[w].Idle += head.avail - start
+					}
+					start = head.avail
+				}
+				q.pop(start)
+				s.walkKey[w] = head.key
+				if err := u.Start(head.vals, start); err != nil {
+					return err
+				}
+				progress = true
+				if err := s.collect(u); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Producer: consume the released match stream in key order.
+		if s.producer.State() == UnitIdle && len(s.prodQ) > 0 {
+			head := s.prodQ[0]
+			s.prodQ = s.prodQ[1:]
+			start := s.prodLast
+			if head.avail > start {
+				start = head.avail
+			}
+			if err := s.producer.Start(head.vals, start); err != nil {
+				return err
+			}
+			progress = true
+			if err := s.collect(s.producer); err != nil {
+				return err
+			}
+		}
+
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// pickWalker selects the idle walker that can start an item available at
+// `avail` earliest (ties: lowest index), restricted to the queue's consumers.
+// It returns -1 when no eligible walker is idle.
+func (s *sched) pickWalker(qi int, avail uint64) int {
+	if s.mode != SharedDispatcher {
+		// Per-lane queues map queue i to walker i.
+		if s.walkers[qi].State() == UnitIdle {
+			return qi
+		}
+		return -1
+	}
+	best := -1
+	var bestStart uint64
+	for w, u := range s.walkers {
+		if u.State() != UnitIdle {
+			continue
+		}
+		start := s.walkLast[w]
+		if avail > start {
+			start = avail
+		}
+		if best < 0 || start < bestStart {
+			best, bestStart = w, start
+		}
+	}
+	return best
+}
+
+// collect folds a just-finished work item into the offload accounting and
+// performs the completion side effects (queue releases, lane gating). It is
+// a no-op while the unit is still paused mid-item.
+func (s *sched) collect(u *Unit) error {
+	if u.State() != UnitIdle {
+		return nil
+	}
+	it := u.LastResult()
+
+	for i, hu := range s.hashUnits {
+		if hu != u {
+			continue
+		}
+		s.hashLast[i] = it.FinishCycle
+		s.res.DispatcherBusy += it.Busy()
+		s.res.DispatcherStall += it.QueueStall
+		if s.mode == Coupled {
+			// Coupled hashing occupies the walker itself (Figure 3b): its
+			// cycles land in the lane's walker breakdown too.
+			s.res.Walkers[i].addItem(it)
+		}
+		if len(it.Emitted) != 1 {
+			return fmt.Errorf("widx: %s emitted %d items for one key", u.Name(), len(it.Emitted))
+		}
+		return nil
+	}
+
+	for i, wu := range s.walkers {
+		if wu != u {
+			continue
+		}
+		s.walkLast[i] = it.FinishCycle
+		s.res.Walkers[i].addItem(it)
+		key := s.walkKey[i]
+		s.done[key] = keyOutput{emitted: it.Emitted, finish: it.FinishCycle}
+		s.releaseDone()
+		if s.mode == Coupled {
+			lane := int(key % uint64(s.n))
+			s.laneGate[lane] = true
+			s.laneAvail[lane] = it.FinishCycle
+		}
+		return nil
+	}
+
+	// Producer.
+	s.prodLast = it.FinishCycle
+	s.res.ProducerBusy += it.Busy()
+	return nil
+}
+
+// releaseDone releases finished keys to the producer in key order: each
+// key's matches enter the producer stream (and res.Matches) only once every
+// earlier key has been released, making the match order independent of how
+// the walks interleaved.
+func (s *sched) releaseDone() {
+	for {
+		out, ok := s.done[s.nextOut]
+		if !ok {
+			return
+		}
+		delete(s.done, s.nextOut)
+		if out.finish > s.releaseClock {
+			s.releaseClock = out.finish
+		}
+		for _, m := range out.emitted {
+			s.prodQ = append(s.prodQ, qitem{vals: m, key: s.nextOut, avail: s.releaseClock})
+			s.res.Matches = append(s.res.Matches, m[0])
+		}
+		s.nextOut++
+	}
+}
+
+// finished reports whether every key has been hashed, walked, released and
+// produced, with all units idle.
+func (s *sched) finished() bool {
+	if s.nextOut != s.req.KeyCount || len(s.prodQ) > 0 {
+		return false
+	}
+	for i, u := range s.hashUnits {
+		if u.State() != UnitIdle || s.hashNext[i] < s.req.KeyCount {
+			return false
+		}
+	}
+	for _, u := range s.walkers {
+		if u.State() != UnitIdle {
+			return false
+		}
+	}
+	for _, q := range s.queues {
+		if len(q.items) > 0 {
+			return false
+		}
+	}
+	return s.producer.State() == UnitIdle
+}
+
+// endCycle returns the cycle the offload completes: the latest finish across
+// every unit (idle units contribute the offload start, like the seed model).
+func (s *sched) endCycle() uint64 {
+	end := s.req.StartCycle
+	for _, f := range s.hashLast {
+		if f > end {
+			end = f
+		}
+	}
+	for _, f := range s.walkLast {
+		if f > end {
+			end = f
+		}
+	}
+	if s.prodLast > end {
+		end = s.prodLast
+	}
+	return end
+}

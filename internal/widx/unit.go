@@ -38,6 +38,10 @@ type ItemResult struct {
 	MemCycles uint64
 	// TLBCycles is time stalled waiting for address translation.
 	TLBCycles uint64
+	// QueueStall is time spent blocked at an EMIT because the output queue
+	// was full (backpressure imposed by the scheduler); it is excluded from
+	// Busy so a stalled dispatcher does not count as doing useful work.
+	QueueStall uint64
 	// Emitted holds the values pushed to the output queue, one slice per
 	// EMIT executed, in program order.
 	Emitted [][]uint64
@@ -47,8 +51,43 @@ type ItemResult struct {
 	MemOps uint64
 }
 
-// Busy returns the cycles the unit was occupied by this item.
-func (r ItemResult) Busy() uint64 { return r.FinishCycle - r.StartCycle }
+// Busy returns the cycles the unit was occupied by this item, excluding time
+// blocked on output-queue backpressure.
+func (r ItemResult) Busy() uint64 { return r.FinishCycle - r.StartCycle - r.QueueStall }
+
+// UnitState is where a stepped unit is paused. A unit is a resumable
+// coroutine over its program: it executes computation locally and yields to
+// the scheduler at every interaction with shared state (a memory access or a
+// queue push), so the scheduler can interleave all units in global cycle
+// order against the shared hierarchy.
+type UnitState uint8
+
+const (
+	// UnitIdle: no work item is bound; the unit waits for the scheduler to
+	// Start it on the next input. After an item finishes, the unit returns
+	// to UnitIdle and the finished ItemResult is available via LastResult.
+	UnitIdle UnitState = iota
+	// UnitWaitMem: paused immediately before a memory instruction; the
+	// access wants to issue at WantCycle and is performed by GrantMem.
+	UnitWaitMem
+	// UnitWaitEmit: paused at an EMIT; the push happens when the scheduler
+	// grants queue space via GrantEmit.
+	UnitWaitEmit
+)
+
+// String names the state.
+func (s UnitState) String() string {
+	switch s {
+	case UnitIdle:
+		return "idle"
+	case UnitWaitMem:
+		return "wait-mem"
+	case UnitWaitEmit:
+		return "wait-emit"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
 
 // Unit is one Widx processing element executing a fixed program, with
 // registers that persist across work items (constants are loaded once at
@@ -61,6 +100,13 @@ type Unit struct {
 	as   *vm.AddressSpace
 
 	regs [isa.NumRegs]uint64
+
+	// Stepper state: the in-flight work item, the local clock, and the
+	// program counter the unit is paused at.
+	state UnitState
+	pc    int
+	cycle uint64
+	item  ItemResult
 }
 
 // NewUnit builds a unit for the given validated program. The program's
@@ -90,7 +136,8 @@ func (u *Unit) Kind() isa.UnitKind { return u.prog.Kind }
 func (u *Unit) Program() *isa.Program { return u.prog }
 
 // Reset reloads the constant registers and clears the rest, as the
-// configuration step (Section 4.3) does.
+// configuration step (Section 4.3) does. It also clears the stepper state,
+// abandoning any in-flight work item.
 func (u *Unit) Reset() {
 	for i := range u.regs {
 		u.regs[i] = 0
@@ -98,6 +145,10 @@ func (u *Unit) Reset() {
 	for r, v := range u.prog.ConstRegs {
 		u.regs[r] = v
 	}
+	u.state = UnitIdle
+	u.pc = 0
+	u.cycle = 0
+	u.item = ItemResult{}
 }
 
 // Reg returns the current value of a register (for tests and diagnostics).
@@ -132,95 +183,154 @@ func shiftVal(v uint64, shift int8) uint64 {
 	}
 }
 
-// RunItem executes the unit's program for one work item whose input values
-// become available at startCycle. The inputs are bound to the program's
-// InputRegs in order; missing inputs are an error, extra inputs are ignored.
-func (u *Unit) RunItem(inputs []uint64, startCycle uint64) (ItemResult, error) {
+// State reports where the unit is paused.
+func (u *Unit) State() UnitState { return u.state }
+
+// WantCycle is the cycle of the unit's pending shared-state interaction: the
+// cycle its next memory access wants to issue at (UnitWaitMem) or the cycle
+// its EMIT is ready to push at (UnitWaitEmit). Only meaningful while paused.
+func (u *Unit) WantCycle() uint64 { return u.cycle }
+
+// LastResult returns the most recently finished work item's result. It is
+// meaningful while the unit is UnitIdle after at least one completed item.
+func (u *Unit) LastResult() ItemResult { return u.item }
+
+// Start binds a work item whose inputs become available at startCycle and
+// executes until the first yield point (a memory access, an EMIT, or item
+// completion). The inputs are bound to the program's InputRegs in order;
+// missing inputs are an error, extra inputs are ignored.
+func (u *Unit) Start(inputs []uint64, startCycle uint64) error {
+	if u.state != UnitIdle {
+		return fmt.Errorf("widx: unit %q started while %s", u.name, u.state)
+	}
 	if len(inputs) < len(u.prog.InputRegs) {
-		return ItemResult{}, fmt.Errorf("widx: unit %q expects %d inputs, got %d",
+		return fmt.Errorf("widx: unit %q expects %d inputs, got %d",
 			u.name, len(u.prog.InputRegs), len(inputs))
 	}
 	for i, r := range u.prog.InputRegs {
 		u.writeReg(r, inputs[i])
 	}
+	u.item = ItemResult{StartCycle: startCycle}
+	u.cycle = startCycle
+	u.pc = 0
+	return u.advance()
+}
 
-	res := ItemResult{StartCycle: startCycle}
-	cycle := startCycle
-	pc := 0
+// GrantMem performs the memory access the unit is paused at, at the cycle it
+// wanted (contention delays are modelled inside the hierarchy), then resumes
+// execution to the next yield point.
+func (u *Unit) GrantMem() error {
+	if u.state != UnitWaitMem {
+		return fmt.Errorf("widx: unit %q granted memory while %s", u.name, u.state)
+	}
+	in := u.prog.Code[u.pc]
+	addr := u.readReg(in.SrcA) + uint64(in.Imm)
+	var typ mem.AccessType
+	switch in.Op {
+	case isa.LD:
+		typ = mem.Load
+	case isa.ST:
+		typ = mem.Store
+	default:
+		typ = mem.Prefetch
+	}
+	r := u.hier.Access(addr, u.cycle, typ)
+	u.item.Instructions++
+	u.item.MemOps++
+	// Split the stall into translation time and memory time.
+	u.item.TLBCycles += r.TLBReadyCycle - u.cycle
+	if r.CompleteCycle > r.TLBReadyCycle {
+		u.item.MemCycles += r.CompleteCycle - r.TLBReadyCycle
+	}
+	switch in.Op {
+	case isa.LD:
+		u.writeReg(in.Dst, u.as.Read64(addr))
+	case isa.ST:
+		u.as.Write64(addr, u.readReg(in.SrcB))
+	}
+	if r.CompleteCycle > u.cycle {
+		u.cycle = r.CompleteCycle
+	} else {
+		u.cycle++
+	}
+	u.pc++
+	return u.advance()
+}
 
+// GrantEmit retires the EMIT the unit is paused at. The push happens at
+// cycle `at` (>= WantCycle when the scheduler held the unit back for queue
+// space; the difference is accounted as QueueStall). It returns the emitted
+// tuple and resumes execution to the next yield point.
+func (u *Unit) GrantEmit(at uint64) ([]uint64, error) {
+	if u.state != UnitWaitEmit {
+		return nil, fmt.Errorf("widx: unit %q granted emit while %s", u.name, u.state)
+	}
+	if at > u.cycle {
+		u.item.QueueStall += at - u.cycle
+		u.cycle = at
+	}
+	out := make([]uint64, len(u.prog.OutputRegs))
+	for i, r := range u.prog.OutputRegs {
+		out[i] = u.readReg(r)
+	}
+	u.item.Emitted = append(u.item.Emitted, out)
+	u.item.Instructions++
+	u.item.CompCycles++
+	u.cycle++
+	u.pc++
+	if err := u.advance(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// advance executes instructions locally until the next yield point: a memory
+// instruction (UnitWaitMem), an EMIT (UnitWaitEmit) or a HALT (UnitIdle,
+// item finished). Computation touches no shared state, so the scheduler's
+// global cycle ordering only needs to interleave the yield points.
+func (u *Unit) advance() error {
 	for {
-		if res.Instructions >= maxInstructionsPerItem {
-			return res, fmt.Errorf("widx: unit %q exceeded %d instructions on one item (cyclic node list?)",
+		if u.item.Instructions >= maxInstructionsPerItem {
+			return fmt.Errorf("widx: unit %q exceeded %d instructions on one item (cyclic node list?)",
 				u.name, maxInstructionsPerItem)
 		}
-		if pc < 0 || pc >= len(u.prog.Code) {
-			return res, fmt.Errorf("widx: unit %q ran off the end of its program (pc=%d)", u.name, pc)
+		if u.pc < 0 || u.pc >= len(u.prog.Code) {
+			return fmt.Errorf("widx: unit %q ran off the end of its program (pc=%d)", u.name, u.pc)
 		}
-		in := u.prog.Code[pc]
-		res.Instructions++
+		in := u.prog.Code[u.pc]
 
 		switch in.Op {
 		case isa.HALT:
 			// The 2-stage pipeline retires the halt in one cycle.
-			cycle++
-			res.CompCycles++
-			res.FinishCycle = cycle
-			return res, nil
+			u.item.Instructions++
+			u.cycle++
+			u.item.CompCycles++
+			u.item.FinishCycle = u.cycle
+			u.state = UnitIdle
+			return nil
 
 		case isa.EMIT:
-			out := make([]uint64, len(u.prog.OutputRegs))
-			for i, r := range u.prog.OutputRegs {
-				out[i] = u.readReg(r)
-			}
-			res.Emitted = append(res.Emitted, out)
-			cycle++
-			res.CompCycles++
-			pc++
+			u.state = UnitWaitEmit
+			return nil
 
 		case isa.LD, isa.ST, isa.TOUCH:
-			addr := u.readReg(in.SrcA) + uint64(in.Imm)
-			var typ mem.AccessType
-			switch in.Op {
-			case isa.LD:
-				typ = mem.Load
-			case isa.ST:
-				typ = mem.Store
-			default:
-				typ = mem.Prefetch
-			}
-			r := u.hier.Access(addr, cycle, typ)
-			res.MemOps++
-			// Split the stall into translation time and memory time.
-			tlbWait := r.TLBReadyCycle - cycle
-			res.TLBCycles += tlbWait
-			if r.CompleteCycle > r.TLBReadyCycle {
-				res.MemCycles += r.CompleteCycle - r.TLBReadyCycle
-			}
-			switch in.Op {
-			case isa.LD:
-				u.writeReg(in.Dst, u.as.Read64(addr))
-			case isa.ST:
-				u.as.Write64(addr, u.readReg(in.SrcB))
-			}
-			if r.CompleteCycle > cycle {
-				cycle = r.CompleteCycle
-			} else {
-				cycle++
-			}
-			pc++
+			u.state = UnitWaitMem
+			return nil
 
 		case isa.BA:
-			cycle++
-			res.CompCycles++
-			pc = pc + 1 + int(in.Imm)
+			u.item.Instructions++
+			u.cycle++
+			u.item.CompCycles++
+			u.pc = u.pc + 1 + int(in.Imm)
 
 		case isa.BLE:
-			cycle++
-			res.CompCycles++
+			u.item.Instructions++
+			u.cycle++
+			u.item.CompCycles++
 			if int64(u.readReg(in.SrcA)) <= int64(u.readReg(in.SrcB)) {
-				pc = pc + 1 + int(in.Imm)
+				u.pc = u.pc + 1 + int(in.Imm)
 			} else {
-				pc++
+				u.pc++
 			}
 
 		default:
@@ -259,12 +369,36 @@ func (u *Unit) RunItem(inputs []uint64, startCycle uint64) (ItemResult, error) {
 			case isa.XORSHF:
 				v = a ^ shiftVal(b, in.Shift)
 			default:
-				return res, fmt.Errorf("widx: unit %q hit unimplemented opcode %v", u.name, in.Op)
+				return fmt.Errorf("widx: unit %q hit unimplemented opcode %v", u.name, in.Op)
 			}
+			u.item.Instructions++
 			u.writeReg(in.Dst, v)
-			cycle++
-			res.CompCycles++
-			pc++
+			u.cycle++
+			u.item.CompCycles++
+			u.pc++
 		}
 	}
+}
+
+// RunItem executes one work item to completion, granting every yield
+// immediately (no cross-unit interleaving, no queue backpressure). It is the
+// single-unit convenience path used by unit tests and diagnostics; offloads
+// go through the scheduler, which steps all units in global cycle order.
+func (u *Unit) RunItem(inputs []uint64, startCycle uint64) (ItemResult, error) {
+	if err := u.Start(inputs, startCycle); err != nil {
+		return u.item, err
+	}
+	for u.state != UnitIdle {
+		var err error
+		switch u.state {
+		case UnitWaitMem:
+			err = u.GrantMem()
+		case UnitWaitEmit:
+			_, err = u.GrantEmit(u.cycle)
+		}
+		if err != nil {
+			return u.item, err
+		}
+	}
+	return u.item, nil
 }

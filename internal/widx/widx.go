@@ -118,8 +118,12 @@ type OffloadResult struct {
 	Tuples uint64
 	// TotalCycles spans from the offload start to the last unit finishing.
 	TotalCycles uint64
-	// Matches holds every payload emitted by the walkers, in completion
-	// order. For the indirect layout these are base-column references.
+	// Matches holds every payload emitted by the walkers, in probe-key
+	// order (matches of key i precede matches of key i+1; a key's matches
+	// keep their walk emission order). The producer consumes the same
+	// ordered stream, so the result region mirrors this slice. Key order
+	// makes the functional output independent of how concurrent walks
+	// interleave. For the indirect layout these are base-column references.
 	Matches []uint64
 	// Walkers holds the per-walker cycle breakdown; WalkerTotal aggregates it.
 	Walkers     []Breakdown
@@ -236,6 +240,13 @@ func (a *Accelerator) Config() Config { return a.cfg }
 // Offload runs one bulk indexing operation to completion and returns its
 // functional and timing results. The host core is assumed idle for the
 // duration (full offload), which the energy model relies on.
+//
+// Execution happens on the cycle-interleaved core (sched.go): every unit of
+// the configured organization is stepped in global cycle order against the
+// shared hierarchy, so accesses from concurrent walkers contend for L1
+// ports, MSHRs, page-walk slots and memory-controller bandwidth exactly as
+// their cycle interleaving dictates. Errors from any unit — including the
+// output producer — propagate to the caller.
 func (a *Accelerator) Offload(req OffloadRequest) (*OffloadResult, error) {
 	if req.KeyCount == 0 {
 		return nil, fmt.Errorf("widx: offload with zero keys")
@@ -244,290 +255,23 @@ func (a *Accelerator) Offload(req OffloadRequest) (*OffloadResult, error) {
 	if stride == 0 {
 		stride = 8
 	}
-
-	switch a.cfg.Mode {
-	case SharedDispatcher:
-		return a.offloadShared(req, stride)
-	case PerWalkerHash, Coupled:
-		return a.offloadPerWalker(req, stride)
-	default:
+	if a.cfg.Mode > Coupled {
 		return nil, fmt.Errorf("widx: unknown mode %v", a.cfg.Mode)
 	}
-}
 
-// offloadShared models the Figure 3d organization: a single dispatcher unit
-// hashes keys in input order and deposits (bucket, key) pairs into a shared
-// bounded queue; the earliest-free walker picks up each pair.
-func (a *Accelerator) offloadShared(req OffloadRequest, stride uint64) (*OffloadResult, error) {
-	n := a.cfg.NumWalkers
-	queueCap := a.cfg.QueueDepth * n
-
-	dispatcher, err := NewUnit("dispatcher", a.dispProg.Clone(), a.hier, a.as)
+	s, err := newSched(a, req, stride)
 	if err != nil {
 		return nil, err
 	}
-	producer, err := NewUnit("producer", a.prodProg.Clone(), a.hier, a.as)
-	if err != nil {
-		return nil, err
-	}
-	walkers := make([]*Unit, n)
-	for i := range walkers {
-		walkers[i], err = NewUnit(fmt.Sprintf("walker%d", i), a.walkProg.Clone(), a.hier, a.as)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	res := &OffloadResult{Tuples: req.KeyCount, Walkers: make([]Breakdown, n)}
 	memBefore := a.hier.Stats()
-
-	dispTime := req.StartCycle
-	prodTime := req.StartCycle
-	walkerFree := make([]uint64, n)
-	for i := range walkerFree {
-		walkerFree[i] = req.StartCycle
+	if err := s.run(); err != nil {
+		return nil, err
 	}
-	// popTimes[i] records when item i left the dispatch queue; the dispatcher
-	// may only be queueCap items ahead of the walkers.
-	popTimes := make([]uint64, req.KeyCount)
-
-	for i := uint64(0); i < req.KeyCount; i++ {
-		keyAddr := req.KeyBase + i*stride
-
-		slotReady := req.StartCycle
-		if i >= uint64(queueCap) {
-			slotReady = popTimes[i-uint64(queueCap)]
-		}
-		start := dispTime
-		if slotReady > start {
-			res.DispatcherStall += slotReady - start
-			start = slotReady
-		}
-		dres, err := dispatcher.RunItem([]uint64{keyAddr}, start)
-		if err != nil {
-			return nil, err
-		}
-		dispTime = dres.FinishCycle
-		res.DispatcherBusy += dres.Busy()
-		if len(dres.Emitted) != 1 {
-			return nil, fmt.Errorf("widx: dispatcher emitted %d items for one key", len(dres.Emitted))
-		}
-		item := dres.Emitted[0]
-		available := dres.FinishCycle
-
-		// Earliest-free walker takes the item.
-		w := 0
-		for j := 1; j < n; j++ {
-			if walkerFree[j] < walkerFree[w] {
-				w = j
-			}
-		}
-		wStart := walkerFree[w]
-		if available > wStart {
-			res.Walkers[w].Idle += available - wStart
-			wStart = available
-		}
-		popTimes[i] = wStart
-
-		wres, err := walkers[w].RunItem(item, wStart)
-		if err != nil {
-			return nil, err
-		}
-		walkerFree[w] = wres.FinishCycle
-		res.Walkers[w].addItem(wres)
-
-		// Matches stream to the producer; its stores are off the critical
-		// path but still consume time and bandwidth.
-		for _, match := range wres.Emitted {
-			pStart := prodTime
-			if wres.FinishCycle > pStart {
-				pStart = wres.FinishCycle
-			}
-			pres, err := producer.RunItem(match, pStart)
-			if err != nil {
-				return nil, err
-			}
-			prodTime = pres.FinishCycle
-			res.ProducerBusy += pres.Busy()
-			res.Matches = append(res.Matches, match[0])
-		}
-	}
-
-	end := dispTime
-	for _, f := range walkerFree {
-		if f > end {
-			end = f
-		}
-	}
-	if prodTime > end {
-		end = prodTime
-	}
-	res.TotalCycles = end - req.StartCycle
+	res := s.res
+	res.TotalCycles = s.endCycle() - req.StartCycle
 	for _, w := range res.Walkers {
 		res.WalkerTotal.Add(w)
 	}
-	res.MemStats = diffStats(memBefore, a.hier.Stats())
+	res.MemStats = a.hier.Stats().Sub(memBefore)
 	return res, nil
-}
-
-// offloadPerWalker models the Figure 3b and 3c organizations: keys are dealt
-// round-robin to walkers. In PerWalkerHash mode each walker owns a hashing
-// unit whose work overlaps the walker's previous walk (bounded by the queue
-// depth); in Coupled mode hashing executes on the walker itself, serialized
-// with the walk.
-func (a *Accelerator) offloadPerWalker(req OffloadRequest, stride uint64) (*OffloadResult, error) {
-	n := a.cfg.NumWalkers
-	res := &OffloadResult{Tuples: req.KeyCount, Walkers: make([]Breakdown, n)}
-	memBefore := a.hier.Stats()
-
-	producer, err := NewUnit("producer", a.prodProg.Clone(), a.hier, a.as)
-	if err != nil {
-		return nil, err
-	}
-	prodTime := req.StartCycle
-
-	type lane struct {
-		hash  *Unit
-		walk  *Unit
-		hTime uint64
-		wTime uint64
-		// popTimes[k] is when the lane's k-th item left its queue (walk
-		// start); the hashing unit may only run QueueDepth items ahead.
-		popTimes []uint64
-	}
-	lanes := make([]*lane, n)
-	for i := range lanes {
-		h, err := NewUnit(fmt.Sprintf("hash%d", i), a.dispProg.Clone(), a.hier, a.as)
-		if err != nil {
-			return nil, err
-		}
-		w, err := NewUnit(fmt.Sprintf("walker%d", i), a.walkProg.Clone(), a.hier, a.as)
-		if err != nil {
-			return nil, err
-		}
-		lanes[i] = &lane{hash: h, walk: w, hTime: req.StartCycle, wTime: req.StartCycle}
-	}
-
-	end := req.StartCycle
-	for i := uint64(0); i < req.KeyCount; i++ {
-		keyAddr := req.KeyBase + i*stride
-		l := lanes[i%uint64(n)]
-		w := int(i % uint64(n))
-
-		if a.cfg.Mode == Coupled {
-			// Hash and walk back to back on the same unit timeline: hashing
-			// sits on the critical path of every probe (Figure 3b).
-			hres, err := l.hash.RunItem([]uint64{keyAddr}, l.wTime)
-			if err != nil {
-				return nil, err
-			}
-			res.DispatcherBusy += hres.Busy()
-			res.Walkers[w].addItem(hres) // hashing occupies the walker itself
-			if len(hres.Emitted) != 1 {
-				return nil, fmt.Errorf("widx: hash unit emitted %d items", len(hres.Emitted))
-			}
-			wres, err := l.walk.RunItem(hres.Emitted[0], hres.FinishCycle)
-			if err != nil {
-				return nil, err
-			}
-			l.wTime = wres.FinishCycle
-			res.Walkers[w].addItem(wres)
-			prodTime = a.produce(producer, wres, prodTime, res)
-			if l.wTime > end {
-				end = l.wTime
-			}
-			continue
-		}
-
-		// PerWalkerHash (Figure 3c): the hashing unit runs ahead of its
-		// walker, bounded by the queue depth.
-		slotReady := req.StartCycle
-		if k := len(l.popTimes); k >= a.cfg.QueueDepth {
-			slotReady = l.popTimes[k-a.cfg.QueueDepth]
-		}
-		hStart := l.hTime
-		if slotReady > hStart {
-			res.DispatcherStall += slotReady - hStart
-			hStart = slotReady
-		}
-		hres, err := l.hash.RunItem([]uint64{keyAddr}, hStart)
-		if err != nil {
-			return nil, err
-		}
-		l.hTime = hres.FinishCycle
-		res.DispatcherBusy += hres.Busy()
-		if len(hres.Emitted) != 1 {
-			return nil, fmt.Errorf("widx: hash unit emitted %d items", len(hres.Emitted))
-		}
-
-		ready := hres.FinishCycle
-		wStart := l.wTime
-		if ready > wStart {
-			res.Walkers[w].Idle += ready - wStart
-			wStart = ready
-		}
-		l.popTimes = append(l.popTimes, wStart)
-		wres, err := l.walk.RunItem(hres.Emitted[0], wStart)
-		if err != nil {
-			return nil, err
-		}
-		l.wTime = wres.FinishCycle
-		res.Walkers[w].addItem(wres)
-		prodTime = a.produce(producer, wres, prodTime, res)
-
-		if l.wTime > end {
-			end = l.wTime
-		}
-		if l.hTime > end {
-			end = l.hTime
-		}
-	}
-
-	if prodTime > end {
-		end = prodTime
-	}
-	res.TotalCycles = end - req.StartCycle
-	for _, w := range res.Walkers {
-		res.WalkerTotal.Add(w)
-	}
-	res.MemStats = diffStats(memBefore, a.hier.Stats())
-	return res, nil
-}
-
-// produce runs the producer for every match a walker emitted.
-func (a *Accelerator) produce(producer *Unit, wres ItemResult, prodTime uint64, res *OffloadResult) uint64 {
-	for _, match := range wres.Emitted {
-		pStart := prodTime
-		if wres.FinishCycle > pStart {
-			pStart = wres.FinishCycle
-		}
-		pres, err := producer.RunItem(match, pStart)
-		if err != nil {
-			// The producer program is validated at construction; an error here
-			// indicates a harness bug, so surface it loudly.
-			panic(err)
-		}
-		prodTime = pres.FinishCycle
-		res.ProducerBusy += pres.Busy()
-		res.Matches = append(res.Matches, match[0])
-	}
-	return prodTime
-}
-
-// diffStats subtracts two cumulative Stats snapshots.
-func diffStats(before, after mem.Stats) mem.Stats {
-	return mem.Stats{
-		Loads:           after.Loads - before.Loads,
-		Stores:          after.Stores - before.Stores,
-		Prefetches:      after.Prefetches - before.Prefetches,
-		L1Hits:          after.L1Hits - before.L1Hits,
-		L1Misses:        after.L1Misses - before.L1Misses,
-		LLCHits:         after.LLCHits - before.LLCHits,
-		LLCMisses:       after.LLCMisses - before.LLCMisses,
-		CombinedMisses:  after.CombinedMisses - before.CombinedMisses,
-		TLBMisses:       after.TLBMisses - before.TLBMisses,
-		MemBlocks:       after.MemBlocks - before.MemBlocks,
-		PortStallCycles: after.PortStallCycles - before.PortStallCycles,
-		MSHRStallCycles: after.MSHRStallCycles - before.MSHRStallCycles,
-	}
 }

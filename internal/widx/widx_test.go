@@ -24,7 +24,7 @@ type fixture struct {
 	resultBase uint64
 }
 
-func newFixture(t *testing.T, layout hashidx.Layout, hash hashidx.HashKind, buildKeys, probeCount int, buckets uint64) *fixture {
+func newFixture(t testing.TB, layout hashidx.Layout, hash hashidx.HashKind, buildKeys, probeCount int, buckets uint64) *fixture {
 	t.Helper()
 	as := vm.New()
 	rng := stats.NewRNG(99)
@@ -98,7 +98,7 @@ func (f *fixture) expectedMatches() []uint64 {
 	return out
 }
 
-func (f *fixture) accelerator(t *testing.T, cfg Config) *Accelerator {
+func (f *fixture) accelerator(t testing.TB, cfg Config) *Accelerator {
 	t.Helper()
 	acc, err := New(cfg, f.hier, f.as, f.bundle.Dispatcher, f.bundle.Walker, f.bundle.Producer)
 	if err != nil {
@@ -107,7 +107,7 @@ func (f *fixture) accelerator(t *testing.T, cfg Config) *Accelerator {
 	return acc
 }
 
-func (f *fixture) offload(t *testing.T, acc *Accelerator) *OffloadResult {
+func (f *fixture) offload(t testing.TB, acc *Accelerator) *OffloadResult {
 	t.Helper()
 	res, err := acc.Offload(OffloadRequest{KeyBase: f.keyBase, KeyCount: uint64(len(f.probeKeys))})
 	if err != nil {
