@@ -6,8 +6,16 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig2|fig4|fig5|fig8|fig9|fig10|fig11|ablation]
+//	experiments [-run all|fig2|fig4|fig5|fig5sim|fig8|fig9|fig10|fig11|ablation|cmp]
 //	            [-scale 0.015] [-sample 20000] [-parallel N]
+//	            [-agents 4xwidx:4w]
+//
+// fig5sim is the walker-utilization sweep (1-8 walkers) driven by the
+// simulator's exact MSHR-occupancy histogram instead of the Figure 5
+// analytical model. cmp is the shared-memory CMP contention experiment:
+// the -agents machines co-run on one shared LLC / MSHR pool / bandwidth
+// schedule, each probing its own partition, and are compared against solo
+// reference runs.
 //
 // Design points are independent experiments, so -parallel fans them out to N
 // worker goroutines (default: all CPUs); the output is byte-identical at any
@@ -28,11 +36,12 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig8, fig9, fig10, fig11, ablation")
+	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig5sim, fig8, fig9, fig10, fig11, ablation, cmp")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
 	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
 	strictOrder := flag.Bool("strict-order", false, "assert that memory accesses reach the hierarchy in monotonic cycle order (debug)")
+	agentsSpec := flag.String("agents", "4xwidx:4w", "agent mix for -run cmp, e.g. 4xooo+4xwidx:4w")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
@@ -75,6 +84,28 @@ func main() {
 		fmt.Print(sim.FormatQueries(suite))
 		fmt.Println()
 		fmt.Print(sim.FormatEnergy(suite))
+		fmt.Println()
+		printed = true
+	}
+	if want("fig5sim") {
+		points, err := cfg.RunWalkerUtilization(join.Medium, 8)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sim.FormatWalkerUtilization(points, cfg.Mem.L1MSHRs))
+		fmt.Println()
+		printed = true
+	}
+	if want("cmp") {
+		specs, err := sim.ParseAgents(*agentsSpec)
+		if err != nil {
+			fail(err)
+		}
+		exp, err := cfg.RunCMP(join.Medium, specs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sim.FormatCMP(exp))
 		fmt.Println()
 		printed = true
 	}

@@ -1,11 +1,18 @@
-// Command widxsim runs one simulation configuration — either the hash-join
-// kernel or a named DSS query — on the baseline cores and on Widx, and prints
-// the resulting report.
+// Command widxsim runs one simulation configuration — the hash-join kernel,
+// a named DSS query, or a shared-memory multi-agent (CMP) contention run —
+// and prints the resulting report.
 //
 // Usage:
 //
 //	widxsim -kernel Large  [-scale 0.01] [-sample 20000] [-parallel N]
 //	widxsim -suite TPC-H -query q17 [-scale 0.01] [-sample 20000] [-parallel N]
+//	widxsim -agents 4xooo+4xwidx:4w [-kernel Medium] [-scale 0.1] [-sample 5000]
+//
+// -agents co-schedules the specified agents — "Nx" replicated widx[:Ww],
+// ooo, or inorder machines, joined with "+" — on one shared LLC / MSHR pool
+// / memory-bandwidth schedule, each probing its own partition's hash table
+// of the -kernel size class (default Medium), and reports per-agent and
+// system-level contention against solo reference runs.
 //
 // -parallel fans the independent design points out to N worker goroutines
 // (default: all CPUs) without changing any reported number.
@@ -34,6 +41,7 @@ func main() {
 	kernel := flag.String("kernel", "", "hash-join kernel size class: Small, Medium or Large")
 	suite := flag.String("suite", "TPC-H", "benchmark suite: TPC-H or TPC-DS")
 	query := flag.String("query", "", "query name, e.g. q17")
+	agentsSpec := flag.String("agents", "", "co-run a multi-agent system on one shared hierarchy, e.g. 4xooo+4xwidx:4w")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
 	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
@@ -48,6 +56,23 @@ func main() {
 	cfg.StrictMemOrder = *strictOrder
 
 	switch {
+	case *agentsSpec != "":
+		specs, err := sim.ParseAgents(*agentsSpec)
+		if err != nil {
+			fail(err)
+		}
+		size := join.Medium
+		if *kernel != "" {
+			size, err = parseSize(*kernel)
+			if err != nil {
+				fail(err)
+			}
+		}
+		exp, err := cfg.RunCMP(size, specs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sim.FormatCMP(exp))
 	case *kernel != "":
 		size, err := parseSize(*kernel)
 		if err != nil {

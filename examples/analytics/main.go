@@ -3,6 +3,11 @@
 // prints the Figure 2a-style operator breakdown, then offloads the indexing
 // phase to Widx and reports the indexing and whole-query speedups.
 //
+// Every design point below executes on the system API: a single-agent
+// shared memory level driven by the event scheduler (internal/system). The
+// hashjoin and quickstart examples show the same API co-running several
+// agents on one hierarchy.
+//
 // Run with:
 //
 //	go run ./examples/analytics

@@ -98,7 +98,12 @@ miss:
 	}
 	fmt.Printf("control block: %d sections, %d bytes\n", len(cb.Sections), cb.SizeBytes())
 
-	hier := mem.NewHierarchy(mem.DefaultConfig())
+	// 3b. Build the machine with the system API: a shared memory level (LLC,
+	// MSHR pool, memory bandwidth) with one agent view attached — the agent
+	// owns its private L1 and TLB. More agents on the same shared level
+	// would co-run against this one (see the quickstart's ProbeShared).
+	shared := mem.NewSharedLevel(mem.DefaultConfig())
+	hier := shared.NewAgent("custom-widx")
 	acc, err := widx.NewFromControlBlock(widx.Config{NumWalkers: 4, QueueDepth: 2}, hier, as, cb)
 	if err != nil {
 		log.Fatal(err)

@@ -40,4 +40,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(sim.FormatKernel(exp))
+
+	// CMP contention study: four Widx agents co-run a partitioned join on
+	// one shared LLC / MSHR pool / memory-bandwidth schedule (the paper's
+	// 4-core deployment), compared against solo runs of each partition.
+	specs, err := sim.ParseAgents("4xwidx:4w")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmpCfg := cfg
+	cmpCfg.Scale = 1.0 / 8 // partitions sized so 4 of them overflow the LLC
+	cmpCfg.SampleProbes = 2000
+	cmpExp, err := cmpCfg.RunCMP(join.Medium, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(sim.FormatCMP(cmpExp))
 }

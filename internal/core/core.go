@@ -13,6 +13,18 @@
 //     run the same probes on a modelled baseline core, and
 //  4. read back the matches and the timing/energy report (Compare).
 //
+// Since the system-API redesign, every probe runs on the shared-memory
+// multi-agent simulation layer: a mem.SharedLevel (LLC, MSHR pool, memory
+// bandwidth) with one or more agents attached, each owning a private L1 and
+// TLB, driven by internal/system's event scheduler. Probe and Compare build
+// a single-agent system — their results are identical to the pre-redesign
+// facade — while ProbeShared co-schedules any mix of Widx accelerators and
+// host cores on one hierarchy, the paper's CMP deployment (4 cores x Widx).
+//
+// Migration note: core.NewSystem, Probe and Compare are source-compatible
+// with the previous facade; code that wants contention studies switches from
+// Probe to ProbeShared with an AgentSpec per co-running agent.
+//
 // Everything runs inside a deterministic, simulated machine: the timing
 // numbers are modelled cycles for the Table 2 configuration, not wall-clock
 // time on the host.
@@ -26,6 +38,7 @@ import (
 	"widx/internal/hashidx"
 	"widx/internal/mem"
 	"widx/internal/program"
+	"widx/internal/system"
 	"widx/internal/vm"
 	"widx/internal/widx"
 )
@@ -212,9 +225,104 @@ type ProbeResult struct {
 	// WalkerBreakdown is only populated for the Widx design: per-tuple
 	// cycles split into computation, memory, TLB and idle time.
 	WalkerBreakdown *widx.Breakdown
+	// MemStats is the agent's own view of the memory-system activity during
+	// the probe: in a shared run it attributes LLC misses, off-chip blocks
+	// and MSHR stalls to this agent.
+	MemStats mem.Stats
 }
 
-// Probe executes the request against the index on a fresh memory hierarchy.
+// agentRun couples a schedulable agent with the finisher that folds its
+// engine-specific result into a ProbeResult once the system run completes.
+type agentRun struct {
+	agent  system.Agent
+	finish func() (*ProbeResult, error)
+}
+
+// newAgentRun wires one design onto an agent view of a shared memory level:
+// it builds the design's execution engine (a Widx offload or a core probe
+// replay) over the key column at keyBase and returns it ready for the
+// system scheduler.
+func (s *System) newAgentRun(hier *mem.Hierarchy, ix *Index, bundle *program.Bundle,
+	d Design, keys []uint64, keyBase uint64) (*agentRun, error) {
+	eng := energy.Default()
+	res := &ProbeResult{Design: d, Probes: len(keys)}
+	switch d.Kind {
+	case DesignOoO, DesignInOrder:
+		cfg := cores.OoOConfig()
+		if d.Kind == DesignInOrder {
+			cfg = cores.InOrderConfig()
+		}
+		c, err := cores.New(cfg, hier)
+		if err != nil {
+			return nil, err
+		}
+		traces := make([]hashidx.ProbeTrace, len(keys))
+		for i, k := range keys {
+			pr := ix.table.ProbeFrom(k, keyBase+uint64(i)*8)
+			traces[i] = pr.Trace
+			if pr.Found {
+				res.Matches += pr.Matches
+				res.Payloads = append(res.Payloads, pr.Payload)
+			}
+		}
+		pe, err := c.NewProbeEngine(traces, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &agentRun{agent: pe, finish: func() (*ProbeResult, error) {
+			cr, err := pe.Result()
+			if err != nil {
+				return nil, err
+			}
+			res.Cycles = cr.TotalCycles
+			res.CyclesPerTuple = cr.CyclesPerTuple()
+			res.MemStats = cr.MemStats
+			if d.Kind == DesignInOrder {
+				res.EnergyJ = eng.InOrder(float64(cr.TotalCycles)).EnergyJ
+			} else {
+				res.EnergyJ = eng.OoO(float64(cr.TotalCycles)).EnergyJ
+			}
+			return res, nil
+		}}, nil
+
+	case DesignWidx:
+		walkers := d.Walkers
+		if walkers == 0 {
+			walkers = 4
+		}
+		acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: 2},
+			hier, s.as, bundle.Dispatcher, bundle.Walker, bundle.Producer)
+		if err != nil {
+			return nil, err
+		}
+		o, err := acc.StartOffload(widx.OffloadRequest{KeyBase: keyBase, KeyCount: uint64(len(keys))})
+		if err != nil {
+			return nil, err
+		}
+		return &agentRun{agent: o, finish: func() (*ProbeResult, error) {
+			or, err := o.Result()
+			if err != nil {
+				return nil, err
+			}
+			res.Matches = len(or.Matches)
+			res.Payloads = translatePayloads(ix, or.Matches)
+			res.Cycles = or.TotalCycles
+			res.CyclesPerTuple = or.CyclesPerTuple()
+			res.EnergyJ = eng.Widx(float64(or.TotalCycles)).EnergyJ
+			res.MemStats = or.MemStats
+			bd := or.WalkerTotal
+			res.WalkerBreakdown = &bd
+			return res, nil
+		}}, nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown design %v", d)
+	}
+}
+
+// Probe executes the request against the index on a fresh single-agent
+// system: one agent view in front of a private shared level, driven by the
+// system scheduler. Results are identical to the pre-system-API facade.
 func (s *System) Probe(ix *Index, req ProbeRequest) (*ProbeResult, error) {
 	if ix == nil {
 		return nil, fmt.Errorf("core: nil index")
@@ -227,68 +335,139 @@ func (s *System) Probe(ix *Index, req ProbeRequest) (*ProbeResult, error) {
 	for i, k := range req.Keys {
 		s.as.Write64(keyBase+uint64(i)*8, k)
 	}
-	hier := mem.NewHierarchy(s.opts.Memory)
-	eng := energy.Default()
-
-	res := &ProbeResult{Design: req.Design, Probes: len(req.Keys)}
-	switch req.Design.Kind {
-	case DesignOoO, DesignInOrder:
-		cfg := cores.OoOConfig()
-		if req.Design.Kind == DesignInOrder {
-			cfg = cores.InOrderConfig()
-		}
-		c, err := cores.New(cfg, hier)
-		if err != nil {
-			return nil, err
-		}
-		traces := make([]hashidx.ProbeTrace, len(req.Keys))
-		for i, k := range req.Keys {
-			pr := ix.table.ProbeFrom(k, keyBase+uint64(i)*8)
-			traces[i] = pr.Trace
-			if pr.Found {
-				res.Matches += pr.Matches
-				res.Payloads = append(res.Payloads, pr.Payload)
-			}
-		}
-		cr, err := c.RunProbes(traces, 0)
-		if err != nil {
-			return nil, err
-		}
-		res.Cycles = cr.TotalCycles
-		res.CyclesPerTuple = cr.CyclesPerTuple()
-		if req.Design.Kind == DesignInOrder {
-			res.EnergyJ = eng.InOrder(float64(cr.TotalCycles)).EnergyJ
-		} else {
-			res.EnergyJ = eng.OoO(float64(cr.TotalCycles)).EnergyJ
-		}
-		return res, nil
-
-	case DesignWidx:
-		walkers := req.Design.Walkers
-		if walkers == 0 {
-			walkers = 4
-		}
-		acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: 2},
-			hier, s.as, ix.bundle.Dispatcher, ix.bundle.Walker, ix.bundle.Producer)
-		if err != nil {
-			return nil, err
-		}
-		or, err := acc.Offload(widx.OffloadRequest{KeyBase: keyBase, KeyCount: uint64(len(req.Keys))})
-		if err != nil {
-			return nil, err
-		}
-		res.Matches = len(or.Matches)
-		res.Payloads = translatePayloads(ix, or.Matches)
-		res.Cycles = or.TotalCycles
-		res.CyclesPerTuple = or.CyclesPerTuple()
-		res.EnergyJ = eng.Widx(float64(or.TotalCycles)).EnergyJ
-		bd := or.WalkerTotal
-		res.WalkerBreakdown = &bd
-		return res, nil
-
-	default:
-		return nil, fmt.Errorf("core: unknown design %v", req.Design)
+	sl := mem.NewSharedLevel(s.opts.Memory)
+	run, err := s.newAgentRun(sl.NewAgent(req.Design.String()), ix, ix.bundle, req.Design, req.Keys, keyBase)
+	if err != nil {
+		return nil, err
 	}
+	if err := system.Run(run.agent); err != nil {
+		return nil, err
+	}
+	return run.finish()
+}
+
+// AgentSpec names one agent of a shared-memory run.
+type AgentSpec struct {
+	// Name labels the agent's memory view and result rows; empty defaults
+	// to "<design>.<index>".
+	Name string
+	// Design selects the agent's machine (Widx, OoO or in-order).
+	Design Design
+}
+
+// SharedProbeRequest describes a co-scheduled multi-agent probe: agent i
+// probes key stream Keys[i]. All agents start at cycle 0 and contend for
+// one shared LLC, MSHR pool and memory-bandwidth schedule.
+type SharedProbeRequest struct {
+	Agents []AgentSpec
+	Keys   [][]uint64
+}
+
+// AgentProbeResult is one agent's labeled outcome of a shared run. MemStats
+// (inherited from ProbeResult) attributes the shared level's activity to
+// this agent; the per-agent shared-resource counters sum to SharedStats.
+type AgentProbeResult struct {
+	Name string
+	ProbeResult
+}
+
+// SharedProbeResult reports a co-scheduled multi-agent probe — the paper's
+// CMP deployment, where several cores' indexing phases contend for the LLC
+// and off-chip bandwidth.
+type SharedProbeResult struct {
+	// Agents holds the per-agent results in request order.
+	Agents []AgentProbeResult
+	// SystemCycles spans the run start to the last agent finishing.
+	SystemCycles uint64
+	// SharedStats is the shared level's own counters: LLC hits and misses,
+	// combined misses, off-chip blocks and MSHR stalls accumulated across
+	// every agent (the per-agent MemStats sum to these), plus the shared
+	// pool's MSHR-occupancy histogram.
+	SharedStats mem.Stats
+	// MSHRSaturationShare is the fraction of accounted cycles the shared
+	// MSHR pool was full; BandwidthUtilization the fraction of the
+	// effective off-chip bandwidth consumed over the run.
+	MSHRSaturationShare  float64
+	BandwidthUtilization float64
+}
+
+// ProbeShared executes one probe stream per agent, co-scheduled on a single
+// shared memory level by the system scheduler. With one agent it reduces to
+// Probe; with several it is the contention experiment the ROADMAP's
+// multi-accelerator item asks for.
+func (s *System) ProbeShared(ix *Index, req SharedProbeRequest) (*SharedProbeResult, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("core: nil index")
+	}
+	if len(req.Agents) == 0 {
+		return nil, fmt.Errorf("core: shared probe needs at least one agent")
+	}
+	if len(req.Keys) != len(req.Agents) {
+		return nil, fmt.Errorf("core: %d agents but %d key streams", len(req.Agents), len(req.Keys))
+	}
+
+	// Materialize every agent's inputs first, in request order, so memory
+	// addresses (and with them cache and TLB behaviour) are fixed by the
+	// request alone. Each Widx agent gets a private result region and a
+	// program bundle pointing at it.
+	names := make([]string, len(req.Agents))
+	keyBases := make([]uint64, len(req.Agents))
+	bundles := make([]*program.Bundle, len(req.Agents))
+	for i, spec := range req.Agents {
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("%s.%d", spec.Design, i)
+		}
+		names[i] = name
+		keys := req.Keys[i]
+		if len(keys) == 0 {
+			return nil, fmt.Errorf("core: agent %q has no probe keys", name)
+		}
+		keyBases[i] = s.as.AllocAligned(name+".keys", uint64(len(keys))*8)
+		for j, k := range keys {
+			s.as.Write64(keyBases[i]+uint64(j)*8, k)
+		}
+		bundles[i] = ix.bundle
+		if spec.Design.Kind == DesignWidx {
+			resultBase := s.as.AllocAligned(name+".results", uint64(len(keys))*16+4096)
+			b, err := program.ForTable(ix.table, resultBase)
+			if err != nil {
+				return nil, err
+			}
+			bundles[i] = b
+		}
+	}
+
+	sl := mem.NewSharedLevel(s.opts.Memory)
+	runs := make([]*agentRun, len(req.Agents))
+	agents := make([]system.Agent, len(req.Agents))
+	for i, spec := range req.Agents {
+		run, err := s.newAgentRun(sl.NewAgent(names[i]), ix, bundles[i], spec.Design, req.Keys[i], keyBases[i])
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = run
+		agents[i] = run.agent
+	}
+	if err := system.Run(agents...); err != nil {
+		return nil, err
+	}
+
+	out := &SharedProbeResult{}
+	for i, run := range runs {
+		pr, err := run.finish()
+		if err != nil {
+			return nil, err
+		}
+		out.Agents = append(out.Agents, AgentProbeResult{Name: names[i], ProbeResult: *pr})
+		if pr.Cycles > out.SystemCycles {
+			out.SystemCycles = pr.Cycles
+		}
+	}
+	out.SharedStats = sl.Stats()
+	out.MSHRSaturationShare = out.SharedStats.MSHRSaturationShare(s.opts.Memory.L1MSHRs)
+	out.BandwidthUtilization = s.opts.Memory.MemBandwidthUtilization(out.SharedStats.MemBlocks, out.SystemCycles)
+	return out, nil
 }
 
 // translatePayloads converts walker-emitted payloads into the same payload

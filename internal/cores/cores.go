@@ -24,6 +24,7 @@ import (
 
 	"widx/internal/hashidx"
 	"widx/internal/mem"
+	"widx/internal/system"
 )
 
 // Kind identifies the modelled core.
@@ -332,21 +333,56 @@ func (p *probeRun) finishStep(c *Core, res *Result) {
 	p.phase = phNode
 }
 
-// RunProbes executes the probe traces starting at startCycle and returns the
-// timing result. The traces must come from the same index build that the
-// hierarchy's address space holds, so cache behaviour matches the data.
+// ProbeEngine is an in-flight bulk probe replay exposed as a resumable
+// system.Agent: the system scheduler (internal/system) can co-schedule it
+// with other agents — Widx offloads, other cores — against one shared
+// memory level. Core.RunProbes wraps it for the solo case.
 //
-// Probes overlap up to the in-flight window, and their memory accesses reach
-// the hierarchy in monotonically non-decreasing cycle order: each iteration
-// grants the single pending access with the globally smallest cycle, exactly
-// like the Widx scheduler. Admission follows trace order, gated by the front
-// end's dispatch throughput.
-func (c *Core) RunProbes(traces []hashidx.ProbeTrace, startCycle uint64) (Result, error) {
+// Probes overlap up to the in-flight window, and the engine's memory
+// accesses reach the hierarchy in monotonically non-decreasing cycle order:
+// every GrantMem performs the pending access with the engine-wide smallest
+// cycle, exactly like the Widx scheduler. Admission follows trace order,
+// gated by the front end's dispatch throughput.
+type ProbeEngine struct {
+	c      *Core
+	traces []hashidx.ProbeTrace
+
+	res       Result
+	memBefore mem.Stats
+
+	startCycle       uint64
+	dispatchInterval uint64
+
+	// slots holds the in-flight probes (the overlap window); slotFree[i] is
+	// the cycle slot i last became free. The window is small (bounded by
+	// MaxInFlightProbes, 10 for the Table 2 OoO core), so min-selection
+	// scans it directly — and squash clamps rewrite in-flight probes'
+	// pending cycles, which a heap would have to re-key anyway.
+	slots    []*probeRun
+	slotFree []uint64
+	next     int
+	// nextDispatch gates admission on front-end throughput; end tracks the
+	// last probe completion.
+	nextDispatch uint64
+	end          uint64
+}
+
+// NewProbeEngine prepares a bulk probe replay as a schedulable agent. The
+// traces must come from the same index build that the hierarchy's address
+// space holds, so cache behaviour matches the data. The engine's Result
+// becomes available once the agent reports Done.
+func (c *Core) NewProbeEngine(traces []hashidx.ProbeTrace, startCycle uint64) (*ProbeEngine, error) {
 	if len(traces) == 0 {
-		return Result{}, fmt.Errorf("cores: no probes to run")
+		return nil, fmt.Errorf("cores: no probes to run")
 	}
-	res := Result{Tuples: uint64(len(traces))}
-	memBefore := c.hier.Stats()
+	e := &ProbeEngine{
+		c:          c,
+		traces:     traces,
+		res:        Result{Tuples: uint64(len(traces))},
+		memBefore:  c.hier.Stats(),
+		startCycle: startCycle,
+		next:       0,
+	}
 
 	// Average instruction footprint decides the overlap window; using the
 	// first trace alone would be noisy for skewed chains.
@@ -359,93 +395,155 @@ func (c *Core) RunProbes(traces []hashidx.ProbeTrace, startCycle uint64) (Result
 
 	// Dispatch throughput: the front end must insert a probe's instructions
 	// into the window before the next probe can enter.
-	dispatchInterval := uint64(instrPerProbe * c.cfg.InstrExpansion / float64(c.cfg.IssueWidth))
-	if dispatchInterval < 1 {
-		dispatchInterval = 1
+	e.dispatchInterval = uint64(instrPerProbe * c.cfg.InstrExpansion / float64(c.cfg.IssueWidth))
+	if e.dispatchInterval < 1 {
+		e.dispatchInterval = 1
 	}
 
-	slots := make([]*probeRun, window)
-	slotFree := make([]uint64, window)
-	for i := range slotFree {
-		slotFree[i] = startCycle
+	e.slots = make([]*probeRun, window)
+	e.slotFree = make([]uint64, window)
+	for i := range e.slotFree {
+		e.slotFree[i] = startCycle
 	}
-	next := 0
-	nextDispatch := startCycle
-	end := startCycle
+	e.nextDispatch = startCycle
+	e.end = startCycle
+	return e, nil
+}
 
-	// complete retires a finished probe from its slot.
-	complete := func(s int) {
-		p := slots[s]
-		slots[s] = nil
-		slotFree[s] = p.t
-		if c.cfg.SquashOnLongExit && p.longExit {
-			// The exit branch waited on a memory-latency load and resolves
-			// (mispredicted) only at p.t: the speculative run-ahead of every
-			// younger in-flight probe is squashed, so none of their
-			// remaining work can land before the resolution, and no new
-			// probe can dispatch earlier either.
-			if p.t > nextDispatch {
-				nextDispatch = p.t
-			}
-			for _, q := range slots {
-				if q != nil && q.seq > p.seq && q.t < p.t {
-					q.t = p.t
-				}
-			}
+// Name identifies the agent (the label of its memory-hierarchy view).
+func (e *ProbeEngine) Name() string { return e.c.hier.Name() }
+
+// complete retires a finished probe from its slot.
+func (e *ProbeEngine) complete(s int) {
+	p := e.slots[s]
+	e.slots[s] = nil
+	e.slotFree[s] = p.t
+	if e.c.cfg.SquashOnLongExit && p.longExit {
+		// The exit branch waited on a memory-latency load and resolves
+		// (mispredicted) only at p.t: the speculative run-ahead of every
+		// younger in-flight probe is squashed, so none of their
+		// remaining work can land before the resolution, and no new
+		// probe can dispatch earlier either.
+		if p.t > e.nextDispatch {
+			e.nextDispatch = p.t
 		}
-		if p.t > end {
-			end = p.t
+		for _, q := range e.slots {
+			if q != nil && q.seq > p.seq && q.t < p.t {
+				q.t = p.t
+			}
 		}
 	}
+	if p.t > e.end {
+		e.end = p.t
+	}
+}
 
-	for {
-		// Admit traces (in order) into free slots, earliest-free first.
-		for next < len(traces) {
-			s := -1
-			for i := range slots {
-				if slots[i] == nil && (s < 0 || slotFree[i] < slotFree[s]) {
-					s = i
-				}
-			}
-			if s < 0 {
-				break
-			}
-			tr := &traces[next]
-			seq := next
-			next++
-			res.Instructions += uint64(probeInstructions(*tr)*c.cfg.InstrExpansion + 0.5)
-			start := slotFree[s]
-			if nextDispatch > start {
-				start = nextDispatch
-			}
-			nextDispatch = start + dispatchInterval
-			p := &probeRun{tr: tr, seq: seq, t: start, hashStart: start}
-			p.advance(c, &res)
-			if p.phase == phDone {
-				slots[s] = p
-				complete(s)
-				continue
-			}
-			slots[s] = p
-		}
-
-		// Grant the pending access with the globally smallest cycle.
+// Settle admits traces (in order) into free slots, earliest-free first —
+// the agent-local progress that needs no global memory ordering.
+func (e *ProbeEngine) Settle() error {
+	for e.next < len(e.traces) {
 		s := -1
-		for i, p := range slots {
-			if p != nil && (s < 0 || p.t < slots[s].t) {
+		for i := range e.slots {
+			if e.slots[i] == nil && (s < 0 || e.slotFree[i] < e.slotFree[s]) {
 				s = i
 			}
 		}
 		if s < 0 {
-			break // no probes in flight and none left to admit
+			return nil
 		}
-		slots[s].grant(c, &res)
-		if slots[s].phase == phDone {
-			complete(s)
+		tr := &e.traces[e.next]
+		seq := e.next
+		e.next++
+		e.res.Instructions += uint64(probeInstructions(*tr)*e.c.cfg.InstrExpansion + 0.5)
+		start := e.slotFree[s]
+		if e.nextDispatch > start {
+			start = e.nextDispatch
+		}
+		e.nextDispatch = start + e.dispatchInterval
+		p := &probeRun{tr: tr, seq: seq, t: start, hashStart: start}
+		p.advance(e.c, &e.res)
+		e.slots[s] = p
+		if p.phase == phDone {
+			e.complete(s)
 		}
 	}
+	return nil
+}
 
-	res.TotalCycles = end - startCycle
-	res.MemStats = c.hier.Stats().Sub(memBefore)
+// pendingSlot returns the in-flight slot with the smallest pending cycle
+// (ties: lowest index), or -1 when no probe is in flight.
+func (e *ProbeEngine) pendingSlot() int {
+	s := -1
+	for i, p := range e.slots {
+		if p != nil && (s < 0 || p.t < e.slots[s].t) {
+			s = i
+		}
+	}
+	return s
+}
+
+// PendingMem reports the cycle of the earliest pending memory access.
+func (e *ProbeEngine) PendingMem() (uint64, bool) {
+	s := e.pendingSlot()
+	if s < 0 {
+		return 0, false
+	}
+	return e.slots[s].t, true
+}
+
+// GrantMem performs the pending access with the engine-wide smallest cycle.
+func (e *ProbeEngine) GrantMem() error {
+	s := e.pendingSlot()
+	if s < 0 {
+		return fmt.Errorf("cores: %s: memory grant with no probe in flight (%d/%d admitted)",
+			e.Name(), e.next, len(e.traces))
+	}
+	e.slots[s].grant(e.c, &e.res)
+	if e.slots[s].phase == phDone {
+		e.complete(s)
+	}
+	return nil
+}
+
+// Done reports whether every trace has been admitted and retired.
+func (e *ProbeEngine) Done() bool {
+	if e.next < len(e.traces) {
+		return false
+	}
+	for _, p := range e.slots {
+		if p != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Result finalizes and returns the replay's timing result. It is only valid
+// once Done reports true. MemStats covers the engine's own hierarchy view
+// over the replay's span, so in a multi-agent run it is the per-agent
+// attribution of the shared level's activity.
+func (e *ProbeEngine) Result() (Result, error) {
+	if !e.Done() {
+		return Result{}, fmt.Errorf("cores: %s: result requested before the replay finished (%d/%d admitted)",
+			e.Name(), e.next, len(e.traces))
+	}
+	res := e.res
+	res.TotalCycles = e.end - e.startCycle
+	res.MemStats = e.c.hier.Stats().Sub(e.memBefore)
 	return res, nil
+}
+
+// RunProbes executes the probe traces starting at startCycle and returns the
+// timing result, driving the engine to completion on the system scheduler.
+// To co-run the replay with other agents on a shared memory level, use
+// NewProbeEngine and system.Run instead.
+func (c *Core) RunProbes(traces []hashidx.ProbeTrace, startCycle uint64) (Result, error) {
+	e, err := c.NewProbeEngine(traces, startCycle)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := system.Run(e); err != nil {
+		return Result{}, err
+	}
+	return e.Result()
 }

@@ -298,6 +298,21 @@ func (t *Table) BucketAddr(b uint64) uint64 {
 // only; zero otherwise).
 func (t *Table) KeyColumnBase() uint64 { return t.keyColBase }
 
+// Regions returns the address ranges [start, end) the index occupies: the
+// bucket array, the allocated overflow nodes, and (for the indirect layout)
+// the base key column. Cache warm-up uses it to install the index working
+// set, the steady state the paper's warmed checkpoints measure from.
+func (t *Table) Regions() [][2]uint64 {
+	r := [][2]uint64{{t.bucketBase, t.bucketBase + t.buckets*t.nodeSize}}
+	if t.poolNext > t.poolBase {
+		r = append(r, [2]uint64{t.poolBase, t.poolNext})
+	}
+	if t.cfg.Layout == LayoutIndirect {
+		r = append(r, [2]uint64{t.keyColBase, t.keyColBase + t.numKeys*8})
+	}
+	return r
+}
+
 // NumKeys returns the number of keys inserted.
 func (t *Table) NumKeys() uint64 { return t.numKeys }
 

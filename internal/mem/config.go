@@ -104,6 +104,34 @@ func (c Config) MemServiceIntervalCycles() float64 {
 	return cyclesPerSec / blocksPerSec
 }
 
+// memServiceSlotCycles is the rounded per-controller transfer-slot width the
+// controller schedules actually use: one block transfer may start per this
+// many cycles. Rounding the interval up keeps the modelled bandwidth at or
+// below the configured effective bandwidth.
+func (c Config) memServiceSlotCycles() uint64 {
+	interval := uint64(c.MemServiceIntervalCycles() + 0.5)
+	if interval == 0 {
+		interval = 1
+	}
+	return interval
+}
+
+// MemBandwidthUtilization returns the fraction of the modelled effective
+// off-chip bandwidth consumed by transferring `blocks` cache blocks over a
+// span of `cycles` cycles, across all controllers. It uses the same rounded
+// service interval the controllers schedule with, so 1.0 means every
+// transfer slot of the span was used.
+func (c Config) MemBandwidthUtilization(blocks, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	maxBlocks := float64(cycles) / float64(c.memServiceSlotCycles()) * float64(c.MemControllers)
+	if maxBlocks <= 0 {
+		return 0
+	}
+	return float64(blocks) / maxBlocks
+}
+
 // Validate reports configuration errors that would make the model
 // meaningless (zero sizes, non-power-of-two blocks and similar).
 func (c Config) Validate() error {

@@ -2,7 +2,6 @@ package mem
 
 import (
 	"fmt"
-	"slices"
 )
 
 // AccessType distinguishes the memory operations the timing model cares
@@ -93,52 +92,48 @@ func (r Result) Latency(requested uint64) uint64 {
 	return r.CompleteCycle - requested
 }
 
-// mshrEntry tracks one outstanding L1 miss. The MSHR is occupied from the
-// allocation cycle (start) until the fill returns (complete).
+// mshrEntry tracks one outstanding miss. The MSHR is occupied from the
+// allocation cycle (start) until the fill returns (complete). owner is the
+// agent whose miss allocated the entry: its own L1 tag was installed at
+// allocation (so its re-accesses must combine rather than falsely hit),
+// while other agents check their private L1s before combining.
 type mshrEntry struct {
 	block    uint64
 	start    uint64
 	complete uint64
+	owner    *Hierarchy
 }
 
-// Hierarchy is the shared memory system. It is deliberately not safe for
-// concurrent use: the simulator issues accesses from a single goroutine in
-// monotonically non-decreasing cycle order (the stepped execution core in
-// internal/widx and the interleaved replay in internal/cores guarantee this),
-// which keeps results deterministic and makes live resource occupancy
-// well-defined. SetStrictOrder turns the ordering contract into a hard
-// assertion for debugging.
+// Hierarchy is one agent's view of the memory system: a private L1-D, TLB
+// and L1 port schedule in front of the SharedLevel (LLC, MSHR pool, memory
+// controllers) it was attached to. A standalone Hierarchy from NewHierarchy
+// owns a private shared level, which is the single-agent machine the
+// original model exposed.
+//
+// It is deliberately not safe for concurrent use: the simulator issues
+// accesses from a single goroutine in monotonically non-decreasing cycle
+// order across all agents of the shared level (the stepped execution core in
+// internal/widx, the interleaved replay in internal/cores and the system
+// scheduler in internal/system guarantee this), which keeps results
+// deterministic and makes live resource occupancy well-defined.
+// SetStrictOrder turns the ordering contract into a hard assertion.
 type Hierarchy struct {
-	cfg Config
+	cfg  Config
+	name string
 
 	l1  *Cache
-	llc *Cache
 	tlb *TLB
-
 	// ports grants L1-D access slots (cfg.L1Ports per cycle).
 	ports *slotSchedule
-	// mshrs holds outstanding L1 misses, at most cfg.L1MSHRs live at once.
-	mshrs []mshrEntry
-	// mcs grants block-transfer slots, one per service interval per
-	// controller, enforcing the effective off-chip bandwidth.
-	mcs []*slotSchedule
 
-	// strictOrder makes Access panic when a request's cycle precedes an
-	// earlier request's cycle (debug assertion for the execution core).
-	strictOrder bool
-	// lastRequest is the cycle of the most recent Access request.
-	lastRequest uint64
-	// occLast is the cycle up to which the MSHR-occupancy histogram has
-	// been accounted; occStarted is false until the measurement phase's
-	// first access anchors the accounting (so the histogram never charges
-	// time from before the phase began).
-	occLast    uint64
-	occStarted bool
+	shared *SharedLevel
 
 	stats Stats
 }
 
-// Stats aggregates hierarchy activity since the last counter reset.
+// Stats aggregates hierarchy activity since the last counter reset. On a
+// per-agent view the counters cover that agent's accesses only; the
+// MSHR-occupancy histogram always describes the shared pool.
 type Stats struct {
 	Loads      uint64
 	Stores     uint64
@@ -162,11 +157,11 @@ type Stats struct {
 
 	// MSHROccupancy is a time-weighted histogram of live MSHR occupancy:
 	// MSHROccupancy[k] is the number of cycles exactly k MSHRs were
-	// outstanding. It is meaningful only when accesses are issued in
-	// monotonically non-decreasing cycle order (the execution core's
-	// contract); the last bucket (k == L1MSHRs) measures full-saturation
-	// time. The histogram covers cycles between the first and most recent
-	// access of the measurement phase.
+	// outstanding, across all agents sharing the pool. It is meaningful only
+	// when accesses are issued in monotonically non-decreasing cycle order
+	// (the execution core's contract); the last bucket (k == L1MSHRs)
+	// measures full-saturation time. The histogram covers cycles between the
+	// first and most recent access of the measurement phase.
 	MSHROccupancy []uint64
 }
 
@@ -195,6 +190,37 @@ func (s Stats) Sub(prev Stats) Stats {
 	return d
 }
 
+// Add returns the field-wise sum of two Stats, used to aggregate per-agent
+// views into system totals. Histograms add element-wise over the longer of
+// the two.
+func (s Stats) Add(o Stats) Stats {
+	d := s
+	d.Loads += o.Loads
+	d.Stores += o.Stores
+	d.Prefetches += o.Prefetches
+	d.L1Hits += o.L1Hits
+	d.L1Misses += o.L1Misses
+	d.LLCHits += o.LLCHits
+	d.LLCMisses += o.LLCMisses
+	d.CombinedMisses += o.CombinedMisses
+	d.TLBMisses += o.TLBMisses
+	d.MemBlocks += o.MemBlocks
+	d.PortStallCycles += o.PortStallCycles
+	d.MSHRStallCycles += o.MSHRStallCycles
+	if len(o.MSHROccupancy) > len(s.MSHROccupancy) {
+		d.MSHROccupancy = append([]uint64(nil), o.MSHROccupancy...)
+		for i, v := range s.MSHROccupancy {
+			d.MSHROccupancy[i] += v
+		}
+	} else {
+		d.MSHROccupancy = append([]uint64(nil), s.MSHROccupancy...)
+		for i, v := range o.MSHROccupancy {
+			d.MSHROccupancy[i] += v
+		}
+	}
+	return d
+}
+
 // MSHRSaturationShare returns the fraction of accounted cycles spent with at
 // least `level` MSHRs live — the quantity that explains why walker scaling
 // flattens once the shared MSHR budget is exhausted (Section 3.2).
@@ -210,6 +236,21 @@ func (s Stats) MSHRSaturationShare(level int) float64 {
 		return 0
 	}
 	return float64(at) / float64(total)
+}
+
+// MeanMSHROccupancy returns the time-weighted average number of live MSHRs
+// over the accounted span — the simulator-measured analogue of the offered
+// memory-level parallelism the Figure 5 analytical model takes as input.
+func (s Stats) MeanMSHROccupancy() float64 {
+	var total, weighted uint64
+	for k, cyc := range s.MSHROccupancy {
+		total += cyc
+		weighted += uint64(k) * cyc
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(weighted) / float64(total)
 }
 
 // L1MissRatio returns L1 misses over all cache lookups.
@@ -230,72 +271,67 @@ func (s Stats) LLCMissRatio() float64 {
 	return float64(s.LLCMisses) / float64(total)
 }
 
-// NewHierarchy builds a hierarchy from the configuration. It panics on an
-// invalid configuration; call cfg.Validate first when the configuration is
-// user-supplied.
+// NewHierarchy builds a single-agent machine: one agent view in front of a
+// private shared level. It panics on an invalid configuration; call
+// cfg.Validate first when the configuration is user-supplied. Multi-agent
+// machines are built with NewSharedLevel + SharedLevel.NewAgent.
 func NewHierarchy(cfg Config) *Hierarchy {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	h := &Hierarchy{
-		cfg:   cfg,
-		l1:    NewCache("L1-D", cfg.L1SizeBytes, cfg.L1Assoc, cfg.L1BlockBytes),
-		llc:   NewCache("LLC", cfg.LLCSizeBytes, cfg.LLCAssoc, cfg.L1BlockBytes),
-		tlb:   NewTLB(cfg.TLBEntries, cfg.PageBytes, cfg.TLBWalkCyc, cfg.TLBInFlight),
-		ports: newSlotSchedule(1, cfg.L1Ports),
-		mcs:   make([]*slotSchedule, cfg.MemControllers),
-	}
-	// A memory controller starts at most one 64-byte block transfer per
-	// service interval; rounding the interval up keeps the modelled
-	// bandwidth at or below the configured effective bandwidth.
-	interval := uint64(cfg.MemServiceIntervalCycles() + 0.5)
-	if interval == 0 {
-		interval = 1
-	}
-	for i := range h.mcs {
-		h.mcs[i] = newSlotSchedule(interval, 1)
-	}
-	h.stats.MSHROccupancy = make([]uint64, cfg.L1MSHRs+1)
-	return h
+	return NewSharedLevel(cfg).NewAgent("agent0")
 }
 
 // SetStrictOrder toggles the debug assertion that Access requests arrive in
-// monotonically non-decreasing cycle order. The stepped execution core
-// guarantees this ordering by construction; enabling the assertion makes any
-// scheduler regression fail loudly instead of silently corrupting resource
-// accounting.
-func (h *Hierarchy) SetStrictOrder(on bool) { h.strictOrder = on }
+// monotonically non-decreasing cycle order across all agents of the shared
+// level. The stepped execution core guarantees this ordering by construction;
+// enabling the assertion makes any scheduler regression fail loudly instead
+// of silently corrupting resource accounting.
+func (h *Hierarchy) SetStrictOrder(on bool) { h.shared.SetStrictOrder(on) }
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
-// L1 exposes the L1 cache model (for warm-up and tests).
+// Name returns the agent label this view was attached under.
+func (h *Hierarchy) Name() string { return h.name }
+
+// Shared returns the shared level this agent view is attached to.
+func (h *Hierarchy) Shared() *SharedLevel { return h.shared }
+
+// L1 exposes the agent's private L1 cache model (for warm-up and tests).
 func (h *Hierarchy) L1() *Cache { return h.l1 }
 
-// LLC exposes the LLC model (for warm-up and tests).
-func (h *Hierarchy) LLC() *Cache { return h.llc }
+// LLC exposes the shared LLC model (for warm-up and tests).
+func (h *Hierarchy) LLC() *Cache { return h.shared.llc }
 
-// TLB exposes the TLB model (for warm-up and tests).
+// TLB exposes the agent's private TLB model (for warm-up and tests).
 func (h *Hierarchy) TLB() *TLB { return h.tlb }
 
-// Stats returns a copy of the counters accumulated since the last reset.
+// Stats returns a copy of the agent's counters accumulated since the last
+// reset, with the shared pool's MSHR-occupancy histogram attached.
 func (h *Hierarchy) Stats() Stats {
 	s := h.stats
-	s.MSHROccupancy = append([]uint64(nil), h.stats.MSHROccupancy...)
+	s.MSHROccupancy = append([]uint64(nil), h.shared.occHist...)
 	return s
 }
 
-// ResetCounters clears all activity counters (but not cache/TLB contents,
-// resource schedules or in-flight misses), marking the start of a
-// measurement phase. The MSHR-occupancy histogram re-anchors at the phase's
-// first access. The cycle clock continues across the reset — restarting
-// cycle numbering requires a fresh Hierarchy, since outstanding fills and
-// resource reservations live on the old timebase.
+// ResetCounters clears the agent's activity counters and the shared level's
+// (but not cache/TLB contents, resource schedules or in-flight misses),
+// marking the start of a measurement phase. The MSHR-occupancy histogram
+// re-anchors at the phase's first access. The cycle clock continues across
+// the reset — restarting cycle numbering requires a fresh machine, since
+// outstanding fills and resource reservations live on the old timebase.
+//
+// With multiple agents attached to the shared level, prefer scoping
+// measurements with Stats snapshots and Stats.Sub, or reset the whole system
+// at once with SharedLevel.ResetCounters: resetting through one agent clears
+// the shared counters under the others.
 func (h *Hierarchy) ResetCounters() {
-	h.stats = Stats{MSHROccupancy: make([]uint64, h.cfg.L1MSHRs+1)}
-	h.occStarted = false
+	h.resetPrivateCounters()
+	h.shared.resetSharedCounters()
+}
+
+// resetPrivateCounters clears the agent-private half of the counters.
+func (h *Hierarchy) resetPrivateCounters() {
+	h.stats = Stats{}
 	h.l1.ResetCounters()
-	h.llc.ResetCounters()
 	h.tlb.ResetCounters()
 }
 
@@ -314,127 +350,15 @@ func (h *Hierarchy) acquirePort(want uint64) uint64 {
 	return start
 }
 
-// reapMSHRs drops entries whose miss has completed by the given cycle and
-// whose live span has been fully folded into the occupancy histogram
-// (complete <= occLast); later entries stay until the accounting clock
-// passes them.
-func (h *Hierarchy) reapMSHRs(cycle uint64) {
-	live := h.mshrs[:0]
-	for _, e := range h.mshrs {
-		if e.complete > cycle || e.complete > h.occLast {
-			live = append(live, e)
-		}
-	}
-	h.mshrs = live
-}
-
-// findMSHR returns the outstanding entry for block, if any.
-func (h *Hierarchy) findMSHR(block uint64, cycle uint64) (mshrEntry, bool) {
-	for _, e := range h.mshrs {
-		if e.block == block && e.complete > cycle {
-			return e, true
-		}
-	}
-	return mshrEntry{}, false
-}
-
-// recordOccupancy advances the MSHR-occupancy histogram from the last
-// accounted cycle to now, walking the outstanding-miss completion events in
-// time order so every intermediate occupancy level is charged its cycles.
-// Requests arriving out of order (now <= occLast) contribute nothing; under
-// the execution core's monotonic issue order the histogram is exact.
-func (h *Hierarchy) recordOccupancy(now uint64) {
-	if !h.occStarted {
-		// Anchor accounting at the phase's first access rather than
-		// charging the span from cycle zero (or from a previous phase).
-		h.occStarted = true
-		h.occLast = now
-		return
-	}
-	for t := h.occLast; t < now; {
-		live := 0
-		next := now
-		for _, e := range h.mshrs {
-			// An entry occupies its MSHR from allocation to fill return;
-			// both edges bound the constant-occupancy segment.
-			if e.start <= t && e.complete > t {
-				live++
-			}
-			if e.start > t && e.start < next {
-				next = e.start
-			}
-			if e.complete > t && e.complete < next {
-				next = e.complete
-			}
-		}
-		if live < len(h.stats.MSHROccupancy) {
-			h.stats.MSHROccupancy[live] += next - t
-		} else if n := len(h.stats.MSHROccupancy); n > 0 {
-			h.stats.MSHROccupancy[n-1] += next - t
-		}
-		t = next
-	}
-	if now > h.occLast {
-		h.occLast = now
-	}
-}
-
-// acquireMSHR blocks (advances time) until an MSHR slot is free at or after
-// want, returning the cycle at which the slot is available. An entry
-// occupies its slot over [start, complete), so the allocation must wait for
-// enough completions that the concurrent-occupancy cap is respected at the
-// returned cycle — waiting for the single earliest completion is not enough
-// when requests with out-of-order issue cycles left more than a cap's worth
-// of fills in flight past `want`.
-func (h *Hierarchy) acquireMSHR(want uint64) uint64 {
-	h.reapMSHRs(want)
-	// Completions of entries still in flight at want, i.e. spans that
-	// overlap the candidate allocation.
-	live := h.completesAfter(want)
-	if len(live) < h.cfg.L1MSHRs {
-		return want
-	}
-	// Wait until all but (cap-1) of the overlapping fills have returned.
-	slices.Sort(live)
-	start := live[len(live)-h.cfg.L1MSHRs]
-	h.stats.MSHRStallCycles += start - want
-	return start
-}
-
-// completesAfter returns the completion cycles of entries whose fill is
-// still outstanding after the given cycle.
-func (h *Hierarchy) completesAfter(cycle uint64) []uint64 {
-	out := make([]uint64, 0, len(h.mshrs))
-	for _, e := range h.mshrs {
-		if e.complete > cycle {
-			out = append(out, e.complete)
-		}
-	}
-	return out
-}
-
-// memAccess schedules one block transfer on the memory controller that owns
-// the block and returns the completion cycle of the data return.
-func (h *Hierarchy) memAccess(block uint64, start uint64) uint64 {
-	mc := int((block / uint64(h.cfg.L1BlockBytes))) % h.cfg.MemControllers
-	begin := h.mcs[mc].reserve(start)
-	h.stats.MemBlocks++
-	return begin + h.cfg.MemLatencyCycles()
-}
-
 // Access issues one memory operation at the requested cycle and returns its
 // timing. The model applies, in order: address translation (TLB), L1 port
 // acquisition, L1 lookup, MSHR allocation / miss combining, LLC lookup and
-// finally a memory-controller transfer.
+// finally a memory-controller transfer. Everything past the L1 contends with
+// the other agents of the shared level.
 func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
-	if h.strictOrder && cycle < h.lastRequest {
-		panic(fmt.Sprintf("mem: out-of-order access: %s of %#x at cycle %d after a request at cycle %d",
-			typ, addr, cycle, h.lastRequest))
-	}
-	if cycle > h.lastRequest {
-		h.lastRequest = cycle
-	}
-	h.recordOccupancy(cycle)
+	sl := h.shared
+	sl.checkOrder(h.name, addr, cycle, typ)
+	sl.recordOccupancy(cycle)
 
 	switch typ {
 	case Load:
@@ -460,14 +384,32 @@ func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 
 	// 3. Miss combining: an access to a block whose fill is still in flight
 	// is a secondary miss. It shares the outstanding MSHR and completes when
-	// the primary fill returns. This check precedes the tag lookup because
-	// the primary miss installs the tag as soon as the fill is scheduled.
-	if e, ok := h.findMSHR(block, issue); ok {
-		h.stats.L1Misses++
-		h.stats.CombinedMisses++
-		res.Level = LevelCombined
-		res.CompleteCycle = e.complete
-		if typ != Load {
+	// the primary fill returns. For the agent that allocated the entry this
+	// check precedes its tag lookup, because the primary miss installed the
+	// tag in that L1 as soon as the fill was scheduled; any other agent
+	// consults its own private L1 first — data it already holds is a plain
+	// L1 hit regardless of someone else's in-flight fill — and a cross-agent
+	// combine fills its L1 when the shared transfer returns.
+	if e, ok := sl.findMSHR(block, issue); ok {
+		crossAgent := e.owner != h
+		if !crossAgent || !h.l1.Lookup(addr) {
+			h.stats.L1Misses++
+			h.stats.CombinedMisses++
+			sl.stats.CombinedMisses++
+			if crossAgent {
+				h.l1.Insert(addr)
+			}
+			res.Level = LevelCombined
+			res.CompleteCycle = e.complete
+			if typ != Load {
+				res.CompleteCycle = issue + 1
+			}
+			return res
+		}
+		h.stats.L1Hits++
+		res.Level = LevelL1
+		res.CompleteCycle = issue + h.cfg.L1LatencyCyc
+		if typ == Store {
 			res.CompleteCycle = issue + 1
 		}
 		return res
@@ -485,24 +427,28 @@ func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 	}
 	h.stats.L1Misses++
 
-	// 5. Allocate an MSHR (may stall).
-	start := h.acquireMSHR(issue)
+	// 5. Allocate an MSHR from the shared pool (may stall).
+	start, mshrStall := sl.acquireMSHR(issue)
+	h.stats.MSHRStallCycles += mshrStall
 
 	// 6. LLC lookup (after the crossbar hop).
 	llcProbe := start + h.cfg.L1LatencyCyc + h.cfg.InterconnectCyc
 	var complete uint64
-	if h.llc.Lookup(addr) {
+	if sl.llc.Lookup(addr) {
 		h.stats.LLCHits++
+		sl.stats.LLCHits++
 		res.Level = LevelLLC
 		complete = llcProbe + h.cfg.LLCLatencyCyc
 	} else {
 		h.stats.LLCMisses++
+		sl.stats.LLCMisses++
 		res.Level = LevelMemory
-		complete = h.memAccess(block, llcProbe+h.cfg.LLCLatencyCyc)
-		h.llc.Insert(addr)
+		complete = sl.memAccess(block, llcProbe+h.cfg.LLCLatencyCyc)
+		h.stats.MemBlocks++
+		sl.llc.Insert(addr)
 	}
 	h.l1.Insert(addr)
-	h.mshrs = append(h.mshrs, mshrEntry{block: block, start: start, complete: complete})
+	sl.mshrs = append(sl.mshrs, mshrEntry{block: block, start: start, complete: complete, owner: h})
 
 	res.CompleteCycle = complete
 	if typ != Load {
@@ -512,31 +458,33 @@ func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 	return res
 }
 
-// WarmBlock installs addr's block into both cache levels and its page into
-// the TLB without touching counters or resource schedules. Workload builders
-// use it to start measurement from the steady state the paper measures
-// (checkpoints with warmed caches).
+// WarmBlock installs addr's block into the agent's L1 and the shared LLC and
+// its page into the agent's TLB without touching counters or resource
+// schedules. Workload builders use it to start measurement from the steady
+// state the paper measures (checkpoints with warmed caches).
 func (h *Hierarchy) WarmBlock(addr uint64) {
 	h.l1.Insert(addr)
-	h.llc.Insert(addr)
+	h.shared.llc.Insert(addr)
 	h.tlb.WarmPage(addr)
 	h.l1.ResetCounters()
-	h.llc.ResetCounters()
+	h.shared.llc.ResetCounters()
 	h.tlb.ResetCounters()
 }
 
-// WarmLLCOnly installs addr's block into the LLC (not the L1) and warms its
-// TLB page. Used to model index data that exceeds the L1 but fits the LLC.
+// WarmLLCOnly installs addr's block into the shared LLC (not the L1) and
+// warms its TLB page. Used to model index data that exceeds the L1 but fits
+// the LLC.
 func (h *Hierarchy) WarmLLCOnly(addr uint64) {
-	h.llc.Insert(addr)
+	h.shared.llc.Insert(addr)
 	h.tlb.WarmPage(addr)
-	h.llc.ResetCounters()
+	h.shared.llc.ResetCounters()
 	h.tlb.ResetCounters()
 }
 
-// AMAT returns the average memory access time implied by the counters and
-// configured latencies, in cycles. It is used by reports and sanity checks;
-// the timing itself never uses AMAT (it uses per-access latencies).
+// AMAT returns the average memory access time implied by the agent's
+// counters and configured latencies, in cycles. It is used by reports and
+// sanity checks; the timing itself never uses AMAT (it uses per-access
+// latencies).
 func (h *Hierarchy) AMAT() float64 {
 	s := h.stats
 	accesses := s.L1Hits + s.L1Misses

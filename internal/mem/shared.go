@@ -1,0 +1,294 @@
+package mem
+
+import (
+	"fmt"
+	"slices"
+)
+
+// SharedLevel is the part of the memory system every agent of the simulated
+// chip shares: the LLC, the MSHR pool that bounds concurrently outstanding
+// fills, and the memory controllers' bandwidth schedule. Private per-agent
+// state (L1-D, TLB, L1 ports) lives in Hierarchy; a Hierarchy is one agent's
+// view of the machine and routes its L1 misses here.
+//
+// A SharedLevel is deliberately not safe for concurrent use: the system
+// scheduler (internal/system) issues all agents' accesses from a single
+// goroutine in globally monotonically non-decreasing cycle order, which keeps
+// results deterministic and makes live resource occupancy well-defined.
+// SetStrictOrder turns the ordering contract into a hard assertion.
+type SharedLevel struct {
+	cfg Config
+
+	llc *Cache
+	// mshrs holds outstanding misses; at most cfg.L1MSHRs live at once
+	// across all agents.
+	mshrs []mshrEntry
+	// mcs grants block-transfer slots, one per service interval per
+	// controller, enforcing the effective off-chip bandwidth.
+	mcs []*slotSchedule
+
+	// strictOrder makes Access panic when a request's cycle precedes an
+	// earlier request's cycle (debug assertion for the execution core).
+	// lastRequest is the cycle of the most recent Access request from any
+	// agent.
+	strictOrder bool
+	lastRequest uint64
+
+	// occHist is the time-weighted histogram of live MSHR occupancy across
+	// all agents; occLast/occStarted anchor its accounting (see Stats).
+	occHist    []uint64
+	occLast    uint64
+	occStarted bool
+
+	// stats independently accumulates shared-resource activity (LLC lookups,
+	// off-chip blocks, MSHR stalls, combined misses). Each agent's Hierarchy
+	// counts its own share of the same events, so the per-agent views always
+	// sum to these totals — the invariant contention reports rely on.
+	stats Stats
+
+	agents []*Hierarchy
+}
+
+// NewSharedLevel builds the shared memory-system level from the
+// configuration. It panics on an invalid configuration; call cfg.Validate
+// first when the configuration is user-supplied.
+func NewSharedLevel(cfg Config) *SharedLevel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sl := &SharedLevel{
+		cfg: cfg,
+		llc: NewCache("LLC", cfg.LLCSizeBytes, cfg.LLCAssoc, cfg.L1BlockBytes),
+		mcs: make([]*slotSchedule, cfg.MemControllers),
+	}
+	// A memory controller starts at most one 64-byte block transfer per
+	// service slot (the rounded interval MemBandwidthUtilization also
+	// measures against).
+	for i := range sl.mcs {
+		sl.mcs[i] = newSlotSchedule(cfg.memServiceSlotCycles(), 1)
+	}
+	sl.occHist = make([]uint64, cfg.L1MSHRs+1)
+	return sl
+}
+
+// NewAgent attaches a new agent to the shared level: a Hierarchy view with a
+// private L1-D, TLB and L1 ports that shares this level's LLC, MSHR pool and
+// memory bandwidth with every other agent. An empty name is replaced with
+// "agentN" in attachment order.
+func (sl *SharedLevel) NewAgent(name string) *Hierarchy {
+	if name == "" {
+		name = fmt.Sprintf("agent%d", len(sl.agents))
+	}
+	cfg := sl.cfg
+	h := &Hierarchy{
+		cfg:    cfg,
+		name:   name,
+		shared: sl,
+		l1:     NewCache("L1-D", cfg.L1SizeBytes, cfg.L1Assoc, cfg.L1BlockBytes),
+		tlb:    NewTLB(cfg.TLBEntries, cfg.PageBytes, cfg.TLBWalkCyc, cfg.TLBInFlight),
+		ports:  newSlotSchedule(1, cfg.L1Ports),
+	}
+	sl.agents = append(sl.agents, h)
+	return h
+}
+
+// Config returns the shared level's configuration.
+func (sl *SharedLevel) Config() Config { return sl.cfg }
+
+// LLC exposes the shared LLC model (for warm-up and tests).
+func (sl *SharedLevel) LLC() *Cache { return sl.llc }
+
+// Agents returns the attached agent views in attachment order.
+func (sl *SharedLevel) Agents() []*Hierarchy {
+	return append([]*Hierarchy(nil), sl.agents...)
+}
+
+// SetStrictOrder toggles the debug assertion that Access requests — from all
+// agents combined — arrive in monotonically non-decreasing cycle order. The
+// system scheduler guarantees this ordering by construction; enabling the
+// assertion makes any scheduler regression fail loudly instead of silently
+// corrupting resource accounting.
+func (sl *SharedLevel) SetStrictOrder(on bool) { sl.strictOrder = on }
+
+// Stats returns the shared-resource totals: LLC hits and misses, combined
+// (secondary) misses, off-chip block transfers and MSHR allocation stalls
+// accumulated across every agent, plus the MSHR-occupancy histogram of the
+// shared pool. Private counters (loads, L1, TLB, port stalls) stay zero here;
+// read them from the per-agent views.
+func (sl *SharedLevel) Stats() Stats {
+	s := sl.stats
+	s.MSHROccupancy = append([]uint64(nil), sl.occHist...)
+	return s
+}
+
+// AgentStats is one agent's labeled counter view, for contention reports
+// that attribute shared-resource pressure to its source.
+type AgentStats struct {
+	Name  string
+	Stats Stats
+}
+
+// AgentStatsAll returns every agent's labeled counters in attachment order.
+// Summing any shared-resource field (LLC hits/misses, combined misses,
+// MemBlocks, MSHR stalls) over the result reproduces Stats().
+func (sl *SharedLevel) AgentStatsAll() []AgentStats {
+	out := make([]AgentStats, len(sl.agents))
+	for i, a := range sl.agents {
+		out[i] = AgentStats{Name: a.name, Stats: a.Stats()}
+	}
+	return out
+}
+
+// SystemStats returns the sum of every agent's counters (private and shared
+// alike), with the shared MSHR-occupancy histogram attached.
+func (sl *SharedLevel) SystemStats() Stats {
+	var sum Stats
+	for _, a := range sl.agents {
+		sum = sum.Add(a.stats)
+	}
+	sum.MSHROccupancy = append([]uint64(nil), sl.occHist...)
+	return sum
+}
+
+// ResetCounters clears the shared-resource counters and every attached
+// agent's private counters (but not cache/TLB contents, resource schedules or
+// in-flight misses), marking the start of a measurement phase for the whole
+// system. The occupancy histogram re-anchors at the phase's first access.
+func (sl *SharedLevel) ResetCounters() {
+	sl.resetSharedCounters()
+	for _, a := range sl.agents {
+		a.resetPrivateCounters()
+	}
+}
+
+// resetSharedCounters clears the shared-level half of the counters. The
+// occupancy histogram lives only in occHist; Stats() attaches a copy of it,
+// so sl.stats itself never carries one.
+func (sl *SharedLevel) resetSharedCounters() {
+	sl.stats = Stats{}
+	sl.occHist = make([]uint64, sl.cfg.L1MSHRs+1)
+	sl.occStarted = false
+	sl.llc.ResetCounters()
+}
+
+// checkOrder applies the strict-order assertion and advances the global
+// request clock.
+func (sl *SharedLevel) checkOrder(agent string, addr uint64, cycle uint64, typ AccessType) {
+	if sl.strictOrder && cycle < sl.lastRequest {
+		panic(fmt.Sprintf("mem: out-of-order access: %s %s of %#x at cycle %d after a request at cycle %d",
+			agent, typ, addr, cycle, sl.lastRequest))
+	}
+	if cycle > sl.lastRequest {
+		sl.lastRequest = cycle
+	}
+}
+
+// reapMSHRs drops entries whose miss has completed by the given cycle and
+// whose live span has been fully folded into the occupancy histogram
+// (complete <= occLast); later entries stay until the accounting clock
+// passes them.
+func (sl *SharedLevel) reapMSHRs(cycle uint64) {
+	live := sl.mshrs[:0]
+	for _, e := range sl.mshrs {
+		if e.complete > cycle || e.complete > sl.occLast {
+			live = append(live, e)
+		}
+	}
+	sl.mshrs = live
+}
+
+// findMSHR returns the outstanding entry for block, if any.
+func (sl *SharedLevel) findMSHR(block uint64, cycle uint64) (mshrEntry, bool) {
+	for _, e := range sl.mshrs {
+		if e.block == block && e.complete > cycle {
+			return e, true
+		}
+	}
+	return mshrEntry{}, false
+}
+
+// recordOccupancy advances the MSHR-occupancy histogram from the last
+// accounted cycle to now, walking the outstanding-miss completion events in
+// time order so every intermediate occupancy level is charged its cycles.
+// Requests arriving out of order (now <= occLast) contribute nothing; under
+// the execution core's monotonic issue order the histogram is exact.
+func (sl *SharedLevel) recordOccupancy(now uint64) {
+	if !sl.occStarted {
+		// Anchor accounting at the phase's first access rather than
+		// charging the span from cycle zero (or from a previous phase).
+		sl.occStarted = true
+		sl.occLast = now
+		return
+	}
+	for t := sl.occLast; t < now; {
+		live := 0
+		next := now
+		for _, e := range sl.mshrs {
+			// An entry occupies its MSHR from allocation to fill return;
+			// both edges bound the constant-occupancy segment.
+			if e.start <= t && e.complete > t {
+				live++
+			}
+			if e.start > t && e.start < next {
+				next = e.start
+			}
+			if e.complete > t && e.complete < next {
+				next = e.complete
+			}
+		}
+		if live < len(sl.occHist) {
+			sl.occHist[live] += next - t
+		} else if n := len(sl.occHist); n > 0 {
+			sl.occHist[n-1] += next - t
+		}
+		t = next
+	}
+	if now > sl.occLast {
+		sl.occLast = now
+	}
+}
+
+// acquireMSHR blocks (advances time) until an MSHR slot is free at or after
+// want, returning the cycle at which the slot is available and the stall the
+// caller attributes to its agent. An entry occupies its slot over
+// [start, complete), so the allocation must wait for enough completions that
+// the concurrent-occupancy cap is respected at the returned cycle — waiting
+// for the single earliest completion is not enough when requests with
+// out-of-order issue cycles left more than a cap's worth of fills in flight
+// past `want`.
+func (sl *SharedLevel) acquireMSHR(want uint64) (start uint64, stall uint64) {
+	sl.reapMSHRs(want)
+	// Completions of entries still in flight at want, i.e. spans that
+	// overlap the candidate allocation.
+	live := sl.completesAfter(want)
+	if len(live) < sl.cfg.L1MSHRs {
+		return want, 0
+	}
+	// Wait until all but (cap-1) of the overlapping fills have returned.
+	slices.Sort(live)
+	start = live[len(live)-sl.cfg.L1MSHRs]
+	stall = start - want
+	sl.stats.MSHRStallCycles += stall
+	return start, stall
+}
+
+// completesAfter returns the completion cycles of entries whose fill is
+// still outstanding after the given cycle.
+func (sl *SharedLevel) completesAfter(cycle uint64) []uint64 {
+	out := make([]uint64, 0, len(sl.mshrs))
+	for _, e := range sl.mshrs {
+		if e.complete > cycle {
+			out = append(out, e.complete)
+		}
+	}
+	return out
+}
+
+// memAccess schedules one block transfer on the memory controller that owns
+// the block and returns the completion cycle of the data return.
+func (sl *SharedLevel) memAccess(block uint64, start uint64) uint64 {
+	mc := int((block / uint64(sl.cfg.L1BlockBytes))) % sl.cfg.MemControllers
+	begin := sl.mcs[mc].reserve(start)
+	sl.stats.MemBlocks++
+	return begin + sl.cfg.MemLatencyCycles()
+}

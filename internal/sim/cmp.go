@@ -1,0 +1,438 @@
+// The CMP contention experiment: the paper's headline deployment is not one
+// accelerator in isolation but a 4-core CMP whose cores (each paired with a
+// Widx front end) contend for a shared LLC and off-chip bandwidth (Sections
+// 4 and 6). This file co-schedules K independent index-probe streams — any
+// mix of Widx accelerators and OoO / in-order host cores — on one shared
+// memory level via the system scheduler, and compares each agent against its
+// own solo run on an uncontended hierarchy: per-agent and system-level
+// cycles, LLC miss inflation, shared-MSHR saturation and bandwidth
+// utilization.
+//
+// The workload is the partitioned hash join the paper's CMP runs: each agent
+// probes its own partition's hash table (all partitions resident in one
+// simulated address space, as one partitioned process), with the LLC warmed
+// to each run's steady state. Solo, an agent's partition fits the LLC it has
+// to itself; co-running, the partitions' aggregate working set contends for
+// the one shared LLC — the destructive interference the experiment measures.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"widx/internal/cores"
+	"widx/internal/hashidx"
+	"widx/internal/join"
+	"widx/internal/mem"
+	"widx/internal/program"
+	"widx/internal/stats"
+	"widx/internal/system"
+	"widx/internal/vm"
+	"widx/internal/widx"
+)
+
+// AgentKind selects the machine of one CMP agent.
+type AgentKind uint8
+
+const (
+	// AgentWidx is a Widx accelerator (walker count in the spec).
+	AgentWidx AgentKind = iota
+	// AgentOoO is the Table 2 out-of-order host core.
+	AgentOoO
+	// AgentInOrder is the Cortex-A8-class in-order core.
+	AgentInOrder
+)
+
+// String names the kind.
+func (k AgentKind) String() string {
+	switch k {
+	case AgentWidx:
+		return "widx"
+	case AgentOoO:
+		return "ooo"
+	case AgentInOrder:
+		return "inorder"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// CMPAgentSpec describes one co-running agent.
+type CMPAgentSpec struct {
+	Kind AgentKind
+	// Walkers applies to Widx agents (0 defaults to 4).
+	Walkers int
+}
+
+// String renders the spec in the -agents grammar ("widx:4w", "ooo").
+func (s CMPAgentSpec) String() string {
+	if s.Kind == AgentWidx {
+		w := s.Walkers
+		if w == 0 {
+			w = 4
+		}
+		return fmt.Sprintf("widx:%dw", w)
+	}
+	return s.Kind.String()
+}
+
+// ParseAgents parses a CMP agent specification such as "4xooo+4xwidx:4w":
+// "+"-separated groups, each an optional "Nx" replication prefix, a kind
+// (widx, ooo, inorder), and for widx an optional ":Ww" walker count.
+func ParseAgents(spec string) ([]CMPAgentSpec, error) {
+	var out []CMPAgentSpec
+	for _, group := range strings.Split(spec, "+") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			return nil, fmt.Errorf("sim: empty agent group in %q", spec)
+		}
+		count := 1
+		if i := strings.Index(group, "x"); i > 0 {
+			if n, err := strconv.Atoi(group[:i]); err == nil {
+				if n <= 0 {
+					return nil, fmt.Errorf("sim: non-positive agent count in %q", group)
+				}
+				count = n
+				group = group[i+1:]
+			}
+		}
+		one := CMPAgentSpec{}
+		kind, rest, _ := strings.Cut(group, ":")
+		switch strings.ToLower(kind) {
+		case "widx":
+			one.Kind = AgentWidx
+			one.Walkers = 4
+			if rest != "" {
+				w, err := strconv.Atoi(strings.TrimSuffix(strings.ToLower(rest), "w"))
+				if err != nil || w <= 0 {
+					return nil, fmt.Errorf("sim: bad walker count %q in %q", rest, group)
+				}
+				one.Walkers = w
+			}
+		case "ooo":
+			one.Kind = AgentOoO
+		case "inorder", "in-order":
+			one.Kind = AgentInOrder
+		default:
+			return nil, fmt.Errorf("sim: unknown agent kind %q (want widx, ooo or inorder)", kind)
+		}
+		if one.Kind != AgentWidx && rest != "" {
+			return nil, fmt.Errorf("sim: %s agents take no qualifier (%q)", one.Kind, group)
+		}
+		for i := 0; i < count; i++ {
+			out = append(out, one)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sim: no agents in %q", spec)
+	}
+	return out, nil
+}
+
+// CMPAgentResult is one agent's outcome, co-run vs. solo.
+type CMPAgentResult struct {
+	Name string
+	Spec CMPAgentSpec
+	// Tuples is the probe-stream length.
+	Tuples uint64
+	// Cycles / CyclesPerTuple are the co-run timings; the Solo variants are
+	// the same stream alone on an uncontended hierarchy.
+	Cycles             uint64
+	CyclesPerTuple     float64
+	SoloCycles         uint64
+	SoloCyclesPerTuple float64
+	// Slowdown is Cycles / SoloCycles — the contention cost.
+	Slowdown float64
+	// MemStats / SoloMemStats are the agent's own hierarchy views; the
+	// shared-resource counters in MemStats sum to the experiment's
+	// SharedStats across agents.
+	MemStats     mem.Stats
+	SoloMemStats mem.Stats
+	// LLCMissInflation is the agent's co-run LLC misses over its solo LLC
+	// misses (1.0 = no interference; 0 solo misses reports 1.0).
+	LLCMissInflation float64
+}
+
+// CMPExperiment is the result of one contention run.
+type CMPExperiment struct {
+	Size   join.SizeClass
+	Agents []CMPAgentResult
+	// SystemCycles spans the co-run start to the last agent finishing.
+	SystemCycles uint64
+	// SharedStats is the co-run shared level's counters (LLC, combined
+	// misses, off-chip blocks, MSHR stalls) with the shared pool's
+	// occupancy histogram; the per-agent MemStats sum to it.
+	SharedStats mem.Stats
+	// LLCMissInflation is total co-run LLC misses over total solo misses.
+	LLCMissInflation float64
+	// MSHRSaturationShare is the fraction of accounted co-run cycles the
+	// shared MSHR pool was completely full.
+	MSHRSaturationShare float64
+	// BandwidthUtilization is the fraction of the effective off-chip
+	// bandwidth consumed over the co-run; SoloBandwidthUtilization is the
+	// maximum any single agent reached alone.
+	BandwidthUtilization     float64
+	SoloBandwidthUtilization float64
+}
+
+// cmpRunner couples one agent's schedulable engine with its finisher.
+type cmpRunner struct {
+	agent  system.Agent
+	finish func() (cycles uint64, stats mem.Stats, err error)
+}
+
+// cmpAgentWorkload is one agent's private partition of the CMP workload:
+// its hash table, its probe-key column and — per machine kind — the Widx
+// program bundle (pointing at a private result region) or the probe traces.
+type cmpAgentWorkload struct {
+	name    string
+	table   *hashidx.Table
+	keyBase uint64
+	keys    int
+	bundle  *program.Bundle
+	traces  []hashidx.ProbeTrace
+}
+
+// buildCMPWorkload lays out one partition per agent in a single shared
+// address space (one partitioned process): every agent gets its own hash
+// table of the size class's scaled tuple count and its own probe stream
+// drawn from that partition. Allocation happens in spec order, so addresses
+// are fixed by the spec alone.
+func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec) (*vm.AddressSpace, []cmpAgentWorkload, error) {
+	buildN := size.Tuples(c.Scale)
+	perAgent := c.sampleCount(4 * buildN)
+	buckets := uint64(1)
+	for float64(buildN)/float64(buckets) > 2 { // the kernel's 2-nodes-per-bucket target
+		buckets <<= 1
+	}
+	as := vm.New()
+	out := make([]cmpAgentWorkload, len(specs))
+	for i, spec := range specs {
+		w := &out[i]
+		w.name = fmt.Sprintf("%s.%d", spec, i)
+		w.keys = perAgent
+		rng := stats.NewRNG(2013 + 1000*uint64(i))
+		buildKeys := make([]uint64, buildN)
+		seen := make(map[uint64]bool, buildN)
+		for j := range buildKeys {
+			for {
+				k := uint64(rng.Uint32())
+				if k != 0 && !seen[k] {
+					buildKeys[j], seen[k] = k, true
+					break
+				}
+			}
+		}
+		tbl, err := hashidx.Build(as, hashidx.Config{
+			Layout:      hashidx.LayoutInline,
+			Hash:        hashidx.HashSimple,
+			BucketCount: buckets,
+			Name:        "cmp." + w.name,
+		}, buildKeys, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		w.table = tbl
+		probeKeys := make([]uint64, perAgent)
+		for j := range probeKeys {
+			probeKeys[j] = buildKeys[rng.Intn(buildN)]
+		}
+		w.keyBase = as.AllocAligned(w.name+".keys", uint64(perAgent)*8)
+		for j, k := range probeKeys {
+			as.Write64(w.keyBase+uint64(j)*8, k)
+		}
+		if spec.Kind == AgentWidx {
+			resultBase := as.AllocAligned(w.name+".results", uint64(perAgent)*8+64)
+			w.bundle, err = program.ForTable(tbl, resultBase)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			w.traces = make([]hashidx.ProbeTrace, perAgent)
+			for j, k := range probeKeys {
+				w.traces[j] = tbl.ProbeFrom(k, w.keyBase+uint64(j)*8).Trace
+			}
+		}
+	}
+	return as, out, nil
+}
+
+// warmPartition installs the agent's partition into the shared LLC (and its
+// pages into the agent's private TLB) — the warmed-checkpoint steady state
+// the paper measures from. Solo, one partition fits the LLC; co-running,
+// the partitions warmed after evict the ones warmed before.
+func warmPartition(hier *mem.Hierarchy, w *cmpAgentWorkload) {
+	block := uint64(hier.Config().L1BlockBytes)
+	for _, r := range w.table.Regions() {
+		for addr := r[0]; addr < r[1]; addr += block {
+			hier.WarmLLCOnly(addr)
+		}
+	}
+}
+
+// newCMPRunner wires one agent spec onto a hierarchy view: a Widx offload
+// over its key column, or a core replay of its traces.
+func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w *cmpAgentWorkload) (*cmpRunner, error) {
+	switch spec.Kind {
+	case AgentWidx:
+		walkers := spec.Walkers
+		if walkers == 0 {
+			walkers = 4
+		}
+		acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: 2},
+			hier, as, w.bundle.Dispatcher, w.bundle.Walker, w.bundle.Producer)
+		if err != nil {
+			return nil, err
+		}
+		o, err := acc.StartOffload(widx.OffloadRequest{KeyBase: w.keyBase, KeyCount: uint64(w.keys)})
+		if err != nil {
+			return nil, err
+		}
+		return &cmpRunner{agent: o, finish: func() (uint64, mem.Stats, error) {
+			res, err := o.Result()
+			if err != nil {
+				return 0, mem.Stats{}, err
+			}
+			return res.TotalCycles, res.MemStats, nil
+		}}, nil
+
+	case AgentOoO, AgentInOrder:
+		cfg := cores.OoOConfig()
+		if spec.Kind == AgentInOrder {
+			cfg = cores.InOrderConfig()
+		}
+		core, err := cores.New(cfg, hier)
+		if err != nil {
+			return nil, err
+		}
+		e, err := core.NewProbeEngine(w.traces, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &cmpRunner{agent: e, finish: func() (uint64, mem.Stats, error) {
+			res, err := e.Result()
+			if err != nil {
+				return 0, mem.Stats{}, err
+			}
+			return res.TotalCycles, res.MemStats, nil
+		}}, nil
+
+	default:
+		return nil, fmt.Errorf("sim: unknown agent kind %v", spec.Kind)
+	}
+}
+
+// RunCMP co-schedules one index-probe stream per agent on a single shared
+// memory level, runs each stream solo on an uncontended hierarchy for
+// reference, and reports the contention metrics: per-agent and system-level
+// cycles, LLC miss inflation, shared-MSHR saturation share and off-chip
+// bandwidth utilization. Each agent probes its own partition's hash table
+// (partitioned hash join), so the co-run's aggregate working set is K
+// partitions against one LLC.
+func (c Config) RunCMP(size join.SizeClass, specs []CMPAgentSpec) (*CMPExperiment, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: no CMP agents")
+	}
+	k := len(specs)
+	as, workloads, err := c.buildCMPWorkload(size, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	exp := &CMPExperiment{Size: size, Agents: make([]CMPAgentResult, k)}
+
+	// Solo reference runs: each agent alone on a fresh, uncontended
+	// hierarchy with its own partition warmed. Runs are sequential — agents
+	// share the workload's address space (Widx producers store into it),
+	// and the runs are seconds-scale.
+	for i, spec := range specs {
+		sl := mem.NewSharedLevel(c.Mem)
+		sl.SetStrictOrder(c.StrictMemOrder)
+		hier := sl.NewAgent(workloads[i].name)
+		warmPartition(hier, &workloads[i])
+		run, err := newCMPRunner(hier, spec, as, &workloads[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := system.Run(run.agent); err != nil {
+			return nil, err
+		}
+		cycles, stats, err := run.finish()
+		if err != nil {
+			return nil, err
+		}
+		a := &exp.Agents[i]
+		a.Name = workloads[i].name
+		a.Spec = spec
+		a.Tuples = uint64(workloads[i].keys)
+		a.SoloCycles = cycles
+		a.SoloCyclesPerTuple = float64(cycles) / float64(a.Tuples)
+		a.SoloMemStats = stats
+		if u := c.Mem.MemBandwidthUtilization(stats.MemBlocks, cycles); u > exp.SoloBandwidthUtilization {
+			exp.SoloBandwidthUtilization = u
+		}
+	}
+
+	// The co-run: every agent on one shared level, all partitions warmed
+	// (in agent order — later partitions evict earlier ones once the LLC
+	// fills, exactly the steady-state capacity pressure of a partitioned
+	// join), merged by the system scheduler's event heap in globally
+	// monotonic cycle order.
+	sl := mem.NewSharedLevel(c.Mem)
+	sl.SetStrictOrder(c.StrictMemOrder)
+	runs := make([]*cmpRunner, k)
+	agents := make([]system.Agent, k)
+	hiers := make([]*mem.Hierarchy, k)
+	for i := range specs {
+		hiers[i] = sl.NewAgent(workloads[i].name)
+	}
+	for i := range specs {
+		warmPartition(hiers[i], &workloads[i])
+	}
+	for i, spec := range specs {
+		runs[i], err = newCMPRunner(hiers[i], spec, as, &workloads[i])
+		if err != nil {
+			return nil, err
+		}
+		agents[i] = runs[i].agent
+	}
+	if err := system.Run(agents...); err != nil {
+		return nil, err
+	}
+
+	var coMisses, soloMisses uint64
+	for i, run := range runs {
+		cycles, stats, err := run.finish()
+		if err != nil {
+			return nil, err
+		}
+		a := &exp.Agents[i]
+		a.Cycles = cycles
+		a.CyclesPerTuple = float64(cycles) / float64(a.Tuples)
+		a.MemStats = stats
+		a.Slowdown = ratio(float64(cycles), float64(a.SoloCycles))
+		a.LLCMissInflation = ratio(float64(stats.LLCMisses), float64(a.SoloMemStats.LLCMisses))
+		coMisses += stats.LLCMisses
+		soloMisses += a.SoloMemStats.LLCMisses
+		if cycles > exp.SystemCycles {
+			exp.SystemCycles = cycles
+		}
+	}
+	exp.SharedStats = sl.Stats()
+	exp.LLCMissInflation = ratio(float64(coMisses), float64(soloMisses))
+	exp.MSHRSaturationShare = exp.SharedStats.MSHRSaturationShare(c.Mem.L1MSHRs)
+	exp.BandwidthUtilization = c.Mem.MemBandwidthUtilization(exp.SharedStats.MemBlocks, exp.SystemCycles)
+	return exp, nil
+}
+
+// ratio returns a/b, or 1 when b is zero (no solo activity to inflate).
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"widx/internal/join"
+)
+
+// cmpQuickConfig returns a configuration small enough for unit tests but
+// large enough that a Medium kernel stresses the shared LLC. Sequential
+// parallelism keeps the co-run/solo comparison deterministic by
+// construction (it is deterministic at any level; 1 keeps the test honest).
+func cmpQuickConfig() Config {
+	c := QuickConfig()
+	c.Scale = 1.0 / 256
+	c.SampleProbes = 1500
+	c.Parallelism = 1
+	return c
+}
+
+func TestParseAgents(t *testing.T) {
+	specs, err := ParseAgents("4xooo+4xwidx:4w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 8 {
+		t.Fatalf("expected 8 agents, got %d", len(specs))
+	}
+	for i := 0; i < 4; i++ {
+		if specs[i].Kind != AgentOoO {
+			t.Fatalf("agent %d should be ooo: %v", i, specs[i])
+		}
+		if specs[4+i].Kind != AgentWidx || specs[4+i].Walkers != 4 {
+			t.Fatalf("agent %d should be widx:4w: %v", 4+i, specs[4+i])
+		}
+	}
+	single, err := ParseAgents("widx:2w")
+	if err != nil || len(single) != 1 || single[0].Walkers != 2 {
+		t.Fatalf("widx:2w parse: %v %v", single, err)
+	}
+	if s, err := ParseAgents("2xinorder"); err != nil || len(s) != 2 || s[0].Kind != AgentInOrder {
+		t.Fatalf("inorder parse: %v %v", s, err)
+	}
+	for _, bad := range []string{"", "0xooo", "gpu", "ooo:4w", "widx:xw", "+", "widx:0w"} {
+		if _, err := ParseAgents(bad); err == nil {
+			t.Fatalf("spec %q should not parse", bad)
+		}
+	}
+	if got := (CMPAgentSpec{Kind: AgentWidx}).String(); got != "widx:4w" {
+		t.Fatalf("default widx spec renders %q", got)
+	}
+}
+
+// TestCMPContentionMeasurable is the acceptance experiment: four co-running
+// Widx agents on one shared hierarchy must exhibit measurable LLC and
+// bandwidth contention relative to their solo runs, with per-agent stats
+// that sum to the system totals.
+func TestCMPContentionMeasurable(t *testing.T) {
+	cfg := cmpQuickConfig()
+	// Partition size ~Medium/8: one partition fits the 4 MB LLC, four
+	// partitions are ~1.5x over it, so capacity contention is real.
+	cfg.Scale = 1.0 / 8
+	cfg.SampleProbes = 2000
+	specs, err := ParseAgents("4xwidx:4w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := cfg.RunCMP(join.Medium, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Agents) != 4 {
+		t.Fatalf("expected 4 agents, got %d", len(exp.Agents))
+	}
+
+	// Per-agent shared-resource counters must sum to the shared level's own
+	// totals — the attribution invariant contention reports rest on.
+	var llcHits, llcMisses, combined, blocks, mshrStalls uint64
+	maxCycles := uint64(0)
+	for _, a := range exp.Agents {
+		llcHits += a.MemStats.LLCHits
+		llcMisses += a.MemStats.LLCMisses
+		combined += a.MemStats.CombinedMisses
+		blocks += a.MemStats.MemBlocks
+		mshrStalls += a.MemStats.MSHRStallCycles
+		if a.Cycles > maxCycles {
+			maxCycles = a.Cycles
+		}
+	}
+	if llcHits != exp.SharedStats.LLCHits || llcMisses != exp.SharedStats.LLCMisses ||
+		combined != exp.SharedStats.CombinedMisses || blocks != exp.SharedStats.MemBlocks ||
+		mshrStalls != exp.SharedStats.MSHRStallCycles {
+		t.Fatalf("per-agent stats do not sum to shared totals:\nagents: hits=%d misses=%d combined=%d blocks=%d stalls=%d\nshared: %+v",
+			llcHits, llcMisses, combined, blocks, mshrStalls, exp.SharedStats)
+	}
+	if exp.SystemCycles != maxCycles {
+		t.Fatalf("system cycles %d != slowest agent %d", exp.SystemCycles, maxCycles)
+	}
+
+	// Contention must be measurable: every agent is at least as slow as its
+	// solo run, and the system-level pressure metrics move.
+	anySlow := false
+	for _, a := range exp.Agents {
+		if a.Cycles < a.SoloCycles {
+			t.Fatalf("agent %s ran faster under contention: co %d vs solo %d", a.Name, a.Cycles, a.SoloCycles)
+		}
+		if a.Slowdown > 1.02 {
+			anySlow = true
+		}
+	}
+	if !anySlow {
+		t.Fatalf("no agent slowed by >2%% under 4-way contention: %+v", exp.Agents)
+	}
+	if exp.LLCMissInflation <= 1.0 {
+		t.Fatalf("4 co-running streams should inflate LLC misses: %.3fx", exp.LLCMissInflation)
+	}
+	if exp.BandwidthUtilization <= exp.SoloBandwidthUtilization {
+		t.Fatalf("co-run bandwidth utilization %.2f should exceed best solo %.2f",
+			exp.BandwidthUtilization, exp.SoloBandwidthUtilization)
+	}
+	t.Logf("system=%d cycles, LLC inflation %.2fx, MSHR full %.0f%%, bandwidth %.0f%% (solo best %.0f%%)",
+		exp.SystemCycles, exp.LLCMissInflation, 100*exp.MSHRSaturationShare,
+		100*exp.BandwidthUtilization, 100*exp.SoloBandwidthUtilization)
+	for _, a := range exp.Agents {
+		t.Logf("%s: solo %d co %d (%.2fx), LLC misses %d -> %d (%.2fx)",
+			a.Name, a.SoloCycles, a.Cycles, a.Slowdown,
+			a.SoloMemStats.LLCMisses, a.MemStats.LLCMisses, a.LLCMissInflation)
+	}
+}
+
+// TestCMPHeterogeneousAgents runs the paper's CMP shape — host cores next
+// to Widx agents — and checks the report renders every agent.
+func TestCMPHeterogeneousAgents(t *testing.T) {
+	cfg := cmpQuickConfig()
+	cfg.SampleProbes = 800
+	specs, err := ParseAgents("2xooo+2xwidx:2w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := cfg.RunCMP(join.Medium, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Agents) != 4 {
+		t.Fatalf("expected 4 agents, got %d", len(exp.Agents))
+	}
+	text := FormatCMP(exp)
+	for _, a := range exp.Agents {
+		if !strings.Contains(text, a.Name) {
+			t.Fatalf("report misses agent %s:\n%s", a.Name, text)
+		}
+	}
+	if !strings.Contains(text, "bandwidth utilization") {
+		t.Fatalf("report misses bandwidth line:\n%s", text)
+	}
+}
+
+// TestCMPDeterministic re-runs the same contention experiment and requires
+// bit-identical cycle counts and counters: the system scheduler has no
+// hidden state or ordering nondeterminism across agents.
+func TestCMPDeterministic(t *testing.T) {
+	cfg := cmpQuickConfig()
+	cfg.SampleProbes = 600
+	specs, _ := ParseAgents("ooo+inorder+2xwidx:2w")
+	run := func() *CMPExperiment {
+		exp, err := cfg.RunCMP(join.Small, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exp
+	}
+	a, b := run(), run()
+	if a.SystemCycles != b.SystemCycles {
+		t.Fatalf("system cycles differ: %d vs %d", a.SystemCycles, b.SystemCycles)
+	}
+	for i := range a.Agents {
+		if a.Agents[i].Cycles != b.Agents[i].Cycles || a.Agents[i].SoloCycles != b.Agents[i].SoloCycles {
+			t.Fatalf("agent %d timing differs: %+v vs %+v", i, a.Agents[i], b.Agents[i])
+		}
+		if a.Agents[i].MemStats.LLCMisses != b.Agents[i].MemStats.LLCMisses {
+			t.Fatalf("agent %d LLC misses differ", i)
+		}
+	}
+}
+
+// TestCMPSharedHierarchyRaceClean runs several multi-agent systems on
+// concurrent goroutines (each with its own shared level and address-space
+// clone, the harness's parallel pattern). Under `go test -race` this guards
+// the shared-hierarchy plumbing against accidental cross-goroutine sharing.
+func TestCMPSharedHierarchyRaceClean(t *testing.T) {
+	cfg := cmpQuickConfig()
+	cfg.SampleProbes = 400
+	specs, _ := ParseAgents("2xwidx:2w+ooo")
+	var wg sync.WaitGroup
+	results := make([]uint64, 4)
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			exp, err := cfg.RunCMP(join.Small, specs)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			results[g] = exp.SystemCycles
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := 1; g < 4; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("concurrent CMP runs disagree: %v", results)
+		}
+	}
+}
+
+// TestWalkerUtilizationSweep is the simulator-driven Figure 5: utilization
+// falls as walkers are added while the measured MSHR occupancy rises toward
+// the pool size, and the sweep table renders.
+func TestWalkerUtilizationSweep(t *testing.T) {
+	cfg := cmpQuickConfig()
+	cfg.SampleProbes = 1200
+	// A reduced MSHR budget puts the saturation knee inside the 1-8 sweep,
+	// like the sched_test walker-scaling fixture.
+	cfg.Mem.L1MSHRs = 5
+	points, err := cfg.RunWalkerUtilization(join.Medium, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("expected 8 points, got %d", len(points))
+	}
+	for i, p := range points {
+		if p.Walkers != i+1 {
+			t.Fatalf("point %d has walker count %d", i, p.Walkers)
+		}
+		t.Logf("walkers=%d cpt=%.1f util=%.2f meanMSHR=%.2f full=%.2f stalls=%d",
+			p.Walkers, p.CyclesPerTuple, p.Utilization, p.MeanMSHROccupancy,
+			p.MSHRSaturationShare, p.MSHRStallCycles)
+	}
+	// Measured MLP grows with walkers until the pool caps it.
+	if points[3].MeanMSHROccupancy <= points[0].MeanMSHROccupancy {
+		t.Fatalf("mean MSHR occupancy should grow 1->4 walkers: %.2f vs %.2f",
+			points[0].MeanMSHROccupancy, points[3].MeanMSHROccupancy)
+	}
+	if points[7].MeanMSHROccupancy > float64(cfg.Mem.L1MSHRs) {
+		t.Fatalf("mean occupancy %.2f exceeds the %d-MSHR pool", points[7].MeanMSHROccupancy, cfg.Mem.L1MSHRs)
+	}
+	// Past the knee, added walkers saturate the pool and stall.
+	if points[7].MSHRSaturationShare < points[3].MSHRSaturationShare {
+		t.Fatalf("saturation share should not fall 4->8 walkers: %.2f vs %.2f",
+			points[3].MSHRSaturationShare, points[7].MSHRSaturationShare)
+	}
+	if points[7].MSHRStallCycles <= points[3].MSHRStallCycles {
+		t.Fatalf("MSHR stalls should grow past the knee: w4=%d w8=%d",
+			points[3].MSHRStallCycles, points[7].MSHRStallCycles)
+	}
+	// Utilization declines once walkers contend for the same pool.
+	if points[7].Utilization >= points[0].Utilization {
+		t.Fatalf("8 walkers should be less utilized than 1: %.2f vs %.2f",
+			points[7].Utilization, points[0].Utilization)
+	}
+	text := FormatWalkerUtilization(points, cfg.Mem.L1MSHRs)
+	if !strings.Contains(text, "walker utilization") || !strings.Contains(text, "mean MSHRs") {
+		t.Fatalf("sweep table malformed:\n%s", text)
+	}
+}

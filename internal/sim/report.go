@@ -48,6 +48,43 @@ func FormatKernel(e *KernelExperiment) string {
 	return b.String()
 }
 
+// FormatCMP renders the shared-memory contention experiment: per-agent
+// co-run vs. solo timings and the system-level shared-resource pressure.
+func FormatCMP(e *CMPExperiment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CMP contention — %d co-running agents, one shared LLC / MSHR pool / memory bandwidth (%s kernel)\n",
+		len(e.Agents), e.Size)
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %10s %12s %12s %10s\n",
+		"agent", "tuples", "solo cpt", "co cpt", "slowdown", "LLC miss", "solo miss", "inflation")
+	for _, a := range e.Agents {
+		fmt.Fprintf(&b, "%-12s %10d %12.1f %12.1f %9.2fx %12d %12d %9.2fx\n",
+			a.Name, a.Tuples, a.SoloCyclesPerTuple, a.CyclesPerTuple, a.Slowdown,
+			a.MemStats.LLCMisses, a.SoloMemStats.LLCMisses, a.LLCMissInflation)
+	}
+	fmt.Fprintf(&b, "system: %d cycles to drain all streams, LLC miss inflation %.2fx\n",
+		e.SystemCycles, e.LLCMissInflation)
+	fmt.Fprintf(&b, "shared level: %d LLC misses (%d combined), %d off-chip blocks, MSHR full %.0f%% of cycles, %d MSHR-stall cycles\n",
+		e.SharedStats.LLCMisses, e.SharedStats.CombinedMisses, e.SharedStats.MemBlocks,
+		100*e.MSHRSaturationShare, e.SharedStats.MSHRStallCycles)
+	fmt.Fprintf(&b, "off-chip bandwidth utilization: %.0f%% co-running (best single agent alone: %.0f%%)\n",
+		100*e.BandwidthUtilization, 100*e.SoloBandwidthUtilization)
+	return b.String()
+}
+
+// FormatWalkerUtilization renders the simulator-driven Figure 5 sweep.
+func FormatWalkerUtilization(points []WalkerUtilizationPoint, mshrs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 (simulated) — walker utilization and measured MSHR occupancy (%d MSHRs)\n", mshrs)
+	fmt.Fprintf(&b, "%-8s %10s %12s %14s %12s %12s\n",
+		"walkers", "cpt", "utilization", "mean MSHRs", "MSHR full", "MSHR stalls")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8d %10.1f %11.0f%% %14.2f %11.0f%% %12d\n",
+			p.Walkers, p.CyclesPerTuple, 100*p.Utilization, p.MeanMSHROccupancy,
+			100*p.MSHRSaturationShare, p.MSHRStallCycles)
+	}
+	return b.String()
+}
+
 // FormatQueries renders Figures 9a, 9b and 10 from a suite run.
 func FormatQueries(s *SuiteResult) string {
 	var b strings.Builder

@@ -1,0 +1,76 @@
+// The Figure 5-style walker-utilization sweep, driven by the simulator
+// rather than the analytical model: the paper's Figure 5 predicts walker
+// utilization from an assumed memory-level-parallelism budget, while this
+// sweep measures it — per walker count, the offload's walker busy share and
+// the exact time-weighted MSHR-occupancy histogram the hierarchy records —
+// so the saturation knee appears where the simulated MSHR pool actually
+// fills (ROADMAP "walker sweeps past 8" item).
+package sim
+
+import (
+	"fmt"
+
+	"widx/internal/join"
+)
+
+// WalkerUtilizationPoint is one walker count of the sweep.
+type WalkerUtilizationPoint struct {
+	Walkers int
+	// CyclesPerTuple is the offload cost at this walker count.
+	CyclesPerTuple float64
+	// Utilization is the measured walker busy share (1 - idle share), the
+	// Figure 5 y-axis.
+	Utilization float64
+	// MeanMSHROccupancy is the time-weighted average number of live MSHRs
+	// from the simulator's exact occupancy histogram — the measured MLP.
+	MeanMSHROccupancy float64
+	// MSHRSaturationShare is the fraction of accounted cycles the MSHR pool
+	// was completely full; MSHRStallCycles the allocation stalls it caused.
+	MSHRSaturationShare float64
+	MSHRStallCycles     uint64
+}
+
+// RunWalkerUtilization sweeps Widx walker counts 1..maxWalkers over one
+// kernel workload, each on a fresh hierarchy, and reports the measured
+// utilization and MSHR-occupancy statistics per point. Design points fan
+// out across the configured workers like every other experiment.
+func (c Config) RunWalkerUtilization(size join.SizeClass, maxWalkers int) ([]WalkerUtilizationPoint, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if maxWalkers <= 0 {
+		return nil, fmt.Errorf("sim: non-positive walker sweep bound")
+	}
+	kcfg := join.DefaultKernelConfig(size, c.Scale)
+	kcfg.OuterTuples = c.sampleCount(4 * size.Tuples(c.Scale))
+	kernel, err := join.BuildKernel(kcfg)
+	if err != nil {
+		return nil, err
+	}
+	ph := &indexPhase{
+		as:           kernel.AS,
+		index:        kernel.Index,
+		probeKeyBase: kernel.ProbeKeyBase,
+		probeCount:   len(kernel.ProbeKeys),
+	}
+	points := make([]widxPoint, maxWalkers)
+	for i := range points {
+		points[i] = widxPoint{walkers: i + 1}
+	}
+	_, widxRes, err := c.runPhase(ph, nil, points)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WalkerUtilizationPoint, maxWalkers)
+	for i, res := range widxRes {
+		out[i] = WalkerUtilizationPoint{
+			Walkers:             i + 1,
+			CyclesPerTuple:      res.CyclesPerTuple(),
+			Utilization:         res.WalkerUtilization(),
+			MeanMSHROccupancy:   res.MemStats.MeanMSHROccupancy(),
+			MSHRSaturationShare: res.MemStats.MSHRSaturationShare(c.Mem.L1MSHRs),
+			MSHRStallCycles:     res.MemStats.MSHRStallCycles,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+// Package system is the shared-memory multi-agent simulation core: it drives
+// any number of Agents — Widx accelerators, out-of-order or in-order host
+// cores — against one shared memory level (internal/mem.SharedLevel) by
+// granting, at every step, the single pending memory access with the
+// globally smallest cycle.
+//
+// The execution discipline generalizes the PR 2 single-accelerator
+// scheduler: each agent is a resumable engine that settles all of its
+// agent-local progress (computation, queue traffic) without global
+// coordination, then yields with the cycle of its earliest pending shared-
+// memory access. The scheduler merges every agent's pending pool through a
+// binary min-heap keyed by (cycle, agent order), so the shared hierarchy
+// observes one monotonically non-decreasing request stream regardless of how
+// many agents contend — the contract mem.SharedLevel.SetStrictOrder asserts.
+//
+// Granting the global minimum preserves each agent's solo semantics exactly:
+// with a single agent the scheduler degenerates to "settle, grant my
+// earliest access, repeat", which is the PR 2 loop, so single-agent runs are
+// byte-identical to the pre-system API. With several agents, contention is
+// fully captured inside the shared level (LLC tags, MSHR pool, controller
+// slots); the scheduler itself never reorders an agent's own accesses.
+package system
+
+import "fmt"
+
+// Agent is a resumable execution engine that yields on shared-memory
+// accesses. internal/widx offloads and internal/cores probe replays both
+// implement it; anything that does can be co-scheduled on one shared
+// hierarchy.
+//
+// The scheduler's contract with an agent:
+//
+//   - Settle performs all agent-local progress that needs no global
+//     ordering (computation, queue pushes and pops, starting units on
+//     available inputs) and returns when quiescent.
+//   - PendingMem reports the cycle of the agent's earliest pending memory
+//     access, ok=false when the agent is not waiting on memory.
+//   - GrantMem performs exactly that access. It is only called after
+//     PendingMem returned ok=true, and the agent's next PendingMem cycle
+//     must be >= the granted cycle (per-agent monotonicity) — the property
+//     that makes granting the global minimum globally monotonic.
+//   - Done reports completion of all of the agent's work.
+type Agent interface {
+	Name() string
+	Settle() error
+	PendingMem() (cycle uint64, ok bool)
+	GrantMem() error
+	Done() bool
+}
+
+// Run executes the agents to completion on the event scheduler. It returns
+// the first agent error, or a stall error naming the agents that still have
+// work but no pending access (a deadlocked or buggy engine).
+func Run(agents ...Agent) error {
+	if len(agents) == 0 {
+		return fmt.Errorf("system: no agents to run")
+	}
+	var ready CycleHeap
+	requeue := func(i int) error {
+		if err := agents[i].Settle(); err != nil {
+			return err
+		}
+		if cycle, ok := agents[i].PendingMem(); ok {
+			ready.Push(cycle, i)
+		}
+		return nil
+	}
+	for i := range agents {
+		if err := requeue(i); err != nil {
+			return err
+		}
+	}
+	for {
+		_, i, ok := ready.Pop()
+		if !ok {
+			break
+		}
+		if err := agents[i].GrantMem(); err != nil {
+			return err
+		}
+		// Granting agent i's access can only unblock agent i: agents share
+		// no queues, and the memory level is passive. Re-settling the
+		// granted agent alone keeps the scheduler O(log n) per grant.
+		if err := requeue(i); err != nil {
+			return err
+		}
+	}
+	for _, a := range agents {
+		if !a.Done() {
+			return fmt.Errorf("system: scheduler stalled: agent %q has work remaining but no pending memory access", a.Name())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package system
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// scriptAgent is a deterministic fake agent: a list of access cycles it
+// wants granted in order. It records the global grant sequence into a shared
+// trace to verify the scheduler's merge order.
+type scriptAgent struct {
+	name    string
+	cycles  []uint64
+	next    int
+	settled int
+	trace   *[]string
+	failOn  int // GrantMem index that errors (-1 = never)
+}
+
+func (a *scriptAgent) Name() string { return a.name }
+
+func (a *scriptAgent) Settle() error {
+	a.settled++
+	return nil
+}
+
+func (a *scriptAgent) PendingMem() (uint64, bool) {
+	if a.next >= len(a.cycles) {
+		return 0, false
+	}
+	return a.cycles[a.next], true
+}
+
+func (a *scriptAgent) GrantMem() error {
+	if a.failOn >= 0 && a.next == a.failOn {
+		return errors.New(a.name + ": injected fault")
+	}
+	if a.trace != nil {
+		*a.trace = append(*a.trace, a.name)
+	}
+	a.next++
+	return nil
+}
+
+func (a *scriptAgent) Done() bool { return a.next >= len(a.cycles) }
+
+func TestRunMergesAgentsInGlobalCycleOrder(t *testing.T) {
+	var trace []string
+	// a wants cycles 0, 10, 20; b wants 5, 6, 7; ties go to the earlier
+	// agent index.
+	a := &scriptAgent{name: "a", cycles: []uint64{0, 10, 20}, trace: &trace, failOn: -1}
+	b := &scriptAgent{name: "b", cycles: []uint64{5, 6, 10}, trace: &trace, failOn: -1}
+	if err := Run(a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a b b a b a" // 0, 5, 6, 10(a wins tie), 10(b), 20
+	if got := strings.Join(trace, " "); got != want {
+		t.Fatalf("grant order %q, want %q", got, want)
+	}
+	if a.settled == 0 || b.settled == 0 {
+		t.Fatal("agents never settled")
+	}
+}
+
+func TestRunPropagatesAgentErrors(t *testing.T) {
+	a := &scriptAgent{name: "ok", cycles: []uint64{1, 2}, failOn: -1}
+	b := &scriptAgent{name: "bad", cycles: []uint64{0, 3}, failOn: 1}
+	err := Run(a, b)
+	if err == nil || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// stalledAgent claims work remains but never yields a pending access.
+type stalledAgent struct{ scriptAgent }
+
+func (s *stalledAgent) Done() bool { return false }
+
+func TestRunDetectsStalledAgents(t *testing.T) {
+	s := &stalledAgent{scriptAgent{name: "wedged", failOn: -1}}
+	err := Run(s)
+	if err == nil || !strings.Contains(err.Error(), "stalled") || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := Run(); err == nil {
+		t.Fatal("empty agent list accepted")
+	}
+}

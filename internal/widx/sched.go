@@ -15,11 +15,21 @@
 //     applied at the EMIT that needs the slot;
 //   - the scheduler repeatedly settles all queue traffic (computation is
 //     local to a unit and needs no global ordering) and then grants the
-//     single pending memory access with the globally smallest cycle.
+//     single pending memory access with the globally smallest cycle, kept in
+//     a binary min-heap keyed by (cycle, unit order) — a unit's pending
+//     cycle is fixed while it waits, so the heap needs no decrease-key and
+//     selection is O(log n) instead of a per-grant scan over all units.
 //
 // Because every Access call carries a cycle no smaller than the previous
 // one, the hierarchy's live MSHR occupancy and resource schedules are exact;
 // mem.Hierarchy.SetStrictOrder turns that contract into an assertion.
+//
+// The sched type implements system.Agent (Settle / PendingMem / GrantMem /
+// Done), so an offload can either run alone (Accelerator.Offload) or be
+// co-scheduled by internal/system's event scheduler with other agents —
+// more Widx instances, host cores — against one shared memory level. A
+// single-agent system degenerates to exactly this file's solo loop, which
+// keeps single-agent results byte-identical to the pre-system API.
 //
 // Functional output is timing-independent: matches are collected per probe
 // key and released to the producer in key order, so the emitted match stream
@@ -29,7 +39,11 @@
 
 package widx
 
-import "fmt"
+import (
+	"fmt"
+
+	"widx/internal/system"
+)
 
 // qitem is one entry of a decoupling queue.
 type qitem struct {
@@ -102,6 +116,14 @@ type sched struct {
 	hashUnits []*Unit
 	walkers   []*Unit
 	producer  *Unit
+
+	// units lists every unit in the fixed grant tie-break order (hash units,
+	// then walkers, then the producer). ready is the min-heap of units
+	// waiting on memory, keyed by (want cycle, unit order): a unit is
+	// pushed exactly when it enters UnitWaitMem and popped when granted, so
+	// it is never queued twice.
+	units []*Unit
+	ready system.CycleHeap
 
 	// queues[i] feeds the walkers: one shared queue of depth QueueDepth*n,
 	// or per-lane queues of depth QueueDepth.
@@ -213,8 +235,24 @@ func newSched(a *Accelerator, req OffloadRequest, stride uint64) (*sched, error)
 		s.walkLast[i] = req.StartCycle
 	}
 	s.prodLast = req.StartCycle
+
+	s.units = append(append(append([]*Unit{}, s.hashUnits...), s.walkers...), s.producer)
 	return s, nil
 }
+
+// note enqueues a unit that just entered UnitWaitMem into the ready heap,
+// keyed by its fixed tie-break order (its index in s.units). It must be
+// called after every step call (Start, GrantEmit, GrantMem) that can leave
+// the unit waiting on memory; call sites pass the order they already know,
+// keeping the scheduler's hottest path free of lookups.
+func (s *sched) note(u *Unit, order int) {
+	if u.State() == UnitWaitMem {
+		s.ready.Push(u.WantCycle(), order)
+	}
+}
+
+// walkerOrder returns walker i's index in the grant tie-break order.
+func (s *sched) walkerOrder(i int) int { return len(s.hashUnits) + i }
 
 // laneQueue returns the queue walker i consumes from.
 func (s *sched) laneQueue(i int) *dqueue {
@@ -224,59 +262,47 @@ func (s *sched) laneQueue(i int) *dqueue {
 	return s.queues[i]
 }
 
-// run executes the offload to completion and fills in the result's unit
-// accounting (the caller adds memory stats and total cycles).
-func (s *sched) run() error {
-	for {
-		if err := s.settle(); err != nil {
-			return err
-		}
-		u := s.pickMem()
-		if u == nil {
-			if s.finished() {
-				return nil
-			}
-			return fmt.Errorf("widx: scheduler stalled with work remaining (%d/%d keys released)",
-				s.nextOut, s.req.KeyCount)
-		}
-		if err := u.GrantMem(); err != nil {
-			return err
-		}
-		if err := s.collect(u); err != nil {
-			return err
-		}
-	}
+// Name identifies the offload's agent; it is the agent label of the memory-
+// hierarchy view the accelerator is bound to.
+func (s *sched) Name() string { return s.acc.hier.Name() }
+
+// PendingMem reports the cycle of the earliest pending memory access across
+// all units (ties broken by fixed unit order: hash units, walkers,
+// producer), ok=false when no unit waits on memory.
+func (s *sched) PendingMem() (uint64, bool) {
+	cycle, _, ok := s.ready.Peek()
+	return cycle, ok
 }
 
-// pickMem returns the unit whose pending memory access has the globally
-// smallest cycle (ties broken by fixed unit order: hash units, walkers,
-// producer), or nil when no unit waits on memory.
-func (s *sched) pickMem() *Unit {
-	var best *Unit
-	consider := func(u *Unit) {
-		if u.State() != UnitWaitMem {
-			return
-		}
-		if best == nil || u.WantCycle() < best.WantCycle() {
-			best = u
-		}
+// GrantMem grants the single pending memory access with the smallest cycle
+// and folds any completed work item into the offload accounting.
+func (s *sched) GrantMem() error {
+	_, order, ok := s.ready.Pop()
+	if !ok {
+		return fmt.Errorf("widx: %s: memory grant with no unit waiting (%d/%d keys released)",
+			s.Name(), s.nextOut, s.req.KeyCount)
 	}
-	for _, u := range s.hashUnits {
-		consider(u)
+	u := s.units[order]
+	if err := u.GrantMem(); err != nil {
+		return err
 	}
-	for _, u := range s.walkers {
-		consider(u)
+	if err := s.collect(u); err != nil {
+		return err
 	}
-	consider(s.producer)
-	return best
+	s.note(u, order)
+	return nil
 }
 
-// settle propagates all non-memory progress until quiescence: granting
+// Done reports whether the offload has completed all of its work.
+func (s *sched) Done() bool { return s.finished() }
+
+// Settle propagates all non-memory progress until quiescence: granting
 // emits that have queue space, starting idle units on available inputs, and
 // folding finished items into the offload accounting. Everything here is
 // computation or queue traffic local to the units, so it cannot violate the
-// global memory-cycle order.
-func (s *sched) settle() error {
+// global memory-cycle order; units that pause at a memory access are pushed
+// onto the ready heap.
+func (s *sched) Settle() error {
 	for {
 		progress := false
 
@@ -297,6 +323,7 @@ func (s *sched) settle() error {
 				if err := s.collect(u); err != nil {
 					return err
 				}
+				s.note(u, i)
 			}
 			if u.State() == UnitIdle && s.hashNext[i] < s.req.KeyCount && s.laneGate[i] {
 				key := s.hashNext[i]
@@ -316,13 +343,14 @@ func (s *sched) settle() error {
 				if err := s.collect(u); err != nil {
 					return err
 				}
+				s.note(u, i)
 			}
 		}
 
 		// Walkers: unblock emits (the walker-to-producer path is staged
 		// through the reorder buffer and never exerts backpressure), then
 		// assign queued work to the walker that can start it earliest.
-		for _, u := range s.walkers {
+		for i, u := range s.walkers {
 			if u.State() != UnitWaitEmit {
 				continue
 			}
@@ -335,6 +363,7 @@ func (s *sched) settle() error {
 			if err := s.collect(u); err != nil {
 				return err
 			}
+			s.note(u, s.walkerOrder(i))
 		}
 		for qi := range s.queues {
 			q := s.queues[qi]
@@ -364,6 +393,7 @@ func (s *sched) settle() error {
 				if err := s.collect(u); err != nil {
 					return err
 				}
+				s.note(u, s.walkerOrder(w))
 			}
 		}
 
@@ -382,6 +412,7 @@ func (s *sched) settle() error {
 			if err := s.collect(s.producer); err != nil {
 				return err
 			}
+			s.note(s.producer, len(s.units)-1)
 		}
 
 		if !progress {

@@ -5,6 +5,7 @@ import (
 
 	"widx/internal/isa"
 	"widx/internal/mem"
+	"widx/internal/system"
 	"widx/internal/vm"
 )
 
@@ -237,17 +238,19 @@ func NewFromControlBlock(cfg Config, hier *mem.Hierarchy, as *vm.AddressSpace, c
 // Config returns the accelerator configuration.
 func (a *Accelerator) Config() Config { return a.cfg }
 
-// Offload runs one bulk indexing operation to completion and returns its
-// functional and timing results. The host core is assumed idle for the
-// duration (full offload), which the energy model relies on.
-//
-// Execution happens on the cycle-interleaved core (sched.go): every unit of
-// the configured organization is stepped in global cycle order against the
-// shared hierarchy, so accesses from concurrent walkers contend for L1
-// ports, MSHRs, page-walk slots and memory-controller bandwidth exactly as
-// their cycle interleaving dictates. Errors from any unit — including the
-// output producer — propagate to the caller.
-func (a *Accelerator) Offload(req OffloadRequest) (*OffloadResult, error) {
+// OffloadAgent is an in-flight bulk indexing offload exposed as a resumable
+// system.Agent: the system scheduler (internal/system) can co-schedule it
+// with other agents — more Widx instances, host cores — against one shared
+// memory level. Accelerator.Offload wraps it for the solo case.
+type OffloadAgent struct {
+	s         *sched
+	memBefore mem.Stats
+}
+
+// StartOffload prepares one bulk indexing operation as a schedulable agent.
+// The returned agent implements system.Agent; its Result becomes available
+// once the agent reports Done.
+func (a *Accelerator) StartOffload(req OffloadRequest) (*OffloadAgent, error) {
 	if req.KeyCount == 0 {
 		return nil, fmt.Errorf("widx: offload with zero keys")
 	}
@@ -258,20 +261,67 @@ func (a *Accelerator) Offload(req OffloadRequest) (*OffloadResult, error) {
 	if a.cfg.Mode > Coupled {
 		return nil, fmt.Errorf("widx: unknown mode %v", a.cfg.Mode)
 	}
-
 	s, err := newSched(a, req, stride)
 	if err != nil {
 		return nil, err
 	}
-	memBefore := a.hier.Stats()
-	if err := s.run(); err != nil {
-		return nil, err
+	return &OffloadAgent{s: s, memBefore: a.hier.Stats()}, nil
+}
+
+// Name identifies the agent (the label of its memory-hierarchy view).
+func (o *OffloadAgent) Name() string { return o.s.Name() }
+
+// Settle propagates all agent-local progress (computation and queue
+// traffic); part of the system.Agent contract.
+func (o *OffloadAgent) Settle() error { return o.s.Settle() }
+
+// PendingMem reports the cycle of the earliest pending memory access.
+func (o *OffloadAgent) PendingMem() (uint64, bool) { return o.s.PendingMem() }
+
+// GrantMem performs the earliest pending memory access.
+func (o *OffloadAgent) GrantMem() error { return o.s.GrantMem() }
+
+// Done reports whether every key has been hashed, walked and produced.
+func (o *OffloadAgent) Done() bool { return o.s.Done() }
+
+// Result finalizes and returns the offload's functional and timing results.
+// It is only valid once Done reports true. MemStats covers the agent's own
+// hierarchy view over the offload's span, so in a multi-agent run it is the
+// per-agent attribution of the shared level's activity.
+func (o *OffloadAgent) Result() (*OffloadResult, error) {
+	if !o.s.Done() {
+		return nil, fmt.Errorf("widx: %s: result requested before the offload finished (%d/%d keys released)",
+			o.s.Name(), o.s.nextOut, o.s.req.KeyCount)
 	}
-	res := s.res
-	res.TotalCycles = s.endCycle() - req.StartCycle
+	res := o.s.res
+	res.TotalCycles = o.s.endCycle() - o.s.req.StartCycle
+	res.WalkerTotal = Breakdown{}
 	for _, w := range res.Walkers {
 		res.WalkerTotal.Add(w)
 	}
-	res.MemStats = a.hier.Stats().Sub(memBefore)
+	res.MemStats = o.s.acc.hier.Stats().Sub(o.memBefore)
 	return res, nil
+}
+
+// Offload runs one bulk indexing operation to completion and returns its
+// functional and timing results. The host core is assumed idle for the
+// duration (full offload), which the energy model relies on.
+//
+// Execution happens on the cycle-interleaved core (sched.go) behind the
+// system scheduler: every unit of the configured organization is stepped in
+// global cycle order against the shared hierarchy, so accesses from
+// concurrent walkers contend for L1 ports, MSHRs, page-walk slots and
+// memory-controller bandwidth exactly as their cycle interleaving dictates.
+// Errors from any unit — including the output producer — propagate to the
+// caller. To co-run an offload with other agents on a shared memory level,
+// use StartOffload and system.Run instead.
+func (a *Accelerator) Offload(req OffloadRequest) (*OffloadResult, error) {
+	o, err := a.StartOffload(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := system.Run(o); err != nil {
+		return nil, err
+	}
+	return o.Result()
 }
