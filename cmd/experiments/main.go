@@ -1,130 +1,230 @@
-// Command experiments regenerates every table and figure of the paper's
-// evaluation and prints them as text tables: the Figure 2 breakdowns, the
-// Figure 4/5 analytical-model sweeps, the Figure 8 hash-join kernel study,
-// the Figure 9/10 DSS query study, the Figure 11 energy comparison and the
-// hashing-organization ablation.
+// Command experiments is a thin driver over the internal/exp registry: it
+// lists, describes, runs and sweeps the registered experiments that
+// regenerate every table and figure of the paper's evaluation.
 //
 // Usage:
 //
-//	experiments [-run all|fig2|fig4|fig5|fig5sim|fig8|fig9|fig10|fig11|ablation|cmp]
-//	            [-scale 0.015] [-sample 20000] [-parallel N]
-//	            [-agents 4xwidx:4w]
+//	experiments -list
+//	experiments -describe [name|all]
+//	experiments [-run all|name] [-set k=v]... [-sweep k=v1,v2,...]...
+//	            [-json] [-out dir]
+//	            [-scale 0.015] [-sample 20000] [-parallel N] [-strict-order]
+//	            [-agents 4xooo+4xwidx:4w]
 //
-// fig5sim is the walker-utilization sweep (1-8 walkers) driven by the
-// simulator's exact MSHR-occupancy histogram instead of the Figure 5
-// analytical model. cmp is the shared-memory CMP contention experiment:
-// the -agents machines co-run on one shared LLC / MSHR pool / bandwidth
-// schedule, each probing its own partition, and are compared against solo
-// reference runs.
+// -run accepts the canonical experiment names and their historical aliases
+// (fig2, fig4/fig5, fig8, fig9/fig10/fig11, fig5sim); -run all executes
+// every experiment in catalog order. -set overrides one experiment
+// parameter (repeatable; -describe shows each experiment's parameters and
+// defaults, plus the common config knobs scale/sample/mshrs/queue-depth).
+// -sweep expands a parameter axis into a full-factorial grid (repeatable,
+// one axis per flag) whose runs fan out across the worker pool with
+// deterministic result placement — the report is byte-identical at any
+// -parallel level.
 //
-// Design points are independent experiments, so -parallel fans them out to N
-// worker goroutines (default: all CPUs); the output is byte-identical at any
-// parallelism level.
+// -json prints the run's reproducibility manifest (resolved config + params
+// + results) to stdout instead of the text report; -out DIR writes
+// <name>.txt and <name>.json into DIR in addition to stdout. -agents (the
+// historical cmp flag) is exactly -set agents=...: under -run all only the
+// experiments that take agents receive it, and a single run of an
+// experiment that does not take it is rejected like any other unknown
+// parameter (the historical CLI silently ignored it there).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
-	"widx/internal/join"
-	"widx/internal/model"
+	"widx/internal/exp"
 	"widx/internal/sim"
-	"widx/internal/workloads"
 )
 
+// kvFlag collects repeatable -set k=v flags.
+type kvFlag map[string]string
+
+func (f kvFlag) String() string { return fmt.Sprint(map[string]string(f)) }
+
+func (f kvFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	k = strings.TrimSpace(k)
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	f[k] = v
+	return nil
+}
+
+// axisFlag collects repeatable -sweep key=v1,v2,... flags.
+type axisFlag []exp.Axis
+
+func (f *axisFlag) String() string { return fmt.Sprint([]exp.Axis(*f)) }
+
+func (f *axisFlag) Set(s string) error {
+	ax, err := exp.ParseAxis(s)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, ax)
+	return nil
+}
+
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig5sim, fig8, fig9, fig10, fig11, ablation, cmp")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
+	describe := flag.String("describe", "", "print the catalog entry for one experiment (or \"all\") and exit")
+	run := flag.String("run", "all", "experiment to run: all, a registered name, or a historical alias (fig2..fig11, fig5sim)")
+	set := kvFlag{}
+	flag.Var(set, "set", "override one experiment parameter as key=value (repeatable)")
+	var axes axisFlag
+	flag.Var(&axes, "sweep", "sweep one parameter axis as key=v1,v2,... (repeatable; axes form a grid)")
+	jsonOut := flag.Bool("json", false, "print the run manifest (resolved config + params + results) as JSON instead of the text report")
+	outDir := flag.String("out", "", "also write <name>.txt and <name>.json per run into this directory")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
 	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points and sweep runs (1 = sequential)")
 	strictOrder := flag.Bool("strict-order", false, "assert that memory accesses reach the hierarchy in monotonic cycle order (debug)")
-	agentsSpec := flag.String("agents", "4xwidx:4w", "agent mix for -run cmp, e.g. 4xooo+4xwidx:4w")
+	agentsSpec := flag.String("agents", "", "agent mix for the cmp experiment (shorthand for -set agents=...)")
 	flag.Parse()
+
+	if *list {
+		fmt.Print(exp.List())
+		return
+	}
+	if *describe != "" {
+		text, err := exp.Describe(*describe)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+		return
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.SampleProbes = *sample
 	cfg.Parallelism = *parallel
 	cfg.StrictMemOrder = *strictOrder
+	if *agentsSpec != "" {
+		set["agents"] = *agentsSpec
+	}
 
-	want := func(name string) bool { return *run == "all" || strings.EqualFold(*run, name) }
-	printed := false
+	if strings.EqualFold(*run, "all") {
+		if len(axes) > 0 || *jsonOut {
+			fail(fmt.Errorf("-sweep and -json need a single experiment; use -run <name>"))
+		}
+		if err := rejectUnknownKeys(set); err != nil {
+			fail(err)
+		}
+		for _, name := range exp.Names() {
+			e, _ := exp.Lookup(name)
+			out, err := exp.Run(e, cfg, knownSubset(e, set))
+			if err != nil {
+				fail(err)
+			}
+			if err := emit(out, false, *outDir); err != nil {
+				fail(err)
+			}
+		}
+		return
+	}
 
-	if want("fig4") || want("fig5") {
-		fmt.Print(sim.FormatModel(model.Default()))
-		fmt.Println()
-		printed = true
-	}
-	if want("fig2") {
-		rows, err := cfg.RunBreakdowns(false)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(sim.FormatBreakdowns(rows))
-		fmt.Println()
-		printed = true
-	}
-	if want("fig8") {
-		exp, err := cfg.RunKernel([]join.SizeClass{join.Small, join.Medium, join.Large})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(sim.FormatKernel(exp))
-		fmt.Println()
-		printed = true
-	}
-	if want("fig9") || want("fig10") || want("fig11") {
-		suite, err := cfg.RunSimulatedQueries()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(sim.FormatQueries(suite))
-		fmt.Println()
-		fmt.Print(sim.FormatEnergy(suite))
-		fmt.Println()
-		printed = true
-	}
-	if want("fig5sim") {
-		points, err := cfg.RunWalkerUtilization(join.Medium, 8)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(sim.FormatWalkerUtilization(points, cfg.Mem.L1MSHRs))
-		fmt.Println()
-		printed = true
-	}
-	if want("cmp") {
-		specs, err := sim.ParseAgents(*agentsSpec)
-		if err != nil {
-			fail(err)
-		}
-		exp, err := cfg.RunCMP(join.Medium, specs)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(sim.FormatCMP(exp))
-		fmt.Println()
-		printed = true
-	}
-	if want("ablation") {
-		q20, err := workloads.ByName(workloads.TPCH, "q20")
-		if err != nil {
-			fail(err)
-		}
-		ab, err := cfg.RunHashingAblation(q20, 4)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(sim.FormatAblation(ab, "TPC-H q20"))
-		printed = true
-	}
-	if !printed {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
+	e, ok := exp.Lookup(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (see -list)\n", *run)
 		os.Exit(2)
 	}
+	var out *exp.RunOutput
+	var err error
+	if len(axes) > 0 {
+		out, err = exp.RunSweep(e, cfg, set, axes)
+	} else {
+		out, err = exp.Run(e, cfg, set)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if err := emit(out, *jsonOut, *outDir); err != nil {
+		fail(err)
+	}
+}
+
+// rejectUnknownKeys fails -run all when a -set key is accepted by no
+// registered experiment: knownSubset's per-experiment filtering must not
+// hide a typo behind a full suite run at defaults.
+func rejectUnknownKeys(set map[string]string) error {
+	known := map[string]bool{}
+	for _, name := range exp.Names() {
+		e, _ := exp.Lookup(name)
+		for _, s := range exp.AllParams(e) {
+			known[s.Key] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !known[k] {
+			return fmt.Errorf("no experiment takes parameter %q (see -describe all)", k)
+		}
+	}
+	return nil
+}
+
+// knownSubset filters -set overrides down to the parameters one experiment
+// accepts, so -run all can carry overrides that only apply to some
+// experiments (the historical -agents behavior).
+func knownSubset(e exp.Experiment, set map[string]string) map[string]string {
+	known := map[string]bool{}
+	for _, s := range exp.AllParams(e) {
+		known[s.Key] = true
+	}
+	out := map[string]string{}
+	for k, v := range set {
+		if known[k] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// emit prints the run to stdout (text report, or the manifest with -json)
+// and, when outDir is set, writes both artifacts into it.
+func emit(out *exp.RunOutput, jsonOut bool, outDir string) error {
+	var manifest []byte
+	if jsonOut || outDir != "" {
+		m, err := out.Manifest()
+		if err != nil {
+			return err
+		}
+		if manifest, err = m.Encode(); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		if _, err := os.Stdout.Write(manifest); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(out.Text() + "\n")
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		name := out.Experiment.Name()
+		if err := exp.WriteOutput(filepath.Join(outDir, name+".txt"), []byte(out.Text())); err != nil {
+			return err
+		}
+		if err := exp.WriteOutput(filepath.Join(outDir, name+".json"), manifest); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fail(err error) {

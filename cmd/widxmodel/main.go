@@ -37,5 +37,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "widxmodel:", err)
 		os.Exit(1)
 	}
-	fmt.Print(sim.FormatModel(p))
+	fmt.Print(sim.ModelFigures{Params: p}.Text())
 }

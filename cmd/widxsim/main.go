@@ -19,18 +19,22 @@
 //
 // -breakdown-json PATH additionally dumps the per-walker cycle breakdowns
 // and the MSHR-occupancy histograms of every Widx design point as JSON for
-// offline plotting ("-" writes to stdout). -strict-order enables the debug
-// assertion that all memory accesses reach the hierarchy in monotonically
-// non-decreasing cycle order.
+// offline plotting ("-" writes to stdout), using the same JSON encoding as
+// the experiments manifests. -strict-order enables the debug assertion that
+// all memory accesses reach the hierarchy in monotonically non-decreasing
+// cycle order.
+//
+// For the registry of full experiments (figure regeneration, parameter
+// sweeps, run manifests), see cmd/experiments.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
+	"widx/internal/exp"
 	"widx/internal/join"
 	"widx/internal/sim"
 	"widx/internal/widx"
@@ -63,37 +67,37 @@ func main() {
 		}
 		size := join.Medium
 		if *kernel != "" {
-			size, err = parseSize(*kernel)
+			size, err = join.ParseSizeClass(*kernel)
 			if err != nil {
 				fail(err)
 			}
 		}
-		exp, err := cfg.RunCMP(size, specs)
+		cmpExp, err := cfg.RunCMP(size, specs)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Print(sim.FormatCMP(exp))
+		fmt.Print(cmpExp.Text())
 	case *kernel != "":
-		size, err := parseSize(*kernel)
+		size, err := join.ParseSizeClass(*kernel)
 		if err != nil {
 			fail(err)
 		}
-		exp, err := cfg.RunKernel([]join.SizeClass{size})
+		kernelExp, err := cfg.RunKernel([]join.SizeClass{size})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Print(sim.FormatKernel(exp))
+		fmt.Print(kernelExp.Text())
 		if *breakdownJSON != "" {
-			dump := breakdownDump{Workload: "kernel-" + size.String()}
-			for _, p := range exp.Points {
-				dump.Points = append(dump.Points, newBreakdownPoint(p.Walkers, widx.SharedDispatcher, p.Raw))
+			dump := sim.OffloadDump{Workload: "kernel-" + size.String()}
+			for _, p := range kernelExp.Points {
+				dump.Points = append(dump.Points, sim.NewOffloadDumpPoint(p.Walkers, widx.SharedDispatcher, p.Raw))
 			}
-			if err := writeDump(*breakdownJSON, dump); err != nil {
+			if err := writeDump(*breakdownJSON, &dump); err != nil {
 				fail(err)
 			}
 		}
 	case *query != "":
-		s, err := parseSuite(*suite)
+		s, err := workloads.ParseSuite(*suite)
 		if err != nil {
 			fail(err)
 		}
@@ -109,15 +113,15 @@ func main() {
 			GeoMeanIndexSpeedup: map[int]float64{4: res.IndexSpeedup[4]},
 			GeoMeanQuerySpeedup: res.QuerySpeedup4W,
 			InOrderSlowdown:     res.InOrderCyclesPerTuple / res.OoOCyclesPerTuple}
-		fmt.Print(sim.FormatQueries(suiteRes))
+		fmt.Print(suiteRes.QueriesText())
 		if *breakdownJSON != "" {
-			dump := breakdownDump{Workload: fmt.Sprintf("%s-%s", q.Suite, q.Name)}
+			dump := sim.OffloadDump{Workload: fmt.Sprintf("%s-%s", q.Suite, q.Name)}
 			for _, w := range cfg.Walkers {
 				if raw := res.WidxRaw[w]; raw != nil {
-					dump.Points = append(dump.Points, newBreakdownPoint(w, widx.SharedDispatcher, raw))
+					dump.Points = append(dump.Points, sim.NewOffloadDumpPoint(w, widx.SharedDispatcher, raw))
 				}
 			}
-			if err := writeDump(*breakdownJSON, dump); err != nil {
+			if err := writeDump(*breakdownJSON, &dump); err != nil {
 				fail(err)
 			}
 		}
@@ -127,101 +131,17 @@ func main() {
 	}
 }
 
-// breakdownDump is the -breakdown-json schema: one entry per Widx design
-// point carrying what the text report aggregates away — each walker's cycle
-// breakdown and the memory system's time-weighted MSHR-occupancy histogram.
-type breakdownDump struct {
-	Workload string           `json:"workload"`
-	Points   []breakdownPoint `json:"points"`
-}
-
-type breakdownPoint struct {
-	Walkers        int     `json:"walkers"`
-	Mode           string  `json:"mode"`
-	Tuples         uint64  `json:"tuples"`
-	TotalCycles    uint64  `json:"total_cycles"`
-	CyclesPerTuple float64 `json:"cycles_per_tuple"`
-	// PerWalker[i] is walker i's aggregate cycle breakdown.
-	PerWalker []walkerBreakdown `json:"per_walker"`
-	// Dispatcher/producer activity (cycles).
-	DispatcherBusy  uint64 `json:"dispatcher_busy"`
-	DispatcherStall uint64 `json:"dispatcher_stall"`
-	ProducerBusy    uint64 `json:"producer_busy"`
-	// MSHROccupancyCycles[k] is the number of cycles exactly k L1 MSHRs
-	// were live; MSHRSaturated is the share of cycles at the full budget.
-	MSHROccupancyCycles []uint64 `json:"mshr_occupancy_cycles"`
-	MSHRSaturated       float64  `json:"mshr_saturated_share"`
-	PortStallCycles     uint64   `json:"port_stall_cycles"`
-	MSHRStallCycles     uint64   `json:"mshr_stall_cycles"`
-}
-
-type walkerBreakdown struct {
-	Comp uint64 `json:"comp"`
-	Mem  uint64 `json:"mem"`
-	TLB  uint64 `json:"tlb"`
-	Idle uint64 `json:"idle"`
-}
-
-func newBreakdownPoint(walkers int, mode widx.HashingMode, r *widx.OffloadResult) breakdownPoint {
-	p := breakdownPoint{
-		Walkers:             walkers,
-		Mode:                mode.String(),
-		Tuples:              r.Tuples,
-		TotalCycles:         r.TotalCycles,
-		CyclesPerTuple:      r.CyclesPerTuple(),
-		DispatcherBusy:      r.DispatcherBusy,
-		DispatcherStall:     r.DispatcherStall,
-		ProducerBusy:        r.ProducerBusy,
-		MSHROccupancyCycles: r.MemStats.MSHROccupancy,
-		PortStallCycles:     r.MemStats.PortStallCycles,
-		MSHRStallCycles:     r.MemStats.MSHRStallCycles,
-	}
-	if n := len(r.MemStats.MSHROccupancy); n > 0 {
-		p.MSHRSaturated = r.MemStats.MSHRSaturationShare(n - 1)
-	}
-	for _, w := range r.Walkers {
-		p.PerWalker = append(p.PerWalker, walkerBreakdown{Comp: w.Comp, Mem: w.Mem, TLB: w.TLB, Idle: w.Idle})
-	}
-	return p
-}
-
-// writeDump serializes the dump to path ("-" = stdout).
-func writeDump(path string, dump breakdownDump) error {
-	data, err := json.MarshalIndent(dump, "", "  ")
+// writeDump serializes the dump through the common JSON encoding and writes
+// it to path ("-" = stdout).
+func writeDump(path string, dump *sim.OffloadDump) error {
+	data, err := dump.JSON()
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if path == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	return os.WriteFile(path, data, 0o644)
+	return exp.WriteOutput(path, data)
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "widxsim:", err)
 	os.Exit(1)
-}
-
-func parseSize(s string) (join.SizeClass, error) {
-	switch s {
-	case "Small", "small":
-		return join.Small, nil
-	case "Medium", "medium":
-		return join.Medium, nil
-	case "Large", "large":
-		return join.Large, nil
-	}
-	return 0, fmt.Errorf("unknown kernel size %q", s)
-}
-
-func parseSuite(s string) (workloads.Suite, error) {
-	switch s {
-	case "TPC-H", "tpch", "tpc-h":
-		return workloads.TPCH, nil
-	case "TPC-DS", "tpcds", "tpc-ds":
-		return workloads.TPCDS, nil
-	}
-	return 0, fmt.Errorf("unknown suite %q", s)
 }

@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(sim.FormatKernel(exp))
+	fmt.Print(exp.Text())
 
 	// CMP contention study: four Widx agents co-run a partitioned join on
 	// one shared LLC / MSHR pool / memory-bandwidth schedule (the paper's
@@ -56,5 +56,5 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	fmt.Print(sim.FormatCMP(cmpExp))
+	fmt.Print(cmpExp.Text())
 }

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"widx/internal/sim"
+)
+
+// The golden tests pin the registry's text output to the byte-exact reports
+// the pre-registry CLI (RunXxx + FormatXxx + hardcoded switch) printed at
+// the same reference flags:
+//
+//	experiments -run fig10 -scale 0.00390625 -sample 1000 -strict-order
+//	experiments -run cmp   -scale 0.125      -sample 2000 -strict-order
+//
+// fig10.golden is that CLI's output verbatim. cmp.golden was captured from
+// the pre-registry CLI with one deliberate change applied first: the
+// round-robin block-interleaved CMP warming this PR ships (the agent-order
+// warming the old CLI used is a start-state bug the PR fixes, and
+// cmp_test.go quantifies the difference). So both files isolate the
+// registry migration: a mismatch means the declarative layer changed what
+// an experiment computes or prints — not just how it is dispatched.
+
+// goldenConfig mirrors the harness defaults the reference flags ran at.
+func goldenConfig(scale float64, sample int) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scale = scale
+	cfg.SampleProbes = sample
+	cfg.Parallelism = runtime.NumCPU()
+	cfg.StrictMemOrder = true
+	return cfg
+}
+
+// checkGolden runs one experiment through the registry and compares the
+// driver-level output (report text plus the separator newline the CLI
+// prints) against the recorded file.
+func checkGolden(t *testing.T, name string, cfg sim.Config, goldenFile string) {
+	t.Helper()
+	e, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	out, err := Run(e, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", goldenFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Text() + "\n"; got != string(want) {
+		t.Fatalf("%s output is not byte-identical to the pre-registry CLI\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenFig10(t *testing.T) {
+	checkGolden(t, "fig10", goldenConfig(1.0/256, 1000), "fig10.golden")
+}
+
+func TestGoldenCMP(t *testing.T) {
+	checkGolden(t, "cmp", goldenConfig(0.125, 2000), "cmp.golden")
+}

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"widx/internal/sim"
+)
+
+// ParamSpec declares one experiment parameter: its key, its default (the
+// value used when -set does not override it; "" means "inherit from the
+// harness configuration") and a help line for -describe and the README
+// catalog.
+type ParamSpec struct {
+	Key     string `json:"key"`
+	Default string `json:"default"`
+	Help    string `json:"help"`
+}
+
+// Params is a fully resolved parameter set: every accepted key is present,
+// either at its default or at the -set/-sweep override. String-typed on
+// purpose — values come from flags and sweep grids and are recorded verbatim
+// in the manifest; the typed getters parse on use.
+type Params map[string]string
+
+// String returns the raw value of a key.
+func (p Params) String(key string) string { return p[key] }
+
+// Int parses an integer parameter.
+func (p Params) Int(key string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(p[key]))
+	if err != nil {
+		return 0, fmt.Errorf("exp: parameter %s=%q: want an integer", key, p[key])
+	}
+	return n, nil
+}
+
+// Float parses a float parameter.
+func (p Params) Float(key string) (float64, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(p[key]), 64)
+	if err != nil {
+		return 0, fmt.Errorf("exp: parameter %s=%q: want a number", key, p[key])
+	}
+	return f, nil
+}
+
+// Bool parses a boolean parameter.
+func (p Params) Bool(key string) (bool, error) {
+	b, err := strconv.ParseBool(strings.TrimSpace(p[key]))
+	if err != nil {
+		return false, fmt.Errorf("exp: parameter %s=%q: want true or false", key, p[key])
+	}
+	return b, nil
+}
+
+// Ints parses a comma-separated integer list parameter.
+func (p Params) Ints(key string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(p[key], ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("exp: parameter %s=%q: want comma-separated integers", key, p[key])
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// clone copies a parameter set.
+func (p Params) clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// CommonParams are the configuration knobs every experiment accepts in
+// addition to its own parameters. They default to "" — inherit the harness
+// configuration (the -scale/-sample flags and sim.DefaultConfig) — and
+// exist as parameters so sweeps over scale, sampling effort, MSHR budgets
+// and queue depths need no per-experiment plumbing.
+func CommonParams() []ParamSpec {
+	return []ParamSpec{
+		{Key: "scale", Default: "", Help: "workload scale relative to the paper's setup"},
+		{Key: "sample", Default: "", Help: "probes simulated in detail per design (0 = all)"},
+		{Key: "mshrs", Default: "", Help: "L1/shared MSHR pool size"},
+		{Key: "queue-depth", Default: "", Help: "Widx per-walker dispatch-queue depth"},
+	}
+}
+
+// AllParams returns every parameter an experiment accepts: the common
+// config knobs followed by the experiment's own specs.
+func AllParams(e Experiment) []ParamSpec {
+	return append(CommonParams(), e.Params()...)
+}
+
+// Resolve validates a -set style override map against an experiment's
+// accepted parameters and returns the fully resolved set (defaults filled
+// in). Unknown keys are errors: a typo must not silently run the default.
+func Resolve(e Experiment, set map[string]string) (Params, error) {
+	specs := AllParams(e)
+	known := make(map[string]bool, len(specs))
+	p := make(Params, len(specs))
+	for _, s := range specs {
+		known[s.Key] = true
+		p[s.Key] = s.Default
+	}
+	for k, v := range set {
+		if !known[k] {
+			return nil, fmt.Errorf("exp: experiment %s does not take parameter %q (accepted: %s)",
+				e.Name(), k, strings.Join(paramKeys(specs), ", "))
+		}
+		p[k] = v
+	}
+	return p, nil
+}
+
+func paramKeys(specs []ParamSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Key
+	}
+	return out
+}
+
+// ApplyConfig resolves the common config parameters onto a sim.Config.
+// Empty values leave the corresponding knob at its configured value.
+func ApplyConfig(cfg sim.Config, p Params) (sim.Config, error) {
+	if v := p["scale"]; v != "" {
+		f, err := p.Float("scale")
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Scale = f
+	}
+	if v := p["sample"]; v != "" {
+		n, err := p.Int("sample")
+		if err != nil {
+			return cfg, err
+		}
+		cfg.SampleProbes = n
+	}
+	if v := p["mshrs"]; v != "" {
+		n, err := p.Int("mshrs")
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Mem.L1MSHRs = n
+	}
+	if v := p["queue-depth"]; v != "" {
+		n, err := p.Int("queue-depth")
+		if err != nil {
+			return cfg, err
+		}
+		// 0 is sim.Config's inherit-the-default sentinel; accepting it here
+		// would label a run "queue-depth=0" while silently running at 2.
+		if n <= 0 {
+			return cfg, fmt.Errorf("exp: parameter queue-depth=%q: want a positive integer", v)
+		}
+		cfg.QueueDepth = n
+	}
+	return cfg, nil
+}

@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"widx/internal/sim"
+)
+
+// Axis is one sweep dimension: a parameter key and the values it takes, in
+// sweep order.
+type Axis struct {
+	Key    string   `json:"key"`
+	Values []string `json:"values"`
+}
+
+// ParseAxis parses the -sweep grammar "key=v1,v2,v3".
+func ParseAxis(s string) (Axis, error) {
+	key, vals, ok := strings.Cut(s, "=")
+	key = strings.TrimSpace(key)
+	if !ok || key == "" || vals == "" {
+		return Axis{}, fmt.Errorf("exp: bad sweep axis %q (want key=v1,v2,...)", s)
+	}
+	ax := Axis{Key: key}
+	for _, v := range strings.Split(vals, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return Axis{}, fmt.Errorf("exp: sweep axis %q has an empty value", s)
+		}
+		ax.Values = append(ax.Values, v)
+	}
+	return ax, nil
+}
+
+// SweepRun is one grid point of a sweep: the full resolved parameter set of
+// the point and its result.
+type SweepRun struct {
+	Params Params
+	Result Result
+}
+
+// Label renders the point's axis assignment ("agents=2xwidx:4w queue-depth=4").
+func (r SweepRun) label(axes []Axis) string {
+	parts := make([]string, len(axes))
+	for i, ax := range axes {
+		parts[i] = ax.Key + "=" + r.Params[ax.Key]
+	}
+	return strings.Join(parts, " ")
+}
+
+// SweepResult is the result of expanding a parameter grid over one
+// experiment. Runs are in grid order — the last axis varies fastest — and
+// the order is independent of the parallelism the runs executed at.
+type SweepResult struct {
+	Experiment string
+	Axes       []Axis
+	Runs       []SweepRun
+}
+
+// Text renders every run's report under its axis-assignment header.
+func (s *SweepResult) Text() string {
+	var b strings.Builder
+	dims := make([]string, len(s.Axes))
+	for i, ax := range s.Axes {
+		dims[i] = fmt.Sprintf("%s(%d)", ax.Key, len(ax.Values))
+	}
+	fmt.Fprintf(&b, "Sweep — %s over %s: %d runs\n", s.Experiment, strings.Join(dims, " x "), len(s.Runs))
+	for _, r := range s.Runs {
+		fmt.Fprintf(&b, "\n--- %s %s ---\n", s.Experiment, r.label(s.Axes))
+		b.WriteString(r.Result.Text())
+	}
+	return b.String()
+}
+
+// sweepRunJSON is one grid point in the JSON encoding.
+type sweepRunJSON struct {
+	Params  map[string]string `json:"params"`
+	Results json.RawMessage   `json:"results"`
+}
+
+// JSON encodes the sweep as {experiment, axes, runs:[{params, results}]}.
+func (s *SweepResult) JSON() ([]byte, error) {
+	payload := struct {
+		Experiment string         `json:"experiment"`
+		Axes       []Axis         `json:"axes"`
+		Runs       []sweepRunJSON `json:"runs"`
+	}{Experiment: s.Experiment, Axes: s.Axes}
+	for _, r := range s.Runs {
+		raw, err := r.Result.JSON()
+		if err != nil {
+			return nil, fmt.Errorf("exp: encoding sweep run %s: %w", r.label(s.Axes), err)
+		}
+		payload.Runs = append(payload.Runs, sweepRunJSON{Params: r.Params, Results: raw})
+	}
+	return json.MarshalIndent(payload, "", "  ")
+}
+
+// RunSweep expands the axes into a full-factorial grid over the experiment
+// and executes every point through the sim worker pool: the grid fans out
+// across cfg.Parallelism workers (each point sharing the budget via
+// InnerConfig) and every point writes its result into its own grid index,
+// so the report is byte-identical at any parallelism level.
+func RunSweep(e Experiment, cfg sim.Config, set map[string]string, axes []Axis) (*RunOutput, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("exp: sweep over %s needs at least one axis", e.Name())
+	}
+	base, err := Resolve(e, set)
+	if err != nil {
+		return nil, err
+	}
+	// The manifest's resolved config: the base common knobs applied to the
+	// harness config. Swept config knobs vary per point and are recorded in
+	// each run's params instead.
+	baseCfg, err := ApplyConfig(cfg, base)
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	seen := map[string]bool{}
+	for _, ax := range axes {
+		if _, known := base[ax.Key]; !known {
+			return nil, fmt.Errorf("exp: experiment %s does not take sweep parameter %q", e.Name(), ax.Key)
+		}
+		if seen[ax.Key] {
+			return nil, fmt.Errorf("exp: duplicate sweep axis %q", ax.Key)
+		}
+		// A -set value for a swept key would never run — every grid point
+		// overwrites it. Silently discarding an override breaks the
+		// package's rule that overrides are never ignored.
+		if _, overridden := set[ax.Key]; overridden {
+			return nil, fmt.Errorf("exp: parameter %q is both -set and -sweep; pick one", ax.Key)
+		}
+		seen[ax.Key] = true
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("exp: sweep axis %q has no values", ax.Key)
+		}
+		n *= len(ax.Values)
+	}
+
+	sweep := &SweepResult{Experiment: e.Name(), Axes: axes, Runs: make([]SweepRun, n)}
+	inner := cfg.InnerConfig(n)
+	if err := cfg.RunTasks(n, func(i int) error {
+		// Decode grid index i into one value per axis, last axis fastest.
+		p := base.clone()
+		rem := i
+		for a := len(axes) - 1; a >= 0; a-- {
+			ax := axes[a]
+			p[ax.Key] = ax.Values[rem%len(ax.Values)]
+			rem /= len(ax.Values)
+		}
+		runCfg, err := ApplyConfig(inner, p)
+		if err != nil {
+			return err
+		}
+		res, err := e.Run(runCfg, p)
+		if err != nil {
+			return fmt.Errorf("exp: %s [%s]: %w", e.Name(), SweepRun{Params: p}.label(axes), err)
+		}
+		sweep.Runs[i] = SweepRun{Params: p, Result: res}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// The manifest's top-level params drop the swept keys: their base values
+	// never ran, and every grid point records its own full set.
+	baseParams := base.clone()
+	for _, ax := range axes {
+		delete(baseParams, ax.Key)
+	}
+	return &RunOutput{Experiment: e, Params: baseParams, Config: baseCfg, Axes: axes, Result: sweep}, nil
+}

@@ -13,6 +13,7 @@ package join
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"widx/internal/hashidx"
 	"widx/internal/stats"
@@ -43,6 +44,24 @@ func (s SizeClass) String() string {
 	default:
 		return fmt.Sprintf("size(%d)", uint8(s))
 	}
+}
+
+// MarshalText encodes the size class by name, so JSON objects keyed or
+// valued by a SizeClass carry "Small"/"Medium"/"Large" instead of enum
+// integers.
+func (s SizeClass) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// ParseSizeClass parses a size-class name, case-insensitively.
+func ParseSizeClass(s string) (SizeClass, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	}
+	return 0, fmt.Errorf("join: unknown kernel size %q (want Small, Medium or Large)", s)
 }
 
 // paperTuples returns the unscaled tuple counts of Section 5.

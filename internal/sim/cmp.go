@@ -44,6 +44,10 @@ const (
 	AgentInOrder
 )
 
+// MarshalText encodes the kind by name, so JSON manifests carry "widx" /
+// "ooo" / "inorder" rather than opaque enum values.
+func (k AgentKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
 // String names the kind.
 func (k AgentKind) String() string {
 	switch k {
@@ -260,27 +264,84 @@ func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec) (*vm
 
 // warmPartition installs the agent's partition into the shared LLC (and its
 // pages into the agent's private TLB) — the warmed-checkpoint steady state
-// the paper measures from. Solo, one partition fits the LLC; co-running,
-// the partitions warmed after evict the ones warmed before.
+// the paper measures from. Solo, one partition fits the LLC it has to
+// itself, so warming order is immaterial.
 func warmPartition(hier *mem.Hierarchy, w *cmpAgentWorkload) {
-	block := uint64(hier.Config().L1BlockBytes)
-	for _, r := range w.table.Regions() {
-		for addr := r[0]; addr < r[1]; addr += block {
-			hier.WarmLLCOnly(addr)
+	cur := newBlockCursor(hier, w)
+	for addr, ok := cur.next(); ok; addr, ok = cur.next() {
+		hier.WarmLLCOnly(addr)
+	}
+}
+
+// blockCursor streams the block-aligned addresses of one agent's partition
+// in region order, so warming needs O(1) state per agent instead of a
+// materialized address list (full-scale partitions run to millions of
+// blocks).
+type blockCursor struct {
+	regions [][2]uint64
+	block   uint64
+	ri      int
+	addr    uint64
+}
+
+func newBlockCursor(hier *mem.Hierarchy, w *cmpAgentWorkload) *blockCursor {
+	c := &blockCursor{regions: w.table.Regions(), block: uint64(hier.Config().L1BlockBytes)}
+	if len(c.regions) > 0 {
+		c.addr = c.regions[0][0]
+	}
+	return c
+}
+
+// next returns the next block address, or false once the partition is done.
+func (c *blockCursor) next() (uint64, bool) {
+	for c.ri < len(c.regions) {
+		if c.addr < c.regions[c.ri][1] {
+			a := c.addr
+			c.addr += c.block
+			return a, true
+		}
+		c.ri++
+		if c.ri < len(c.regions) {
+			c.addr = c.regions[c.ri][0]
+		}
+	}
+	return 0, false
+}
+
+// warmPartitionsInterleaved warms every co-running agent's partition into the
+// one shared LLC round-robin, one block at a time across agents. Warming the
+// partitions whole in agent order leaves the first agents' partitions
+// partially evicted once the aggregate working set overflows the LLC — a
+// start-state asymmetry the co-run then measures as contention that depends
+// on the agent index, not the contention itself. Interleaving spreads the
+// capacity pressure evenly, so identical agents start from identical
+// (statistically) warm states.
+func warmPartitionsInterleaved(hiers []*mem.Hierarchy, ws []cmpAgentWorkload) {
+	cursors := make([]*blockCursor, len(ws))
+	for i := range ws {
+		cursors[i] = newBlockCursor(hiers[i], &ws[i])
+	}
+	for remaining := true; remaining; {
+		remaining = false
+		for i, cur := range cursors {
+			if addr, ok := cur.next(); ok {
+				hiers[i].WarmLLCOnly(addr)
+				remaining = true
+			}
 		}
 	}
 }
 
 // newCMPRunner wires one agent spec onto a hierarchy view: a Widx offload
 // over its key column, or a core replay of its traces.
-func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w *cmpAgentWorkload) (*cmpRunner, error) {
+func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w *cmpAgentWorkload, queueDepth int) (*cmpRunner, error) {
 	switch spec.Kind {
 	case AgentWidx:
 		walkers := spec.Walkers
 		if walkers == 0 {
 			walkers = 4
 		}
-		acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: 2},
+		acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: queueDepth},
 			hier, as, w.bundle.Dispatcher, w.bundle.Walker, w.bundle.Producer)
 		if err != nil {
 			return nil, err
@@ -331,6 +392,14 @@ func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w
 // (partitioned hash join), so the co-run's aggregate working set is K
 // partitions against one LLC.
 func (c Config) RunCMP(size join.SizeClass, specs []CMPAgentSpec) (*CMPExperiment, error) {
+	return c.runCMP(size, specs, true)
+}
+
+// runCMP is RunCMP with the warming policy explicit: interleavedWarm selects
+// round-robin block-interleaved warming (the production policy); false warms
+// whole partitions in agent order, kept only so tests can quantify the
+// start-state asymmetry the interleaved policy removes.
+func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWarm bool) (*CMPExperiment, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -354,7 +423,7 @@ func (c Config) RunCMP(size join.SizeClass, specs []CMPAgentSpec) (*CMPExperimen
 		sl.SetStrictOrder(c.StrictMemOrder)
 		hier := sl.NewAgent(workloads[i].name)
 		warmPartition(hier, &workloads[i])
-		run, err := newCMPRunner(hier, spec, as, &workloads[i])
+		run, err := newCMPRunner(hier, spec, as, &workloads[i], c.queueDepth())
 		if err != nil {
 			return nil, err
 		}
@@ -378,10 +447,10 @@ func (c Config) RunCMP(size join.SizeClass, specs []CMPAgentSpec) (*CMPExperimen
 	}
 
 	// The co-run: every agent on one shared level, all partitions warmed
-	// (in agent order — later partitions evict earlier ones once the LLC
-	// fills, exactly the steady-state capacity pressure of a partitioned
-	// join), merged by the system scheduler's event heap in globally
-	// monotonic cycle order.
+	// round-robin block-interleaved (so the steady-state capacity pressure
+	// of a partitioned join lands on every agent evenly rather than evicting
+	// the partitions warmed first), merged by the system scheduler's event
+	// heap in globally monotonic cycle order.
 	sl := mem.NewSharedLevel(c.Mem)
 	sl.SetStrictOrder(c.StrictMemOrder)
 	runs := make([]*cmpRunner, k)
@@ -390,11 +459,15 @@ func (c Config) RunCMP(size join.SizeClass, specs []CMPAgentSpec) (*CMPExperimen
 	for i := range specs {
 		hiers[i] = sl.NewAgent(workloads[i].name)
 	}
-	for i := range specs {
-		warmPartition(hiers[i], &workloads[i])
+	if interleavedWarm {
+		warmPartitionsInterleaved(hiers, workloads)
+	} else {
+		for i := range specs {
+			warmPartition(hiers[i], &workloads[i])
+		}
 	}
 	for i, spec := range specs {
-		runs[i], err = newCMPRunner(hiers[i], spec, as, &workloads[i])
+		runs[i], err = newCMPRunner(hiers[i], spec, as, &workloads[i], c.queueDepth())
 		if err != nil {
 			return nil, err
 		}

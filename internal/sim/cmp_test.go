@@ -130,6 +130,54 @@ func TestCMPContentionMeasurable(t *testing.T) {
 	}
 }
 
+// TestCMPWarmingInterleavedSymmetric quantifies the warming fix: with four
+// identical agents, whole-partition warming in agent order leaves the first
+// partitions partially evicted before the co-run even starts, so the
+// per-agent LLC-miss inflation depends on the agent index. Round-robin
+// block-interleaved warming (the production policy) must shrink that
+// asymmetry.
+func TestCMPWarmingInterleavedSymmetric(t *testing.T) {
+	cfg := cmpQuickConfig()
+	// Four Medium/8 partitions aggregate to ~1.5x the LLC, so warming order
+	// decides which blocks survive to the start of the co-run.
+	cfg.Scale = 1.0 / 8
+	cfg.SampleProbes = 2000
+	specs, err := ParseAgents("4xwidx:4w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(exp *CMPExperiment) float64 {
+		minInf, maxInf := exp.Agents[0].LLCMissInflation, exp.Agents[0].LLCMissInflation
+		for _, a := range exp.Agents[1:] {
+			if a.LLCMissInflation < minInf {
+				minInf = a.LLCMissInflation
+			}
+			if a.LLCMissInflation > maxInf {
+				maxInf = a.LLCMissInflation
+			}
+		}
+		return maxInf - minInf
+	}
+	interleaved, err := cfg.runCMP(join.Medium, specs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentOrder, err := cfg.runCMP(join.Medium, specs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, sa := spread(interleaved), spread(agentOrder)
+	t.Logf("LLC-miss inflation spread across identical agents: interleaved %.3f, agent-order %.3f", si, sa)
+	for _, exp := range []*CMPExperiment{interleaved, agentOrder} {
+		for _, a := range exp.Agents {
+			t.Logf("  %s: inflation %.2fx slowdown %.2fx", a.Name, a.LLCMissInflation, a.Slowdown)
+		}
+	}
+	if si >= sa {
+		t.Fatalf("interleaved warming should shrink the per-agent inflation asymmetry: %.3f vs %.3f", si, sa)
+	}
+}
+
 // TestCMPHeterogeneousAgents runs the paper's CMP shape — host cores next
 // to Widx agents — and checks the report renders every agent.
 func TestCMPHeterogeneousAgents(t *testing.T) {
@@ -146,7 +194,7 @@ func TestCMPHeterogeneousAgents(t *testing.T) {
 	if len(exp.Agents) != 4 {
 		t.Fatalf("expected 4 agents, got %d", len(exp.Agents))
 	}
-	text := FormatCMP(exp)
+	text := exp.Text()
 	for _, a := range exp.Agents {
 		if !strings.Contains(text, a.Name) {
 			t.Fatalf("report misses agent %s:\n%s", a.Name, text)
@@ -230,10 +278,11 @@ func TestWalkerUtilizationSweep(t *testing.T) {
 	// A reduced MSHR budget puts the saturation knee inside the 1-8 sweep,
 	// like the sched_test walker-scaling fixture.
 	cfg.Mem.L1MSHRs = 5
-	points, err := cfg.RunWalkerUtilization(join.Medium, 8)
+	sweep, err := cfg.RunWalkerUtilization(join.Medium, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
+	points := sweep.Points
 	if len(points) != 8 {
 		t.Fatalf("expected 8 points, got %d", len(points))
 	}
@@ -267,7 +316,7 @@ func TestWalkerUtilizationSweep(t *testing.T) {
 		t.Fatalf("8 walkers should be less utilized than 1: %.2f vs %.2f",
 			points[7].Utilization, points[0].Utilization)
 	}
-	text := FormatWalkerUtilization(points, cfg.Mem.L1MSHRs)
+	text := sweep.Text()
 	if !strings.Contains(text, "walker utilization") || !strings.Contains(text, "mean MSHRs") {
 		t.Fatalf("sweep table malformed:\n%s", text)
 	}

@@ -86,8 +86,8 @@ func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
 	perSize := make([]kernelSizeResult, len(sizes))
 	// Split the worker budget between the size classes and the design points
 	// within each, so nesting does not exceed c.Parallelism workers in total.
-	inner := c.innerConfig(len(sizes))
-	if err := c.runTasks(len(sizes), func(i int) error {
+	inner := c.InnerConfig(len(sizes))
+	if err := c.RunTasks(len(sizes), func(i int) error {
 		size := sizes[i]
 		kcfg := join.DefaultKernelConfig(size, c.Scale)
 		// The probe stream only needs to cover the detailed sample.

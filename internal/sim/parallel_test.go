@@ -25,7 +25,7 @@ func TestRunTasks(t *testing.T) {
 		cfg := Config{Parallelism: p}
 		const n = 23
 		hits := make([]int, n)
-		if err := cfg.runTasks(n, func(i int) error {
+		if err := cfg.RunTasks(n, func(i int) error {
 			hits[i]++
 			return nil
 		}); err != nil {
@@ -38,7 +38,7 @@ func TestRunTasks(t *testing.T) {
 		}
 		// A single failing task always reports its error, even though tasks
 		// that have not started when a failure lands may be skipped.
-		err := cfg.runTasks(n, func(i int) error {
+		err := cfg.RunTasks(n, func(i int) error {
 			if i == 5 {
 				return fmt.Errorf("task %d failed", i)
 			}
@@ -65,15 +65,15 @@ func TestInnerConfig(t *testing.T) {
 	}
 	for _, tc := range cases {
 		c := Config{Parallelism: tc.parallelism}
-		if got := c.innerConfig(tc.outer).Parallelism; got != tc.want {
-			t.Errorf("innerConfig(%d) with Parallelism %d = %d, want %d",
+		if got := c.InnerConfig(tc.outer).Parallelism; got != tc.want {
+			t.Errorf("InnerConfig(%d) with Parallelism %d = %d, want %d",
 				tc.outer, tc.parallelism, got, tc.want)
 		}
 	}
 }
 
 // TestParallelKernelDeterminism asserts the tentpole guarantee: the parallel
-// runner produces byte-identical FormatKernel output to a sequential run of
+// runner produces byte-identical Text() kernel report to a sequential run of
 // the same configuration.
 func TestParallelKernelDeterminism(t *testing.T) {
 	sizes := []join.SizeClass{join.Small, join.Medium}
@@ -82,14 +82,14 @@ func TestParallelKernelDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq := FormatKernel(seqExp)
+	seq := seqExp.Text()
 
 	for _, p := range []int{2, 8} {
 		parExp, err := parallelTestConfig(p).RunKernel(sizes)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if par := FormatKernel(parExp); par != seq {
+		if par := parExp.Text(); par != seq {
 			t.Fatalf("parallelism %d changed the kernel report\nsequential:\n%s\nparallel:\n%s", p, seq, par)
 		}
 	}
@@ -116,8 +116,8 @@ func TestParallelQueryDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq := FormatQueries(seqSuite) + FormatEnergy(seqSuite)
-	par := FormatQueries(parSuite) + FormatEnergy(parSuite)
+	seq := seqSuite.Text()
+	par := parSuite.Text()
 	if seq != par {
 		t.Fatalf("parallelism changed the query report\nsequential:\n%s\nparallel:\n%s", seq, par)
 	}
@@ -139,8 +139,8 @@ func TestParallelAblationDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq := FormatAblation(seqAb, "TPC-H q20")
-	par := FormatAblation(parAb, "TPC-H q20")
+	seq := seqAb.Text()
+	par := parAb.Text()
 	if seq != par {
 		t.Fatalf("parallelism changed the ablation report\nsequential:\n%s\nparallel:\n%s", seq, par)
 	}
@@ -157,7 +157,7 @@ func TestParallelBreakdownDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seq, par := FormatBreakdowns(seqRows), FormatBreakdowns(parRows); seq != par {
+	if seq, par := seqRows.Text(), parRows.Text(); seq != par {
 		t.Fatalf("parallelism changed the breakdown report\nsequential:\n%s\nparallel:\n%s", seq, par)
 	}
 }

@@ -129,8 +129,8 @@ func (c Config) runQuerySet(queries []workloads.QuerySpec) (*SuiteResult, error)
 	// Each in-flight query gets its share of the worker budget for its own
 	// design points, keeping the total at c.Parallelism (and avoiding one
 	// address-space clone per design point per in-flight query).
-	inner := c.innerConfig(len(queries))
-	if err := c.runTasks(len(queries), func(i int) error {
+	inner := c.InnerConfig(len(queries))
+	if err := c.RunTasks(len(queries), func(i int) error {
 		qr, err := inner.RunQuery(queries[i])
 		if err != nil {
 			return err
@@ -190,10 +190,14 @@ type BreakdownRow struct {
 	PaperHashShare    float64
 }
 
+// BreakdownRows is the Figure 2 result set: one row per executed query. The
+// named slice type carries the report encodings (Text/JSON).
+type BreakdownRows []BreakdownRow
+
 // RunBreakdowns reproduces Figure 2a (and 2b for the simulated queries) by
 // executing every query in the inventory through the engine. Set
 // simulatedOnly to restrict the run to the twelve Figure 2b queries.
-func (c Config) RunBreakdowns(simulatedOnly bool) ([]BreakdownRow, error) {
+func (c Config) RunBreakdowns(simulatedOnly bool) (BreakdownRows, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -204,8 +208,8 @@ func (c Config) RunBreakdowns(simulatedOnly bool) ([]BreakdownRow, error) {
 		}
 		queries = append(queries, q)
 	}
-	rows := make([]BreakdownRow, len(queries))
-	if err := c.runTasks(len(queries), func(i int) error {
+	rows := make(BreakdownRows, len(queries))
+	if err := c.RunTasks(len(queries), func(i int) error {
 		q := queries[i]
 		engRes, err := engine.Run(engine.FromWorkload(q, c.Scale))
 		if err != nil {
@@ -228,6 +232,8 @@ func (c Config) RunBreakdowns(simulatedOnly bool) ([]BreakdownRow, error) {
 // AblationResult compares the Figure 3 design points (coupled hashing,
 // per-walker decoupled hashing, shared dispatcher) on one workload.
 type AblationResult struct {
+	// Query labels the workload the ablation ran on ("TPC-H q20").
+	Query          string
 	Walkers        int
 	CoupledCPT     float64
 	PerWalkerCPT   float64
@@ -252,7 +258,7 @@ func (c Config) RunHashingAblation(q workloads.QuerySpec, walkers int) (*Ablatio
 		probeCount:   engRes.ProbeCount,
 		traces:       engRes.Traces,
 	}
-	out := &AblationResult{Walkers: walkers}
+	out := &AblationResult{Query: fmt.Sprintf("%s %s", q.Suite, q.Name), Walkers: walkers}
 	// Fixed design-point order: the previous map iteration randomized the
 	// result-region allocation order (and with it buffer addresses) from run
 	// to run, making the ablation numbers nondeterministic.

@@ -11,10 +11,14 @@ import (
 )
 
 // This file renders experiment results as fixed-width text tables in the
-// shape of the paper's figures, for cmd/experiments and EXPERIMENTS.md.
+// shape of the paper's figures. Every result type exposes the same encoding
+// pair — Text() for the human report and JSON() (report_json.go) for the
+// machine-readable manifest — which is what the exp registry's Result
+// interface consumes. The historical FormatXxx free functions are gone;
+// call Text() on the result instead.
 
-// FormatKernel renders Figures 8a and 8b.
-func FormatKernel(e *KernelExperiment) string {
+// Text renders Figures 8a and 8b.
+func (e *KernelExperiment) Text() string {
 	var b strings.Builder
 	b.WriteString("Figure 8a — Widx walker cycles per tuple, hash join kernel (Comp/Mem/TLB/Idle)\n")
 	fmt.Fprintf(&b, "%-8s %-8s %10s %10s %10s %10s %10s %12s\n",
@@ -48,9 +52,9 @@ func FormatKernel(e *KernelExperiment) string {
 	return b.String()
 }
 
-// FormatCMP renders the shared-memory contention experiment: per-agent
-// co-run vs. solo timings and the system-level shared-resource pressure.
-func FormatCMP(e *CMPExperiment) string {
+// Text renders the shared-memory contention experiment: per-agent co-run vs.
+// solo timings and the system-level shared-resource pressure.
+func (e *CMPExperiment) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "CMP contention — %d co-running agents, one shared LLC / MSHR pool / memory bandwidth (%s kernel)\n",
 		len(e.Agents), e.Size)
@@ -71,13 +75,13 @@ func FormatCMP(e *CMPExperiment) string {
 	return b.String()
 }
 
-// FormatWalkerUtilization renders the simulator-driven Figure 5 sweep.
-func FormatWalkerUtilization(points []WalkerUtilizationPoint, mshrs int) string {
+// Text renders the simulator-driven Figure 5 sweep.
+func (s *WalkerUtilizationSweep) Text() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 5 (simulated) — walker utilization and measured MSHR occupancy (%d MSHRs)\n", mshrs)
+	fmt.Fprintf(&b, "Figure 5 (simulated) — walker utilization and measured MSHR occupancy (%d MSHRs)\n", s.MSHRs)
 	fmt.Fprintf(&b, "%-8s %10s %12s %14s %12s %12s\n",
 		"walkers", "cpt", "utilization", "mean MSHRs", "MSHR full", "MSHR stalls")
-	for _, p := range points {
+	for _, p := range s.Points {
 		fmt.Fprintf(&b, "%-8d %10.1f %11.0f%% %14.2f %11.0f%% %12d\n",
 			p.Walkers, p.CyclesPerTuple, 100*p.Utilization, p.MeanMSHROccupancy,
 			100*p.MSHRSaturationShare, p.MSHRStallCycles)
@@ -85,8 +89,8 @@ func FormatWalkerUtilization(points []WalkerUtilizationPoint, mshrs int) string 
 	return b.String()
 }
 
-// FormatQueries renders Figures 9a, 9b and 10 from a suite run.
-func FormatQueries(s *SuiteResult) string {
+// QueriesText renders Figures 9a, 9b and 10 from a suite run.
+func (s *SuiteResult) QueriesText() string {
 	var b strings.Builder
 	b.WriteString("Figure 9 — Widx walker cycles per tuple breakdown (Comp/Mem/TLB/Idle)\n")
 	fmt.Fprintf(&b, "%-8s %-6s %-8s %10s %10s %10s %10s %10s\n",
@@ -119,8 +123,8 @@ func FormatQueries(s *SuiteResult) string {
 	return b.String()
 }
 
-// FormatEnergy renders Figure 11 and the Section 6.3 area table.
-func FormatEnergy(s *SuiteResult) string {
+// EnergyText renders Figure 11 and the Section 6.3 area table.
+func (s *SuiteResult) EnergyText() string {
 	var b strings.Builder
 	b.WriteString("Figure 11 — Indexing runtime, energy and energy-delay, normalized to OoO (lower is better)\n")
 	fmt.Fprintf(&b, "%-14s %10s %10s %14s\n", "design", "runtime", "energy", "energy-delay")
@@ -148,8 +152,14 @@ func FormatEnergy(s *SuiteResult) string {
 	return b.String()
 }
 
-// FormatBreakdowns renders Figure 2a (and Figure 2b for simulated queries).
-func FormatBreakdowns(rows []BreakdownRow) string {
+// Text renders the full suite report: the Figure 9/10 tables followed by the
+// Figure 11 energy comparison, exactly as the historical CLI printed them.
+func (s *SuiteResult) Text() string {
+	return s.QueriesText() + "\n" + s.EnergyText()
+}
+
+// Text renders Figure 2a (and Figure 2b for simulated queries).
+func (rows BreakdownRows) Text() string {
 	var b strings.Builder
 	b.WriteString("Figure 2a — Query execution time breakdown (measured | paper)\n")
 	fmt.Fprintf(&b, "%-8s %-6s %18s %18s %18s %18s\n", "suite", "query", "index", "scan", "sort&join", "other")
@@ -173,8 +183,17 @@ func FormatBreakdowns(rows []BreakdownRow) string {
 	return b.String()
 }
 
-// FormatModel renders the analytical-model figures (4a, 4b, 4c and 5).
-func FormatModel(p model.Params) string {
+// ModelFigures is the analytical-model "result": the closed-form Figures
+// 4a-4c and 5 evaluated at the given parameters. It exists so the Section 3
+// model flows through the same Result encodings as the simulated
+// experiments.
+type ModelFigures struct {
+	Params model.Params
+}
+
+// Text renders the analytical-model figures (4a, 4b, 4c and 5).
+func (m ModelFigures) Text() string {
+	p := m.Params
 	var b strings.Builder
 	b.WriteString("Figure 4a — L1-D accesses per cycle vs LLC miss ratio (limit: 2 ports)\n")
 	f4a := model.Figure4a(p)
@@ -226,10 +245,10 @@ func FormatModel(p model.Params) string {
 	return b.String()
 }
 
-// FormatAblation renders the Figure 3 design-point ablation.
-func FormatAblation(a *AblationResult, query string) string {
+// Text renders the Figure 3 design-point ablation.
+func (a *AblationResult) Text() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Hashing-organization ablation (%s, %d walkers)\n", query, a.Walkers)
+	fmt.Fprintf(&b, "Hashing-organization ablation (%s, %d walkers)\n", a.Query, a.Walkers)
 	fmt.Fprintf(&b, "%-28s %12s\n", "design point", "cycles/tuple")
 	fmt.Fprintf(&b, "%-28s %12.1f\n", "coupled hash+walk (Fig 3b)", a.CoupledCPT)
 	fmt.Fprintf(&b, "%-28s %12.1f\n", "per-walker decoupled (3c)", a.PerWalkerCPT)

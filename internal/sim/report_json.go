@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"encoding/json"
+
+	"widx/internal/model"
+	"widx/internal/widx"
+)
+
+// This file is the machine-readable side of the report pair: every result
+// type's JSON() method feeds the exp registry's per-run manifest, and
+// cmd/widxsim's -breakdown-json dump reuses the same encoding. All encodings
+// go through encodeJSON so indentation and key ordering (Go's deterministic
+// struct-order / sorted-map-key marshaling) are uniform everywhere.
+
+// encodeJSON is the one JSON encoding every experiment result uses.
+func encodeJSON(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}
+
+// JSON encodes the Figure 8 kernel experiment.
+func (e *KernelExperiment) JSON() ([]byte, error) { return encodeJSON(e) }
+
+// JSON encodes the CMP contention experiment.
+func (e *CMPExperiment) JSON() ([]byte, error) { return encodeJSON(e) }
+
+// JSON encodes the simulator-driven Figure 5 sweep.
+func (s *WalkerUtilizationSweep) JSON() ([]byte, error) { return encodeJSON(s) }
+
+// JSON encodes the Figure 9/10/11 suite result.
+func (s *SuiteResult) JSON() ([]byte, error) { return encodeJSON(s) }
+
+// JSON encodes the Figure 2 breakdown rows.
+func (rows BreakdownRows) JSON() ([]byte, error) { return encodeJSON(rows) }
+
+// JSON encodes the hashing-organization ablation.
+func (a *AblationResult) JSON() ([]byte, error) { return encodeJSON(a) }
+
+// modelFiguresJSON is the analytical model's JSON payload: the input
+// parameters plus every closed-form curve the text report prints.
+type modelFiguresJSON struct {
+	Params   model.Params       `json:"params"`
+	Figure4a []model.Series     `json:"figure4a"`
+	Figure4b model.Series       `json:"figure4b"`
+	Figure4c model.Series       `json:"figure4c"`
+	Figure5  []modelFigure5JSON `json:"figure5"`
+}
+
+type modelFigure5JSON struct {
+	NodesPerBucket int            `json:"nodes_per_bucket"`
+	Series         []model.Series `json:"series"`
+}
+
+// JSON encodes the analytical-model figures.
+func (m ModelFigures) JSON() ([]byte, error) {
+	payload := modelFiguresJSON{
+		Params:   m.Params,
+		Figure4a: model.Figure4a(m.Params),
+		Figure4b: model.Figure4b(m.Params),
+		Figure4c: model.Figure4c(m.Params),
+	}
+	for depth := 1; depth <= 3; depth++ {
+		payload.Figure5 = append(payload.Figure5, modelFigure5JSON{
+			NodesPerBucket: depth,
+			Series:         model.Figure5(m.Params, float64(depth)),
+		})
+	}
+	return encodeJSON(payload)
+}
+
+// OffloadDump is the widxsim -breakdown-json schema: one entry per Widx
+// design point carrying what the text report aggregates away — each walker's
+// cycle breakdown and the memory system's time-weighted MSHR-occupancy
+// histogram.
+type OffloadDump struct {
+	Workload string             `json:"workload"`
+	Points   []OffloadDumpPoint `json:"points"`
+}
+
+// OffloadDumpPoint is one Widx design point of an OffloadDump.
+type OffloadDumpPoint struct {
+	Walkers        int     `json:"walkers"`
+	Mode           string  `json:"mode"`
+	Tuples         uint64  `json:"tuples"`
+	TotalCycles    uint64  `json:"total_cycles"`
+	CyclesPerTuple float64 `json:"cycles_per_tuple"`
+	// PerWalker[i] is walker i's aggregate cycle breakdown.
+	PerWalker []OffloadDumpBreakdown `json:"per_walker"`
+	// Dispatcher/producer activity (cycles).
+	DispatcherBusy  uint64 `json:"dispatcher_busy"`
+	DispatcherStall uint64 `json:"dispatcher_stall"`
+	ProducerBusy    uint64 `json:"producer_busy"`
+	// MSHROccupancyCycles[k] is the number of cycles exactly k L1 MSHRs
+	// were live; MSHRSaturated is the share of cycles at the full budget.
+	MSHROccupancyCycles []uint64 `json:"mshr_occupancy_cycles"`
+	MSHRSaturated       float64  `json:"mshr_saturated_share"`
+	PortStallCycles     uint64   `json:"port_stall_cycles"`
+	MSHRStallCycles     uint64   `json:"mshr_stall_cycles"`
+}
+
+// OffloadDumpBreakdown is one walker's aggregate cycle breakdown.
+type OffloadDumpBreakdown struct {
+	Comp uint64 `json:"comp"`
+	Mem  uint64 `json:"mem"`
+	TLB  uint64 `json:"tlb"`
+	Idle uint64 `json:"idle"`
+}
+
+// NewOffloadDumpPoint distills one offload result into a dump point.
+func NewOffloadDumpPoint(walkers int, mode widx.HashingMode, r *widx.OffloadResult) OffloadDumpPoint {
+	p := OffloadDumpPoint{
+		Walkers:             walkers,
+		Mode:                mode.String(),
+		Tuples:              r.Tuples,
+		TotalCycles:         r.TotalCycles,
+		CyclesPerTuple:      r.CyclesPerTuple(),
+		DispatcherBusy:      r.DispatcherBusy,
+		DispatcherStall:     r.DispatcherStall,
+		ProducerBusy:        r.ProducerBusy,
+		MSHROccupancyCycles: r.MemStats.MSHROccupancy,
+		PortStallCycles:     r.MemStats.PortStallCycles,
+		MSHRStallCycles:     r.MemStats.MSHRStallCycles,
+	}
+	if n := len(r.MemStats.MSHROccupancy); n > 0 {
+		p.MSHRSaturated = r.MemStats.MSHRSaturationShare(n - 1)
+	}
+	for _, w := range r.Walkers {
+		p.PerWalker = append(p.PerWalker, OffloadDumpBreakdown{Comp: w.Comp, Mem: w.Mem, TLB: w.TLB, Idle: w.Idle})
+	}
+	return p
+}
+
+// JSON encodes the dump.
+func (d *OffloadDump) JSON() ([]byte, error) { return encodeJSON(d) }

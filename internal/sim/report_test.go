@@ -17,14 +17,14 @@ func TestFormatKernelAndModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := FormatKernel(exp)
+	out := exp.Text()
 	for _, want := range []string{"Figure 8a", "Figure 8b", "Small", "Medium", "geomean"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("kernel report missing %q:\n%s", want, out)
 		}
 	}
 
-	modelOut := FormatModel(model.Default())
+	modelOut := ModelFigures{Params: model.Default()}.Text()
 	for _, want := range []string{"Figure 4a", "Figure 4b", "Figure 4c", "Figure 5", "recommended walkers"} {
 		if !strings.Contains(modelOut, want) {
 			t.Fatalf("model report missing %q", want)
@@ -49,13 +49,13 @@ func TestFormatQueriesEnergyBreakdownsAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	qOut := FormatQueries(suite)
+	qOut := suite.QueriesText()
 	for _, want := range []string{"Figure 9", "Figure 10", "q17", "q37", "geomean indexing speedup"} {
 		if !strings.Contains(qOut, want) {
 			t.Fatalf("query report missing %q", want)
 		}
 	}
-	eOut := FormatEnergy(suite)
+	eOut := suite.EnergyText()
 	for _, want := range []string{"Figure 11", "energy-delay", "Section 6.3", "mm2"} {
 		if !strings.Contains(eOut, want) {
 			t.Fatalf("energy report missing %q", want)
@@ -66,7 +66,7 @@ func TestFormatQueriesEnergyBreakdownsAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bOut := FormatBreakdowns(rows)
+	bOut := rows.Text()
 	for _, want := range []string{"Figure 2a", "Figure 2b", "q20", "hash"} {
 		if !strings.Contains(bOut, want) {
 			t.Fatalf("breakdown report missing %q", want)
@@ -77,7 +77,7 @@ func TestFormatQueriesEnergyBreakdownsAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aOut := FormatAblation(ab, "tpch-q17")
+	aOut := ab.Text()
 	for _, want := range []string{"coupled", "shared dispatcher", "decoupling gain"} {
 		if !strings.Contains(aOut, want) {
 			t.Fatalf("ablation report missing %q", want)

@@ -32,13 +32,15 @@ func (c Config) parallelism() int {
 	return c.Parallelism
 }
 
-// runTasks executes task(0..n-1), fanning out to at most c.parallelism()
+// RunTasks executes task(0..n-1), fanning out to at most c.parallelism()
 // workers. With a parallelism of 1 the tasks run inline in index order,
 // exactly like the historical sequential loops. Once any task fails, tasks
 // that have not started yet are skipped (experiments are minutes long; there
 // is no point finishing a doomed run), and the lowest-indexed error that was
-// recorded is returned.
-func (c Config) runTasks(n int, task func(i int) error) error {
+// recorded is returned. It is exported because the exp sweep layer fans
+// parameter grids out through the same pool, with the same determinism
+// contract: tasks write results into their own index, never append.
+func (c Config) RunTasks(n int, task func(i int) error) error {
 	p := c.parallelism()
 	if p > n {
 		p = n
@@ -83,13 +85,13 @@ func (c Config) runTasks(n int, task func(i int) error) error {
 	return nil
 }
 
-// innerConfig returns a copy of c whose Parallelism is one worker's share of
+// InnerConfig returns a copy of c whose Parallelism is one worker's share of
 // the budget after fanning out outerTasks, so that nested fan-outs (queries
-// within a suite, design points within a query) do not multiply the total
-// worker count far beyond c.Parallelism. The share rounds up — leaving cores
-// idle costs more than a few extra CPU-bound goroutines for the scheduler to
-// multiplex.
-func (c Config) innerConfig(outerTasks int) Config {
+// within a suite, design points within a query, runs within a sweep) do not
+// multiply the total worker count far beyond c.Parallelism. The share rounds
+// up — leaving cores idle costs more than a few extra CPU-bound goroutines
+// for the scheduler to multiplex.
+func (c Config) InnerConfig(outerTasks int) Config {
 	p := c.parallelism()
 	if outerTasks > p {
 		outerTasks = p
@@ -133,7 +135,7 @@ func (c Config) runPhase(ph *indexPhase, baselines []cores.Config, points []widx
 	baseRes := make([]cores.Result, len(baselines))
 	widxRes := make([]*widx.OffloadResult, len(points))
 
-	err := c.runTasks(len(baselines)+len(points), func(i int) error {
+	err := c.RunTasks(len(baselines)+len(points), func(i int) error {
 		if i < len(baselines) {
 			r, err := c.runBaseline(ph, baselines[i])
 			if err != nil {

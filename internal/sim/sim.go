@@ -43,6 +43,11 @@ type Config struct {
 	// Walkers lists the Widx walker counts to evaluate (Figures 8-10 use
 	// 1, 2 and 4).
 	Walkers []int
+	// QueueDepth is the per-walker depth of the Widx dispatch queue
+	// (Table 2 uses the 2-entry paper configuration; 0 selects that
+	// default). It is a first-class knob so queue-depth sweeps need no
+	// bespoke plumbing.
+	QueueDepth int
 	// Mem is the memory hierarchy configuration (Table 2 by default).
 	Mem mem.Config
 	// Parallelism is the number of worker goroutines the harness fans
@@ -66,6 +71,7 @@ func DefaultConfig() Config {
 		Scale:        1.0 / 64,
 		SampleProbes: 20_000,
 		Walkers:      []int{1, 2, 4},
+		QueueDepth:   2,
 		Mem:          mem.DefaultConfig(),
 		Parallelism:  runtime.NumCPU(),
 	}
@@ -79,6 +85,7 @@ func QuickConfig() Config {
 		Scale:          1.0 / 512,
 		SampleProbes:   3_000,
 		Walkers:        []int{1, 2, 4},
+		QueueDepth:     2,
 		Mem:            mem.DefaultConfig(),
 		Parallelism:    runtime.NumCPU(),
 		StrictMemOrder: true,
@@ -104,7 +111,19 @@ func (c Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("sim: negative Parallelism")
 	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("sim: negative QueueDepth")
+	}
 	return c.Mem.Validate()
+}
+
+// queueDepth returns the effective Widx dispatch-queue depth (0 selects the
+// paper's 2-entry queues).
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 2
+	}
+	return c.QueueDepth
 }
 
 // sampleCount bounds n by the configured probe sample.
@@ -186,7 +205,7 @@ func (c Config) runWidx(ph *indexPhase, as *vm.AddressSpace, resultBase uint64, 
 	if err != nil {
 		return nil, err
 	}
-	acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: 2, Mode: mode},
+	acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: c.queueDepth(), Mode: mode},
 		hier, as, bundle.Dispatcher, bundle.Walker, bundle.Producer)
 	if err != nil {
 		return nil, err

@@ -30,11 +30,19 @@ type WalkerUtilizationPoint struct {
 	MSHRStallCycles     uint64
 }
 
+// WalkerUtilizationSweep is the simulator-driven Figure 5 result: one point
+// per walker count, plus the MSHR budget the sweep ran against.
+type WalkerUtilizationSweep struct {
+	Size   join.SizeClass
+	MSHRs  int
+	Points []WalkerUtilizationPoint
+}
+
 // RunWalkerUtilization sweeps Widx walker counts 1..maxWalkers over one
 // kernel workload, each on a fresh hierarchy, and reports the measured
 // utilization and MSHR-occupancy statistics per point. Design points fan
 // out across the configured workers like every other experiment.
-func (c Config) RunWalkerUtilization(size join.SizeClass, maxWalkers int) ([]WalkerUtilizationPoint, error) {
+func (c Config) RunWalkerUtilization(size join.SizeClass, maxWalkers int) (*WalkerUtilizationSweep, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,9 +69,13 @@ func (c Config) RunWalkerUtilization(size join.SizeClass, maxWalkers int) ([]Wal
 	if err != nil {
 		return nil, err
 	}
-	out := make([]WalkerUtilizationPoint, maxWalkers)
+	out := &WalkerUtilizationSweep{
+		Size:   size,
+		MSHRs:  c.Mem.L1MSHRs,
+		Points: make([]WalkerUtilizationPoint, maxWalkers),
+	}
 	for i, res := range widxRes {
-		out[i] = WalkerUtilizationPoint{
+		out.Points[i] = WalkerUtilizationPoint{
 			Walkers:             i + 1,
 			CyclesPerTuple:      res.CyclesPerTuple(),
 			Utilization:         res.WalkerUtilization(),

@@ -37,6 +37,21 @@ func (s Suite) String() string {
 	}
 }
 
+// MarshalText encodes the suite by name, so JSON manifests carry "TPC-H" /
+// "TPC-DS" instead of enum integers.
+func (s Suite) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// ParseSuite parses a suite name ("TPC-H", "tpch", "TPC-DS", "tpcds").
+func ParseSuite(s string) (Suite, error) {
+	switch s {
+	case "TPC-H", "tpch", "tpc-h", "TPCH":
+		return TPCH, nil
+	case "TPC-DS", "tpcds", "tpc-ds", "TPCDS":
+		return TPCDS, nil
+	}
+	return 0, fmt.Errorf("workloads: unknown suite %q (want TPC-H or TPC-DS)", s)
+}
+
 // SizeClass describes where a query's index working set sits in the cache
 // hierarchy, the property that drives its Widx speedup.
 type SizeClass uint8

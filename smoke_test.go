@@ -35,7 +35,7 @@ func TestHarnessSmoke(t *testing.T) {
 		t.Fatalf("4 walkers (%v cpt) should beat 1 walker (%v cpt)",
 			p4.CyclesPerTuple, p1.CyclesPerTuple)
 	}
-	report := sim.FormatKernel(exp)
+	report := exp.Text()
 	for _, want := range []string{"Figure 8a", "Figure 8b", "geomean speedup"} {
 		if !strings.Contains(report, want) {
 			t.Fatalf("kernel report missing %q:\n%s", want, report)
