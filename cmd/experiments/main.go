@@ -15,7 +15,8 @@
 // (fig2, fig4/fig5, fig8, fig9/fig10/fig11, fig5sim); -run all executes
 // every experiment in catalog order. -set overrides one experiment
 // parameter (repeatable; -describe shows each experiment's parameters and
-// defaults, plus the common config knobs scale/sample/mshrs/queue-depth).
+// defaults, plus the common config knobs
+// scale/sample/mshrs/fill-buffers/llc-ways/queue-depth).
 // -sweep expands a parameter axis into a full-factorial grid (repeatable,
 // one axis per flag) whose runs fan out across the worker pool with
 // deterministic result placement — the report is byte-identical at any

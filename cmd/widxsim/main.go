@@ -9,10 +9,15 @@
 //	widxsim -agents 4xooo+4xwidx:4w [-kernel Medium] [-scale 0.1] [-sample 5000]
 //
 // -agents co-schedules the specified agents — "Nx" replicated widx[:Ww],
-// ooo, or inorder machines, joined with "+" — on one shared LLC / MSHR pool
-// / memory-bandwidth schedule, each probing its own partition's hash table
+// ooo, or inorder machines, joined with "+", each optionally carrying
+// per-agent heterogeneity overrides ":mshrs=N" (private MSHR count) and
+// ":ways=N" (LLC allocation ways) — on one shared LLC / fill-buffer pool /
+// memory-bandwidth schedule, each probing its own partition's hash table
 // of the -kernel size class (default Medium), and reports per-agent and
-// system-level contention against solo reference runs.
+// system-level contention against solo reference runs. -llc-ways confines
+// every Widx agent to that many LLC ways (hosts keep the full LLC),
+// -fill-buffers resizes the shared fill-buffer pool behind the per-agent
+// MSHRs, and -stagger starts co-running agent i at cycle i*stagger.
 //
 // -parallel fans the independent design points out to N worker goroutines
 // (default: all CPUs) without changing any reported number.
@@ -48,6 +53,9 @@ func main() {
 	agentsSpec := flag.String("agents", "", "co-run a multi-agent system on one shared hierarchy, e.g. 4xooo+4xwidx:4w")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper's setup")
 	sample := flag.Int("sample", 20000, "probes simulated in detail per design (0 = all)")
+	fillBuffers := flag.Int("fill-buffers", 0, "shared fill-buffer count of the memory topology (0 = track the per-agent MSHR count)")
+	llcWays := flag.Int("llc-ways", 0, "LLC allocation ways per Widx agent; host cores keep the full LLC (0 = unpartitioned)")
+	stagger := flag.Uint64("stagger", 0, "arrival stagger for -agents co-runs: agent i starts at cycle i*stagger")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
 	breakdownJSON := flag.String("breakdown-json", "", "dump per-walker cycle breakdowns and MSHR-occupancy histograms as JSON to this file (\"-\" = stdout)")
 	strictOrder := flag.Bool("strict-order", false, "assert that memory accesses reach the hierarchy in monotonic cycle order (debug)")
@@ -56,6 +64,9 @@ func main() {
 	cfg := sim.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.SampleProbes = *sample
+	cfg.FillBuffers = *fillBuffers
+	cfg.LLCWays = *llcWays
+	cfg.Stagger = *stagger
 	cfg.Parallelism = *parallel
 	cfg.StrictMemOrder = *strictOrder
 

@@ -98,12 +98,24 @@ miss:
 	}
 	fmt.Printf("control block: %d sections, %d bytes\n", len(cb.Sections), cb.SizeBytes())
 
-	// 3b. Build the machine with the system API: a shared memory level (LLC,
-	// MSHR pool, memory bandwidth) with one agent view attached — the agent
-	// owns its private L1 and TLB. More agents on the same shared level
-	// would co-run against this one (see the quickstart's ProbeShared).
-	shared := mem.NewSharedLevel(mem.DefaultConfig())
-	hier := shared.NewAgent("custom-widx")
+	// 3b. Build the machine with the topology API: a shared spec (LLC, fill
+	// buffers, memory bandwidth) plus a per-agent private spec (L1, ports,
+	// MSHRs, TLB, LLC way partition). Start from the Table 2 topology and
+	// customize both tiers: double the shared fill buffers, then attach an
+	// accelerator agent with a 6-entry private MSHR budget confined to 8 of
+	// the 16 LLC ways — the kind of heterogeneous design point the flat
+	// config could not express. More agents (with their own specs) on the
+	// same shared level would co-run against this one.
+	top := mem.DefaultTopology()
+	top.Shared.FillBuffers = 20
+	if err := top.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	shared := mem.NewSharedLevel(top)
+	spec := top.Agent("custom-widx")
+	spec.MSHRs = 6
+	spec.LLCWays = 8
+	hier := shared.NewAgent(spec)
 	acc, err := widx.NewFromControlBlock(widx.Config{NumWalkers: 4, QueueDepth: 2}, hier, as, cb)
 	if err != nil {
 		log.Fatal(err)

@@ -335,8 +335,9 @@ func (s *System) Probe(ix *Index, req ProbeRequest) (*ProbeResult, error) {
 	for i, k := range req.Keys {
 		s.as.Write64(keyBase+uint64(i)*8, k)
 	}
-	sl := mem.NewSharedLevel(s.opts.Memory)
-	run, err := s.newAgentRun(sl.NewAgent(req.Design.String()), ix, ix.bundle, req.Design, req.Keys, keyBase)
+	top := s.opts.Memory.Topology()
+	sl := mem.NewSharedLevel(top)
+	run, err := s.newAgentRun(sl.NewAgent(top.Agent(req.Design.String())), ix, ix.bundle, req.Design, req.Keys, keyBase)
 	if err != nil {
 		return nil, err
 	}
@@ -438,11 +439,12 @@ func (s *System) ProbeShared(ix *Index, req SharedProbeRequest) (*SharedProbeRes
 		}
 	}
 
-	sl := mem.NewSharedLevel(s.opts.Memory)
+	top := s.opts.Memory.Topology()
+	sl := mem.NewSharedLevel(top)
 	runs := make([]*agentRun, len(req.Agents))
 	agents := make([]system.Agent, len(req.Agents))
 	for i, spec := range req.Agents {
-		run, err := s.newAgentRun(sl.NewAgent(names[i]), ix, bundles[i], spec.Design, req.Keys[i], keyBases[i])
+		run, err := s.newAgentRun(sl.NewAgent(top.Agent(names[i])), ix, bundles[i], spec.Design, req.Keys[i], keyBases[i])
 		if err != nil {
 			return nil, err
 		}

@@ -100,8 +100,9 @@ func init() {
 			"are compared against solo reference runs (slowdown, LLC miss inflation,\n"+
 			"MSHR saturation, bandwidth utilization).",
 		[]ParamSpec{
-			{Key: "agents", Default: "4xwidx:4w", Help: "agent mix, e.g. 1xooo+2xwidx:4w"},
+			{Key: "agents", Default: "4xwidx:4w", Help: "agent mix, e.g. 1xooo+2xwidx:4w:mshrs=5:ways=4"},
 			{Key: "size", Default: "Medium", Help: "kernel size class each partition is built at"},
+			{Key: "stagger", Default: "0", Help: "arrival stagger: co-running agent i starts at cycle i*stagger"},
 		},
 		func(cfg sim.Config, p Params) (Result, error) {
 			specs, err := sim.ParseAgents(p.String("agents"))
@@ -112,6 +113,14 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			stagger, err := p.Int("stagger")
+			if err != nil {
+				return nil, err
+			}
+			if stagger < 0 {
+				return nil, fmt.Errorf("exp: parameter stagger=%q: want a non-negative integer", p.String("stagger"))
+			}
+			cfg.Stagger = uint64(stagger)
 			return cfg.RunCMP(size, specs)
 		}))
 

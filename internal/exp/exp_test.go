@@ -91,8 +91,13 @@ func TestParamResolution(t *testing.T) {
 	if p.String("agents") != "2xooo" || p.String("size") != "Medium" {
 		t.Fatalf("resolved params %v", p)
 	}
+	// The cmp experiment resolves its arrival stagger to the synchronous
+	// default.
+	if p.String("stagger") != "0" {
+		t.Fatalf("cmp stagger default = %q, want 0", p.String("stagger"))
+	}
 	// Common config knobs are accepted by every experiment.
-	for _, key := range []string{"scale", "sample", "mshrs", "queue-depth"} {
+	for _, key := range []string{"scale", "sample", "mshrs", "fill-buffers", "llc-ways", "queue-depth"} {
 		if _, ok := p[key]; !ok {
 			t.Errorf("common param %q missing from resolved set", key)
 		}
@@ -116,6 +121,25 @@ func TestParamResolution(t *testing.T) {
 	// run labeled queue-depth=0 must not silently execute at depth 2.
 	if _, err := ApplyConfig(cfg, Params{"queue-depth": "0"}); err == nil {
 		t.Fatal("queue-depth=0 accepted")
+	}
+	// The topology knobs: fill-buffers resizes the shared pool (0 is its
+	// track-mshrs sentinel and is rejected); llc-ways=0 is the genuine
+	// unpartitioned design point and the baseline of partitioning sweeps.
+	applied, err = ApplyConfig(cfg, Params{"fill-buffers": "20", "llc-ways": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.FillBuffers != 20 || applied.LLCWays != 4 {
+		t.Fatalf("topology knobs did not take: %+v", applied)
+	}
+	if _, err := ApplyConfig(cfg, Params{"fill-buffers": "0"}); err == nil {
+		t.Fatal("fill-buffers=0 accepted")
+	}
+	if applied, err = ApplyConfig(cfg, Params{"llc-ways": "0"}); err != nil || applied.LLCWays != 0 {
+		t.Fatalf("llc-ways=0 (unpartitioned) should be accepted: %v", err)
+	}
+	if _, err := ApplyConfig(cfg, Params{"llc-ways": "-1"}); err == nil {
+		t.Fatal("negative llc-ways accepted")
 	}
 	// Typed getters report the offending key.
 	if _, err := (Params{"walkers": "x"}).Ints("walkers"); err == nil || !strings.Contains(err.Error(), "walkers") {

@@ -85,7 +85,9 @@ func CommonParams() []ParamSpec {
 	return []ParamSpec{
 		{Key: "scale", Default: "", Help: "workload scale relative to the paper's setup"},
 		{Key: "sample", Default: "", Help: "probes simulated in detail per design (0 = all)"},
-		{Key: "mshrs", Default: "", Help: "L1/shared MSHR pool size"},
+		{Key: "mshrs", Default: "", Help: "per-agent MSHR count (and the fill-buffer default)"},
+		{Key: "fill-buffers", Default: "", Help: "shared fill-buffer count (default: track mshrs)"},
+		{Key: "llc-ways", Default: "", Help: "LLC allocation ways per Widx agent (0 = unpartitioned)"},
 		{Key: "queue-depth", Default: "", Help: "Widx per-walker dispatch-queue depth"},
 	}
 }
@@ -148,6 +150,31 @@ func ApplyConfig(cfg sim.Config, p Params) (sim.Config, error) {
 			return cfg, err
 		}
 		cfg.Mem.L1MSHRs = n
+	}
+	if v := p["fill-buffers"]; v != "" {
+		n, err := p.Int("fill-buffers")
+		if err != nil {
+			return cfg, err
+		}
+		// 0 is sim.Config's track-the-MSHR-count sentinel; accepting it here
+		// would label a run "fill-buffers=0" while silently running at the
+		// mshrs value.
+		if n <= 0 {
+			return cfg, fmt.Errorf("exp: parameter fill-buffers=%q: want a positive integer", v)
+		}
+		cfg.FillBuffers = n
+	}
+	if v := p["llc-ways"]; v != "" {
+		n, err := p.Int("llc-ways")
+		if err != nil {
+			return cfg, err
+		}
+		// llc-ways=0 is a real design point (unpartitioned LLC) and the
+		// natural baseline of a partitioning sweep, so 0 is accepted.
+		if n < 0 {
+			return cfg, fmt.Errorf("exp: parameter llc-ways=%q: want a non-negative integer", v)
+		}
+		cfg.LLCWays = n
 	}
 	if v := p["queue-depth"]; v != "" {
 		n, err := p.Int("queue-depth")

@@ -112,31 +112,51 @@ func (c *Cache) Contains(addr uint64) bool {
 // if necessary. It returns the evicted block address and whether an eviction
 // of a valid block occurred.
 func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
+	return c.InsertWays(addr, 0)
+}
+
+// InsertWays is Insert restricted to an allocation-way partition: the block
+// may only be placed in (and evict from) the ways whose bit is set in mask,
+// the way-partitioning discipline CMP QoS schemes use to fence agents'
+// working sets. A zero mask means all ways. A block already resident in any
+// way — inside or outside the partition — only has its LRU state refreshed:
+// partitions restrict allocation, not residency, exactly like hardware
+// way-masking, so lookups still hit partition-external ways.
+func (c *Cache) InsertWays(addr uint64, mask uint64) (evicted uint64, didEvict bool) {
 	set := c.setIndex(addr)
 	blk := c.block(addr)
 	c.clock++
-	// Already present: refresh LRU only.
+	// Already present (any way): refresh LRU only.
 	for w := 0; w < c.ways; w++ {
 		if c.valid[set][w] && c.tags[set][w] == blk {
 			c.lru[set][w] = c.clock
 			return 0, false
 		}
 	}
-	// Free way?
+	allowed := func(w int) bool { return mask == 0 || mask&(1<<uint(w)) != 0 }
+	// Free way inside the partition?
 	for w := 0; w < c.ways; w++ {
-		if !c.valid[set][w] {
+		if !c.valid[set][w] && allowed(w) {
 			c.valid[set][w] = true
 			c.tags[set][w] = blk
 			c.lru[set][w] = c.clock
 			return 0, false
 		}
 	}
-	// Evict LRU.
-	victim := 0
-	for w := 1; w < c.ways; w++ {
-		if c.lru[set][w] < c.lru[set][victim] {
+	// Evict the LRU way of the partition.
+	victim := -1
+	for w := 0; w < c.ways; w++ {
+		if !allowed(w) {
+			continue
+		}
+		if victim < 0 || c.lru[set][w] < c.lru[set][victim] {
 			victim = w
 		}
+	}
+	if victim < 0 {
+		// An all-zero partition cannot happen through the topology API
+		// (AgentSpec.llcWayMask yields 0 = all ways instead); guard anyway.
+		return 0, false
 	}
 	evicted = c.tags[set][victim]
 	c.tags[set][victim] = blk

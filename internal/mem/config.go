@@ -90,7 +90,7 @@ func DefaultConfig() Config {
 
 // MemLatencyCycles converts the DRAM latency into core cycles.
 func (c Config) MemLatencyCycles() uint64 {
-	return uint64(c.MemLatencyNs * c.FrequencyGHz)
+	return c.Topology().Shared.MemLatencyCycles()
 }
 
 // MemServiceIntervalCycles returns the minimum number of cycles between
@@ -98,22 +98,7 @@ func (c Config) MemLatencyCycles() uint64 {
 // the effective bandwidth. This is the term that throttles walkers when the
 // LLC miss ratio is high (Figure 4c).
 func (c Config) MemServiceIntervalCycles() float64 {
-	effBytesPerSec := c.MemPeakGBs * 1e9 * c.MemEffectiveShare
-	blocksPerSec := effBytesPerSec / float64(c.L1BlockBytes)
-	cyclesPerSec := c.FrequencyGHz * 1e9
-	return cyclesPerSec / blocksPerSec
-}
-
-// memServiceSlotCycles is the rounded per-controller transfer-slot width the
-// controller schedules actually use: one block transfer may start per this
-// many cycles. Rounding the interval up keeps the modelled bandwidth at or
-// below the configured effective bandwidth.
-func (c Config) memServiceSlotCycles() uint64 {
-	interval := uint64(c.MemServiceIntervalCycles() + 0.5)
-	if interval == 0 {
-		interval = 1
-	}
-	return interval
+	return c.Topology().Shared.MemServiceIntervalCycles()
 }
 
 // MemBandwidthUtilization returns the fraction of the modelled effective
@@ -122,46 +107,16 @@ func (c Config) memServiceSlotCycles() uint64 {
 // service interval the controllers schedule with, so 1.0 means every
 // transfer slot of the span was used.
 func (c Config) MemBandwidthUtilization(blocks, cycles uint64) float64 {
-	if cycles == 0 {
-		return 0
-	}
-	maxBlocks := float64(cycles) / float64(c.memServiceSlotCycles()) * float64(c.MemControllers)
-	if maxBlocks <= 0 {
-		return 0
-	}
-	return float64(blocks) / maxBlocks
+	return c.Topology().Shared.MemBandwidthUtilization(blocks, cycles)
 }
 
 // Validate reports configuration errors that would make the model
-// meaningless (zero sizes, non-power-of-two blocks and similar).
+// meaningless (zero sizes, non-power-of-two blocks, zero or absurd
+// latencies and similar). It validates the symmetric topology the flat
+// configuration denotes, so Config and Topology accept exactly the same
+// machines.
 func (c Config) Validate() error {
-	switch {
-	case c.FrequencyGHz <= 0:
-		return errConfig("FrequencyGHz must be positive")
-	case c.L1SizeBytes <= 0 || c.LLCSizeBytes <= 0:
-		return errConfig("cache sizes must be positive")
-	case c.L1BlockBytes <= 0 || c.L1BlockBytes&(c.L1BlockBytes-1) != 0:
-		return errConfig("L1BlockBytes must be a positive power of two")
-	case c.L1Assoc <= 0 || c.LLCAssoc <= 0:
-		return errConfig("associativities must be positive")
-	case c.L1SizeBytes%(c.L1BlockBytes*c.L1Assoc) != 0:
-		return errConfig("L1 size must be divisible by block size times associativity")
-	case c.LLCSizeBytes%(c.L1BlockBytes*c.LLCAssoc) != 0:
-		return errConfig("LLC size must be divisible by block size times associativity")
-	case c.L1Ports <= 0:
-		return errConfig("L1Ports must be positive")
-	case c.L1MSHRs <= 0:
-		return errConfig("L1MSHRs must be positive")
-	case c.MemControllers <= 0:
-		return errConfig("MemControllers must be positive")
-	case c.MemPeakGBs <= 0 || c.MemEffectiveShare <= 0 || c.MemEffectiveShare > 1:
-		return errConfig("memory bandwidth parameters out of range")
-	case c.TLBEntries <= 0 || c.TLBInFlight <= 0:
-		return errConfig("TLB parameters must be positive")
-	case c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0:
-		return errConfig("PageBytes must be a positive power of two")
-	}
-	return nil
+	return c.Topology().Validate()
 }
 
 type configError string

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"slices"
 )
 
 // AccessType distinguishes the memory operations the timing model cares
@@ -92,11 +93,12 @@ func (r Result) Latency(requested uint64) uint64 {
 	return r.CompleteCycle - requested
 }
 
-// mshrEntry tracks one outstanding miss. The MSHR is occupied from the
-// allocation cycle (start) until the fill returns (complete). owner is the
-// agent whose miss allocated the entry: its own L1 tag was installed at
-// allocation (so its re-accesses must combine rather than falsely hit),
-// while other agents check their private L1s before combining.
+// mshrEntry tracks one outstanding miss. It occupies one of the owner's
+// private MSHRs and one shared fill buffer from the allocation cycle
+// (start) until the fill returns (complete). owner is the agent whose miss
+// allocated the entry: its own L1 tag was installed at allocation (so its
+// re-accesses must combine rather than falsely hit), while other agents
+// check their private L1s before combining.
 type mshrEntry struct {
 	block    uint64
 	start    uint64
@@ -104,11 +106,11 @@ type mshrEntry struct {
 	owner    *Hierarchy
 }
 
-// Hierarchy is one agent's view of the memory system: a private L1-D, TLB
-// and L1 port schedule in front of the SharedLevel (LLC, MSHR pool, memory
-// controllers) it was attached to. A standalone Hierarchy from NewHierarchy
-// owns a private shared level, which is the single-agent machine the
-// original model exposed.
+// Hierarchy is one agent's view of the memory system: the private L1-D,
+// TLB, L1 port schedule and MSHRs its AgentSpec describes, in front of the
+// SharedLevel (LLC, fill buffers, memory controllers) it was attached to. A
+// standalone Hierarchy from NewHierarchy owns a private shared level, which
+// is the single-agent machine the original model exposed.
 //
 // It is deliberately not safe for concurrent use: the simulator issues
 // accesses from a single goroutine in monotonically non-decreasing cycle
@@ -118,22 +120,32 @@ type mshrEntry struct {
 // deterministic and makes live resource occupancy well-defined.
 // SetStrictOrder turns the ordering contract into a hard assertion.
 type Hierarchy struct {
-	cfg  Config
-	name string
+	spec AgentSpec
 
 	l1  *Cache
 	tlb *TLB
-	// ports grants L1-D access slots (cfg.L1Ports per cycle).
+	// ports grants L1-D access slots (spec.L1Ports per cycle).
 	ports *slotSchedule
+	// wayMask restricts the agent's LLC allocations (0 = all ways).
+	wayMask uint64
 
 	shared *SharedLevel
+
+	// occHist is the time-weighted histogram of the agent's own live MSHRs
+	// (the private miss-handling tier); occLast/occStarted anchor its
+	// accounting over the agent's own access stream.
+	occHist    []uint64
+	occLast    uint64
+	occStarted bool
 
 	stats Stats
 }
 
 // Stats aggregates hierarchy activity since the last counter reset. On a
-// per-agent view the counters cover that agent's accesses only; the
-// MSHR-occupancy histogram always describes the shared pool.
+// per-agent view the counters cover that agent's accesses only and the
+// MSHR-occupancy histogram describes the agent's private MSHR tier; on
+// SharedLevel.Stats() the counters are the cross-agent totals and the
+// histogram describes the shared fill-buffer pool.
 type Stats struct {
 	Loads      uint64
 	Stores     uint64
@@ -150,18 +162,25 @@ type Stats struct {
 	// controllers (off-chip traffic).
 	MemBlocks uint64
 
-	// PortStallCycles accumulates cycles accesses waited for an L1 port;
-	// MSHRStallCycles accumulates cycles accesses waited for a free MSHR.
+	// PortStallCycles accumulates cycles accesses waited for an L1 port.
+	// MSHRStallCycles accumulates the total cycles accesses waited to enter
+	// the miss-handling path — the private MSHR gate plus the shared fill
+	// buffers; FillStallCycles is the shared fill-buffer component alone,
+	// so MSHRStallCycles - FillStallCycles isolates per-agent saturation
+	// from cross-agent contention.
 	PortStallCycles uint64
 	MSHRStallCycles uint64
+	FillStallCycles uint64
 
-	// MSHROccupancy is a time-weighted histogram of live MSHR occupancy:
-	// MSHROccupancy[k] is the number of cycles exactly k MSHRs were
-	// outstanding, across all agents sharing the pool. It is meaningful only
-	// when accesses are issued in monotonically non-decreasing cycle order
-	// (the execution core's contract); the last bucket (k == L1MSHRs)
-	// measures full-saturation time. The histogram covers cycles between the
-	// first and most recent access of the measurement phase.
+	// MSHROccupancy is a time-weighted histogram of live miss-handling
+	// occupancy: MSHROccupancy[k] is the number of cycles exactly k entries
+	// were outstanding. On a per-agent view it covers the agent's own MSHRs
+	// (k == spec.MSHRs is full private saturation) between the agent's
+	// first and most recent access of the measurement phase; on
+	// SharedLevel.Stats() it covers the shared fill buffers across all
+	// agents (k == FillBuffers is a full shared pool). It is meaningful
+	// only when accesses are issued in monotonically non-decreasing cycle
+	// order (the execution core's contract).
 	MSHROccupancy []uint64
 }
 
@@ -181,6 +200,7 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.MemBlocks -= prev.MemBlocks
 	d.PortStallCycles -= prev.PortStallCycles
 	d.MSHRStallCycles -= prev.MSHRStallCycles
+	d.FillStallCycles -= prev.FillStallCycles
 	d.MSHROccupancy = append([]uint64(nil), s.MSHROccupancy...)
 	for i := range d.MSHROccupancy {
 		if i < len(prev.MSHROccupancy) {
@@ -207,6 +227,7 @@ func (s Stats) Add(o Stats) Stats {
 	d.MemBlocks += o.MemBlocks
 	d.PortStallCycles += o.PortStallCycles
 	d.MSHRStallCycles += o.MSHRStallCycles
+	d.FillStallCycles += o.FillStallCycles
 	if len(o.MSHROccupancy) > len(s.MSHROccupancy) {
 		d.MSHROccupancy = append([]uint64(nil), o.MSHROccupancy...)
 		for i, v := range s.MSHROccupancy {
@@ -222,8 +243,8 @@ func (s Stats) Add(o Stats) Stats {
 }
 
 // MSHRSaturationShare returns the fraction of accounted cycles spent with at
-// least `level` MSHRs live — the quantity that explains why walker scaling
-// flattens once the shared MSHR budget is exhausted (Section 3.2).
+// least `level` entries live — the quantity that explains why walker scaling
+// flattens once the MSHR budget is exhausted (Section 3.2).
 func (s Stats) MSHRSaturationShare(level int) float64 {
 	var total, at uint64
 	for k, cyc := range s.MSHROccupancy {
@@ -238,7 +259,7 @@ func (s Stats) MSHRSaturationShare(level int) float64 {
 	return float64(at) / float64(total)
 }
 
-// MeanMSHROccupancy returns the time-weighted average number of live MSHRs
+// MeanMSHROccupancy returns the time-weighted average number of live entries
 // over the accounted span — the simulator-measured analogue of the offered
 // memory-level parallelism the Figure 5 analytical model takes as input.
 func (s Stats) MeanMSHROccupancy() float64 {
@@ -271,12 +292,15 @@ func (s Stats) LLCMissRatio() float64 {
 	return float64(s.LLCMisses) / float64(total)
 }
 
-// NewHierarchy builds a single-agent machine: one agent view in front of a
+// NewHierarchy builds a single-agent machine from the flat configuration:
+// one agent view with the symmetric topology's default spec in front of a
 // private shared level. It panics on an invalid configuration; call
 // cfg.Validate first when the configuration is user-supplied. Multi-agent
-// machines are built with NewSharedLevel + SharedLevel.NewAgent.
+// and heterogeneous machines are built with NewSharedLevel +
+// SharedLevel.NewAgent.
 func NewHierarchy(cfg Config) *Hierarchy {
-	return NewSharedLevel(cfg).NewAgent("agent0")
+	top := cfg.Topology()
+	return NewSharedLevel(top).NewAgent(top.Agent("agent0"))
 }
 
 // SetStrictOrder toggles the debug assertion that Access requests arrive in
@@ -286,11 +310,39 @@ func NewHierarchy(cfg Config) *Hierarchy {
 // of silently corrupting resource accounting.
 func (h *Hierarchy) SetStrictOrder(on bool) { h.shared.SetStrictOrder(on) }
 
-// Config returns the hierarchy's configuration.
-func (h *Hierarchy) Config() Config { return h.cfg }
+// Spec returns the agent's private spec.
+func (h *Hierarchy) Spec() AgentSpec { return h.spec }
+
+// Config returns the agent's view flattened back into the historical
+// single-struct configuration: the shared level's parameters plus this
+// agent's private spec (L1MSHRs carries the per-agent MSHR count).
+func (h *Hierarchy) Config() Config {
+	s, a := h.shared.top.Shared, h.spec
+	return Config{
+		FrequencyGHz:      s.FrequencyGHz,
+		L1SizeBytes:       a.L1SizeBytes,
+		L1Assoc:           a.L1Assoc,
+		L1BlockBytes:      s.BlockBytes,
+		L1Ports:           a.L1Ports,
+		L1MSHRs:           a.MSHRs,
+		L1LatencyCyc:      a.L1LatencyCyc,
+		LLCSizeBytes:      s.LLCSizeBytes,
+		LLCAssoc:          s.LLCAssoc,
+		LLCLatencyCyc:     s.LLCLatencyCyc,
+		InterconnectCyc:   s.InterconnectCyc,
+		MemLatencyNs:      s.MemLatencyNs,
+		MemControllers:    s.MemControllers,
+		MemPeakGBs:        s.MemPeakGBs,
+		MemEffectiveShare: s.MemEffectiveShare,
+		TLBEntries:        a.TLBEntries,
+		TLBInFlight:       a.TLBInFlight,
+		TLBWalkCyc:        a.TLBWalkCyc,
+		PageBytes:         a.PageBytes,
+	}
+}
 
 // Name returns the agent label this view was attached under.
-func (h *Hierarchy) Name() string { return h.name }
+func (h *Hierarchy) Name() string { return h.spec.Name }
 
 // Shared returns the shared level this agent view is attached to.
 func (h *Hierarchy) Shared() *SharedLevel { return h.shared }
@@ -305,17 +357,18 @@ func (h *Hierarchy) LLC() *Cache { return h.shared.llc }
 func (h *Hierarchy) TLB() *TLB { return h.tlb }
 
 // Stats returns a copy of the agent's counters accumulated since the last
-// reset, with the shared pool's MSHR-occupancy histogram attached.
+// reset, with the agent's private MSHR-occupancy histogram attached (the
+// shared fill-buffer histogram lives on SharedLevel.Stats()).
 func (h *Hierarchy) Stats() Stats {
 	s := h.stats
-	s.MSHROccupancy = append([]uint64(nil), h.shared.occHist...)
+	s.MSHROccupancy = append([]uint64(nil), h.occHist...)
 	return s
 }
 
 // ResetCounters clears the agent's activity counters and the shared level's
 // (but not cache/TLB contents, resource schedules or in-flight misses),
-// marking the start of a measurement phase. The MSHR-occupancy histogram
-// re-anchors at the phase's first access. The cycle clock continues across
+// marking the start of a measurement phase. The occupancy histograms
+// re-anchor at the phase's first access. The cycle clock continues across
 // the reset — restarting cycle numbering requires a fresh machine, since
 // outstanding fills and resource reservations live on the old timebase.
 //
@@ -331,13 +384,24 @@ func (h *Hierarchy) ResetCounters() {
 // resetPrivateCounters clears the agent-private half of the counters.
 func (h *Hierarchy) resetPrivateCounters() {
 	h.stats = Stats{}
+	h.occHist = make([]uint64, h.spec.MSHRs+1)
+	h.occStarted = false
 	h.l1.ResetCounters()
 	h.tlb.ResetCounters()
 }
 
+// recordOccupancy advances the agent's private MSHR-occupancy histogram to
+// now, walking only the agent's own outstanding entries. The agent's own
+// requests are monotonic (per-agent scheduler contract), so the private
+// histogram is exact over the agent's access span.
+func (h *Hierarchy) recordOccupancy(now uint64) {
+	h.occStarted, h.occLast = advanceOccupancy(h.occHist, h.shared.mshrs, h,
+		h.occStarted, h.occLast, now)
+}
+
 // blockOf returns addr's cache-block address.
 func (h *Hierarchy) blockOf(addr uint64) uint64 {
-	return addr &^ uint64(h.cfg.L1BlockBytes-1)
+	return addr &^ uint64(h.shared.top.Shared.BlockBytes-1)
 }
 
 // acquirePort finds the earliest cycle >= want at which an L1 port is free,
@@ -350,15 +414,31 @@ func (h *Hierarchy) acquirePort(want uint64) uint64 {
 	return start
 }
 
+// acquireMSHR blocks (advances time) until one of the agent's own MSHRs is
+// free at or after want — the private tier that models Section 3.2's
+// per-accelerator saturation. The shared fill-buffer gate
+// (SharedLevel.acquireFillBuffer) runs after it.
+func (h *Hierarchy) acquireMSHR(want uint64) (start uint64, stall uint64) {
+	live := h.shared.completesAfter(want, h)
+	if len(live) < h.spec.MSHRs {
+		return want, 0
+	}
+	slices.Sort(live)
+	start = live[len(live)-h.spec.MSHRs]
+	return start, start - want
+}
+
 // Access issues one memory operation at the requested cycle and returns its
 // timing. The model applies, in order: address translation (TLB), L1 port
-// acquisition, L1 lookup, MSHR allocation / miss combining, LLC lookup and
-// finally a memory-controller transfer. Everything past the L1 contends with
-// the other agents of the shared level.
+// acquisition, L1 lookup, the two-tier miss-handling gate (private MSHR,
+// then shared fill buffer) with miss combining, LLC lookup and finally a
+// memory-controller transfer. Everything past the L1 contends with the
+// other agents of the shared level.
 func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 	sl := h.shared
-	sl.checkOrder(h.name, addr, cycle, typ)
+	sl.checkOrder(h.spec.Name, addr, cycle, typ)
 	sl.recordOccupancy(cycle)
+	h.recordOccupancy(cycle)
 
 	switch typ {
 	case Load:
@@ -397,7 +477,7 @@ func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 			h.stats.CombinedMisses++
 			sl.stats.CombinedMisses++
 			if crossAgent {
-				h.l1.Insert(addr)
+				h.l1.InsertWays(addr, 0)
 			}
 			res.Level = LevelCombined
 			res.CompleteCycle = e.complete
@@ -408,7 +488,7 @@ func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 		}
 		h.stats.L1Hits++
 		res.Level = LevelL1
-		res.CompleteCycle = issue + h.cfg.L1LatencyCyc
+		res.CompleteCycle = issue + h.spec.L1LatencyCyc
 		if typ == Store {
 			res.CompleteCycle = issue + 1
 		}
@@ -419,7 +499,7 @@ func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 	if h.l1.Lookup(addr) {
 		h.stats.L1Hits++
 		res.Level = LevelL1
-		res.CompleteCycle = issue + h.cfg.L1LatencyCyc
+		res.CompleteCycle = issue + h.spec.L1LatencyCyc
 		if typ == Store {
 			res.CompleteCycle = issue + 1
 		}
@@ -427,27 +507,35 @@ func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 	}
 	h.stats.L1Misses++
 
-	// 5. Allocate an MSHR from the shared pool (may stall).
-	start, mshrStall := sl.acquireMSHR(issue)
-	h.stats.MSHRStallCycles += mshrStall
+	// 5. Two-tier miss handling: allocate one of the agent's own MSHRs,
+	// then a fill buffer from the shared pool (either may stall). In the
+	// symmetric topology both tiers have the same capacity, and for a
+	// single agent the combined wait equals the historical single pool's.
+	start, privStall := h.acquireMSHR(issue)
+	start, fillStall := sl.acquireFillBuffer(start)
+	stall := privStall + fillStall
+	h.stats.MSHRStallCycles += stall
+	h.stats.FillStallCycles += fillStall
+	sl.stats.MSHRStallCycles += stall
+	sl.stats.FillStallCycles += fillStall
 
 	// 6. LLC lookup (after the crossbar hop).
-	llcProbe := start + h.cfg.L1LatencyCyc + h.cfg.InterconnectCyc
+	llcProbe := start + h.spec.L1LatencyCyc + sl.top.Shared.InterconnectCyc
 	var complete uint64
 	if sl.llc.Lookup(addr) {
 		h.stats.LLCHits++
 		sl.stats.LLCHits++
 		res.Level = LevelLLC
-		complete = llcProbe + h.cfg.LLCLatencyCyc
+		complete = llcProbe + sl.top.Shared.LLCLatencyCyc
 	} else {
 		h.stats.LLCMisses++
 		sl.stats.LLCMisses++
 		res.Level = LevelMemory
-		complete = sl.memAccess(block, llcProbe+h.cfg.LLCLatencyCyc)
+		complete = sl.memAccess(block, llcProbe+sl.top.Shared.LLCLatencyCyc)
 		h.stats.MemBlocks++
-		sl.llc.Insert(addr)
+		sl.llc.InsertWays(addr, h.wayMask)
 	}
-	h.l1.Insert(addr)
+	h.l1.InsertWays(addr, 0)
 	sl.mshrs = append(sl.mshrs, mshrEntry{block: block, start: start, complete: complete, owner: h})
 
 	res.CompleteCycle = complete
@@ -458,24 +546,25 @@ func (h *Hierarchy) Access(addr uint64, cycle uint64, typ AccessType) Result {
 	return res
 }
 
-// WarmBlock installs addr's block into the agent's L1 and the shared LLC and
-// its page into the agent's TLB without touching counters or resource
-// schedules. Workload builders use it to start measurement from the steady
-// state the paper measures (checkpoints with warmed caches).
+// WarmBlock installs addr's block into the agent's L1 and the agent's ways
+// of the shared LLC, and its page into the agent's TLB, without touching
+// counters or resource schedules. Workload builders use it to start
+// measurement from the steady state the paper measures (checkpoints with
+// warmed caches).
 func (h *Hierarchy) WarmBlock(addr uint64) {
-	h.l1.Insert(addr)
-	h.shared.llc.Insert(addr)
+	h.l1.InsertWays(addr, 0)
+	h.shared.llc.InsertWays(addr, h.wayMask)
 	h.tlb.WarmPage(addr)
 	h.l1.ResetCounters()
 	h.shared.llc.ResetCounters()
 	h.tlb.ResetCounters()
 }
 
-// WarmLLCOnly installs addr's block into the shared LLC (not the L1) and
-// warms its TLB page. Used to model index data that exceeds the L1 but fits
-// the LLC.
+// WarmLLCOnly installs addr's block into the agent's ways of the shared LLC
+// (not the L1) and warms its TLB page. Used to model index data that exceeds
+// the L1 but fits the LLC.
 func (h *Hierarchy) WarmLLCOnly(addr uint64) {
-	h.shared.llc.Insert(addr)
+	h.shared.llc.InsertWays(addr, h.wayMask)
 	h.tlb.WarmPage(addr)
 	h.shared.llc.ResetCounters()
 	h.tlb.ResetCounters()
@@ -487,9 +576,10 @@ func (h *Hierarchy) WarmLLCOnly(addr uint64) {
 // latencies).
 func (h *Hierarchy) AMAT() float64 {
 	s := h.stats
+	shared := h.shared.top.Shared
 	accesses := s.L1Hits + s.L1Misses
 	if accesses == 0 {
-		return float64(h.cfg.L1LatencyCyc)
+		return float64(h.spec.L1LatencyCyc)
 	}
 	l1HitRate := float64(s.L1Hits) / float64(accesses)
 	llcLookups := s.LLCHits + s.LLCMisses
@@ -497,8 +587,8 @@ func (h *Hierarchy) AMAT() float64 {
 	if llcLookups > 0 {
 		llcMissRate = float64(s.LLCMisses) / float64(llcLookups)
 	}
-	l1Lat := float64(h.cfg.L1LatencyCyc)
-	llcLat := float64(h.cfg.InterconnectCyc + h.cfg.LLCLatencyCyc)
-	memLat := float64(h.cfg.MemLatencyCycles())
+	l1Lat := float64(h.spec.L1LatencyCyc)
+	llcLat := float64(shared.InterconnectCyc + shared.LLCLatencyCyc)
+	memLat := float64(shared.MemLatencyCycles())
 	return l1Lat + (1-l1HitRate)*(llcLat+llcMissRate*memLat)
 }

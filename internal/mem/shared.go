@@ -6,10 +6,17 @@ import (
 )
 
 // SharedLevel is the part of the memory system every agent of the simulated
-// chip shares: the LLC, the MSHR pool that bounds concurrently outstanding
-// fills, and the memory controllers' bandwidth schedule. Private per-agent
-// state (L1-D, TLB, L1 ports) lives in Hierarchy; a Hierarchy is one agent's
-// view of the machine and routes its L1 misses here.
+// chip shares: the LLC, the fill-buffer pool that bounds concurrently
+// outstanding fills chip-wide, and the memory controllers' bandwidth
+// schedule. Private per-agent state (L1-D, TLB, L1 ports, per-agent MSHRs)
+// lives in Hierarchy; a Hierarchy is one agent's view of the machine and
+// routes its L1 misses here.
+//
+// Miss handling is two-tier: an agent's miss first allocates one of its own
+// MSHRs (AgentSpec.MSHRs — Section 3.2's per-accelerator saturation), then a
+// shared fill buffer (SharedSpec.FillBuffers — cross-agent contention). In
+// the symmetric topology a flat Config denotes, both tiers have the same
+// capacity and the model degenerates to the historical single shared pool.
 //
 // A SharedLevel is deliberately not safe for concurrent use: the system
 // scheduler (internal/system) issues all agents' accesses from a single
@@ -17,11 +24,12 @@ import (
 // results deterministic and makes live resource occupancy well-defined.
 // SetStrictOrder turns the ordering contract into a hard assertion.
 type SharedLevel struct {
-	cfg Config
+	top Topology
 
 	llc *Cache
-	// mshrs holds outstanding misses; at most cfg.L1MSHRs live at once
-	// across all agents.
+	// mshrs holds outstanding misses across all agents; at most
+	// top.Shared.FillBuffers live at once chip-wide, and at most
+	// spec.MSHRs per owning agent.
 	mshrs []mshrEntry
 	// mcs grants block-transfer slots, one per service interval per
 	// controller, enforcing the effective off-chip bandwidth.
@@ -34,8 +42,10 @@ type SharedLevel struct {
 	strictOrder bool
 	lastRequest uint64
 
-	// occHist is the time-weighted histogram of live MSHR occupancy across
-	// all agents; occLast/occStarted anchor its accounting (see Stats).
+	// occHist is the time-weighted histogram of live fill-buffer occupancy
+	// across all agents; occLast/occStarted anchor its accounting (see
+	// Stats). Each agent additionally keeps its own MSHR-occupancy
+	// histogram over its private tier.
 	occHist    []uint64
 	occLast    uint64
 	occStarted bool
@@ -49,51 +59,59 @@ type SharedLevel struct {
 	agents []*Hierarchy
 }
 
-// NewSharedLevel builds the shared memory-system level from the
-// configuration. It panics on an invalid configuration; call cfg.Validate
-// first when the configuration is user-supplied.
-func NewSharedLevel(cfg Config) *SharedLevel {
-	if err := cfg.Validate(); err != nil {
+// NewSharedLevel builds the shared memory-system level of the topology. It
+// panics on an invalid shared spec; call top.Validate first when the
+// topology is user-supplied. Flat-Config callers use
+// NewSharedLevel(cfg.Topology()) or the NewHierarchy shorthand.
+func NewSharedLevel(top Topology) *SharedLevel {
+	if err := top.Shared.Validate(); err != nil {
 		panic(err)
 	}
 	sl := &SharedLevel{
-		cfg: cfg,
-		llc: NewCache("LLC", cfg.LLCSizeBytes, cfg.LLCAssoc, cfg.L1BlockBytes),
-		mcs: make([]*slotSchedule, cfg.MemControllers),
+		top: top,
+		llc: NewCache("LLC", top.Shared.LLCSizeBytes, top.Shared.LLCAssoc, top.Shared.BlockBytes),
+		mcs: make([]*slotSchedule, top.Shared.MemControllers),
 	}
-	// A memory controller starts at most one 64-byte block transfer per
-	// service slot (the rounded interval MemBandwidthUtilization also
-	// measures against).
+	// A memory controller starts at most one block transfer per service
+	// slot (the rounded interval MemBandwidthUtilization also measures
+	// against).
 	for i := range sl.mcs {
-		sl.mcs[i] = newSlotSchedule(cfg.memServiceSlotCycles(), 1)
+		sl.mcs[i] = newSlotSchedule(top.Shared.memServiceSlotCycles(), 1)
 	}
-	sl.occHist = make([]uint64, cfg.L1MSHRs+1)
+	sl.occHist = make([]uint64, top.Shared.FillBuffers+1)
 	return sl
 }
 
-// NewAgent attaches a new agent to the shared level: a Hierarchy view with a
-// private L1-D, TLB and L1 ports that shares this level's LLC, MSHR pool and
-// memory bandwidth with every other agent. An empty name is replaced with
-// "agentN" in attachment order.
-func (sl *SharedLevel) NewAgent(name string) *Hierarchy {
-	if name == "" {
-		name = fmt.Sprintf("agent%d", len(sl.agents))
+// NewAgent attaches a new agent to the shared level: a Hierarchy view with
+// the spec's private L1-D, TLB, L1 ports and MSHRs that shares this level's
+// LLC, fill buffers and memory bandwidth with every other agent. Start from
+// Topology.Agent(name) and override fields for heterogeneous agents. An
+// empty name is replaced with "agentN" in attachment order. NewAgent panics
+// on an invalid spec; validate user-supplied specs with
+// AgentSpec.Validate first.
+func (sl *SharedLevel) NewAgent(spec AgentSpec) *Hierarchy {
+	if err := spec.Validate(sl.top.Shared); err != nil {
+		panic(err)
 	}
-	cfg := sl.cfg
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("agent%d", len(sl.agents))
+	}
 	h := &Hierarchy{
-		cfg:    cfg,
-		name:   name,
-		shared: sl,
-		l1:     NewCache("L1-D", cfg.L1SizeBytes, cfg.L1Assoc, cfg.L1BlockBytes),
-		tlb:    NewTLB(cfg.TLBEntries, cfg.PageBytes, cfg.TLBWalkCyc, cfg.TLBInFlight),
-		ports:  newSlotSchedule(1, cfg.L1Ports),
+		spec:    spec,
+		shared:  sl,
+		wayMask: spec.llcWayMask(sl.top.Shared.LLCAssoc),
+		l1:      NewCache("L1-D", spec.L1SizeBytes, spec.L1Assoc, sl.top.Shared.BlockBytes),
+		tlb:     NewTLB(spec.TLBEntries, spec.PageBytes, spec.TLBWalkCyc, spec.TLBInFlight),
+		ports:   newSlotSchedule(1, spec.L1Ports),
 	}
+	h.occHist = make([]uint64, spec.MSHRs+1)
 	sl.agents = append(sl.agents, h)
 	return h
 }
 
-// Config returns the shared level's configuration.
-func (sl *SharedLevel) Config() Config { return sl.cfg }
+// Topology returns the shared level's topology: the shared spec it was
+// built from plus the default private spec new agents inherit.
+func (sl *SharedLevel) Topology() Topology { return sl.top }
 
 // LLC exposes the shared LLC model (for warm-up and tests).
 func (sl *SharedLevel) LLC() *Cache { return sl.llc }
@@ -111,10 +129,10 @@ func (sl *SharedLevel) Agents() []*Hierarchy {
 func (sl *SharedLevel) SetStrictOrder(on bool) { sl.strictOrder = on }
 
 // Stats returns the shared-resource totals: LLC hits and misses, combined
-// (secondary) misses, off-chip block transfers and MSHR allocation stalls
-// accumulated across every agent, plus the MSHR-occupancy histogram of the
-// shared pool. Private counters (loads, L1, TLB, port stalls) stay zero here;
-// read them from the per-agent views.
+// (secondary) misses, off-chip block transfers and miss-handling stalls
+// accumulated across every agent, plus the fill-buffer occupancy histogram
+// of the shared pool. Private counters (loads, L1, TLB, port stalls) stay
+// zero here; read them from the per-agent views.
 func (sl *SharedLevel) Stats() Stats {
 	s := sl.stats
 	s.MSHROccupancy = append([]uint64(nil), sl.occHist...)
@@ -130,17 +148,19 @@ type AgentStats struct {
 
 // AgentStatsAll returns every agent's labeled counters in attachment order.
 // Summing any shared-resource field (LLC hits/misses, combined misses,
-// MemBlocks, MSHR stalls) over the result reproduces Stats().
+// MemBlocks, MSHR and fill-buffer stalls) over the result reproduces
+// Stats(); the occupancy histograms differ by design (per-agent MSHR tier
+// vs. shared fill-buffer tier).
 func (sl *SharedLevel) AgentStatsAll() []AgentStats {
 	out := make([]AgentStats, len(sl.agents))
 	for i, a := range sl.agents {
-		out[i] = AgentStats{Name: a.name, Stats: a.Stats()}
+		out[i] = AgentStats{Name: a.spec.Name, Stats: a.Stats()}
 	}
 	return out
 }
 
 // SystemStats returns the sum of every agent's counters (private and shared
-// alike), with the shared MSHR-occupancy histogram attached.
+// alike), with the shared fill-buffer occupancy histogram attached.
 func (sl *SharedLevel) SystemStats() Stats {
 	var sum Stats
 	for _, a := range sl.agents {
@@ -153,7 +173,7 @@ func (sl *SharedLevel) SystemStats() Stats {
 // ResetCounters clears the shared-resource counters and every attached
 // agent's private counters (but not cache/TLB contents, resource schedules or
 // in-flight misses), marking the start of a measurement phase for the whole
-// system. The occupancy histogram re-anchors at the phase's first access.
+// system. The occupancy histograms re-anchor at the phase's first access.
 func (sl *SharedLevel) ResetCounters() {
 	sl.resetSharedCounters()
 	for _, a := range sl.agents {
@@ -166,7 +186,7 @@ func (sl *SharedLevel) ResetCounters() {
 // so sl.stats itself never carries one.
 func (sl *SharedLevel) resetSharedCounters() {
 	sl.stats = Stats{}
-	sl.occHist = make([]uint64, sl.cfg.L1MSHRs+1)
+	sl.occHist = make([]uint64, sl.top.Shared.FillBuffers+1)
 	sl.occStarted = false
 	sl.llc.ResetCounters()
 }
@@ -184,13 +204,13 @@ func (sl *SharedLevel) checkOrder(agent string, addr uint64, cycle uint64, typ A
 }
 
 // reapMSHRs drops entries whose miss has completed by the given cycle and
-// whose live span has been fully folded into the occupancy histogram
-// (complete <= occLast); later entries stay until the accounting clock
-// passes them.
+// whose live span has been fully folded into both occupancy histograms —
+// the shared pool's and the owning agent's (complete <= both accounting
+// clocks); later entries stay until the clocks pass them.
 func (sl *SharedLevel) reapMSHRs(cycle uint64) {
 	live := sl.mshrs[:0]
 	for _, e := range sl.mshrs {
-		if e.complete > cycle || e.complete > sl.occLast {
+		if e.complete > cycle || e.complete > sl.occLast || e.complete > e.owner.occLast {
 			live = append(live, e)
 		}
 	}
@@ -207,24 +227,35 @@ func (sl *SharedLevel) findMSHR(block uint64, cycle uint64) (mshrEntry, bool) {
 	return mshrEntry{}, false
 }
 
-// recordOccupancy advances the MSHR-occupancy histogram from the last
+// recordOccupancy advances the fill-buffer occupancy histogram from the last
 // accounted cycle to now, walking the outstanding-miss completion events in
 // time order so every intermediate occupancy level is charged its cycles.
 // Requests arriving out of order (now <= occLast) contribute nothing; under
 // the execution core's monotonic issue order the histogram is exact.
 func (sl *SharedLevel) recordOccupancy(now uint64) {
-	if !sl.occStarted {
+	sl.occStarted, sl.occLast = advanceOccupancy(sl.occHist, sl.mshrs, nil,
+		sl.occStarted, sl.occLast, now)
+}
+
+// advanceOccupancy folds the span [last, now) into hist, counting at each
+// instant the entries live at that instant — all of them when owner is nil,
+// or only the owner's. It returns the updated (started, last) anchors. The
+// top bucket clamps occupancies at or above the histogram's capacity.
+func advanceOccupancy(hist []uint64, entries []mshrEntry, owner *Hierarchy,
+	started bool, last, now uint64) (bool, uint64) {
+	if !started {
 		// Anchor accounting at the phase's first access rather than
 		// charging the span from cycle zero (or from a previous phase).
-		sl.occStarted = true
-		sl.occLast = now
-		return
+		return true, now
 	}
-	for t := sl.occLast; t < now; {
+	for t := last; t < now; {
 		live := 0
 		next := now
-		for _, e := range sl.mshrs {
-			// An entry occupies its MSHR from allocation to fill return;
+		for _, e := range entries {
+			if owner != nil && e.owner != owner {
+				continue
+			}
+			// An entry occupies its slot from allocation to fill return;
 			// both edges bound the constant-occupancy segment.
 			if e.start <= t && e.complete > t {
 				live++
@@ -236,48 +267,48 @@ func (sl *SharedLevel) recordOccupancy(now uint64) {
 				next = e.complete
 			}
 		}
-		if live < len(sl.occHist) {
-			sl.occHist[live] += next - t
-		} else if n := len(sl.occHist); n > 0 {
-			sl.occHist[n-1] += next - t
+		if live < len(hist) {
+			hist[live] += next - t
+		} else if n := len(hist); n > 0 {
+			hist[n-1] += next - t
 		}
 		t = next
 	}
-	if now > sl.occLast {
-		sl.occLast = now
+	if now > last {
+		last = now
 	}
+	return true, last
 }
 
-// acquireMSHR blocks (advances time) until an MSHR slot is free at or after
-// want, returning the cycle at which the slot is available and the stall the
-// caller attributes to its agent. An entry occupies its slot over
-// [start, complete), so the allocation must wait for enough completions that
-// the concurrent-occupancy cap is respected at the returned cycle — waiting
-// for the single earliest completion is not enough when requests with
+// acquireFillBuffer blocks (advances time) until a shared fill buffer is
+// free at or after want, returning the cycle at which the slot is available
+// and the stall it cost. An entry occupies its slot over [start, complete),
+// so the allocation must wait for enough completions that the
+// concurrent-occupancy cap is respected at the returned cycle — waiting for
+// the single earliest completion is not enough when requests with
 // out-of-order issue cycles left more than a cap's worth of fills in flight
 // past `want`.
-func (sl *SharedLevel) acquireMSHR(want uint64) (start uint64, stall uint64) {
+func (sl *SharedLevel) acquireFillBuffer(want uint64) (start uint64, stall uint64) {
 	sl.reapMSHRs(want)
 	// Completions of entries still in flight at want, i.e. spans that
 	// overlap the candidate allocation.
-	live := sl.completesAfter(want)
-	if len(live) < sl.cfg.L1MSHRs {
+	live := sl.completesAfter(want, nil)
+	if len(live) < sl.top.Shared.FillBuffers {
 		return want, 0
 	}
 	// Wait until all but (cap-1) of the overlapping fills have returned.
 	slices.Sort(live)
-	start = live[len(live)-sl.cfg.L1MSHRs]
-	stall = start - want
-	sl.stats.MSHRStallCycles += stall
-	return start, stall
+	start = live[len(live)-sl.top.Shared.FillBuffers]
+	return start, start - want
 }
 
 // completesAfter returns the completion cycles of entries whose fill is
-// still outstanding after the given cycle.
-func (sl *SharedLevel) completesAfter(cycle uint64) []uint64 {
+// still outstanding after the given cycle — all entries when owner is nil,
+// or only the owner's (the private MSHR tier).
+func (sl *SharedLevel) completesAfter(cycle uint64, owner *Hierarchy) []uint64 {
 	out := make([]uint64, 0, len(sl.mshrs))
 	for _, e := range sl.mshrs {
-		if e.complete > cycle {
+		if e.complete > cycle && (owner == nil || e.owner == owner) {
 			out = append(out, e.complete)
 		}
 	}
@@ -287,8 +318,8 @@ func (sl *SharedLevel) completesAfter(cycle uint64) []uint64 {
 // memAccess schedules one block transfer on the memory controller that owns
 // the block and returns the completion cycle of the data return.
 func (sl *SharedLevel) memAccess(block uint64, start uint64) uint64 {
-	mc := int((block / uint64(sl.cfg.L1BlockBytes))) % sl.cfg.MemControllers
+	mc := int((block / uint64(sl.top.Shared.BlockBytes))) % sl.top.Shared.MemControllers
 	begin := sl.mcs[mc].reserve(start)
 	sl.stats.MemBlocks++
-	return begin + sl.cfg.MemLatencyCycles()
+	return begin + sl.top.Shared.MemLatencyCycles()
 }

@@ -11,9 +11,10 @@ import (
 // per-agent views sum to the shared level's own totals.
 func TestSharedLevelPerAgentAttribution(t *testing.T) {
 	cfg := DefaultConfig()
-	sl := NewSharedLevel(cfg)
-	a := sl.NewAgent("a")
-	b := sl.NewAgent("b")
+	top := cfg.Topology()
+	sl := NewSharedLevel(top)
+	a := sl.NewAgent(top.Agent("a"))
+	b := sl.NewAgent(top.Agent("b"))
 
 	// Agent a misses everything (cold); agent b then hits a's LLC fills for
 	// the same blocks (shared LLC) but misses its own private L1.
@@ -71,9 +72,11 @@ func TestSharedLevelPerAgentAttribution(t *testing.T) {
 		t.Fatalf("system stats do not sum the agents: %+v", sys)
 	}
 
-	// Both agents observe the same shared occupancy histogram.
-	if len(as.MSHROccupancy) == 0 || as.MSHRSaturationShare(0) != bs.MSHRSaturationShare(0) {
-		t.Fatal("agents disagree on the shared occupancy histogram")
+	// Each agent carries its own private MSHR-occupancy histogram; the
+	// shared fill-buffer histogram lives on the shared level's view.
+	if len(as.MSHROccupancy) != cfg.L1MSHRs+1 || len(ss.MSHROccupancy) != cfg.L1MSHRs+1 {
+		t.Fatalf("occupancy histogram sizes wrong: agent %d shared %d",
+			len(as.MSHROccupancy), len(ss.MSHROccupancy))
 	}
 }
 
@@ -85,9 +88,10 @@ func TestSharedLevelPerAgentAttribution(t *testing.T) {
 // secondary miss combines and fills the requester's L1.
 func TestCrossAgentCombiningRespectsPrivateL1(t *testing.T) {
 	cfg := DefaultConfig()
-	sl := NewSharedLevel(cfg)
-	a := sl.NewAgent("a")
-	b := sl.NewAgent("b")
+	top := cfg.Topology()
+	sl := NewSharedLevel(top)
+	a := sl.NewAgent(top.Agent("a"))
+	b := sl.NewAgent(top.Agent("b"))
 	const addr = uint64(0x40000)
 
 	// b pulls the block in; its fill completes before anything else runs.
@@ -120,7 +124,7 @@ func TestCrossAgentCombiningRespectsPrivateL1(t *testing.T) {
 
 	// A genuine cross-agent secondary miss: c never touched the block, so
 	// it combines with a's fill and receives the data into its own L1.
-	c := sl.NewAgent("c")
+	c := sl.NewAgent(top.Agent("c"))
 	rc := c.Access(addr, issue+2, Load)
 	if rc.Level != LevelCombined || rc.CompleteCycle != ra.CompleteCycle {
 		t.Fatalf("c's first access = %v completing at %d, want combined at %d",
@@ -139,9 +143,10 @@ func TestCrossAgentCombiningRespectsPrivateL1(t *testing.T) {
 // TestSharedLevelStrictOrderAcrossAgents verifies the global monotonicity
 // assertion covers all agents of the level, not each agent separately.
 func TestSharedLevelStrictOrderAcrossAgents(t *testing.T) {
-	sl := NewSharedLevel(DefaultConfig())
-	a := sl.NewAgent("a")
-	b := sl.NewAgent("b")
+	top := DefaultTopology()
+	sl := NewSharedLevel(top)
+	a := sl.NewAgent(top.Agent("a"))
+	b := sl.NewAgent(top.Agent("b"))
 	sl.SetStrictOrder(true)
 	a.Access(0x1000, 100, Load)
 	defer func() {
@@ -158,9 +163,10 @@ func TestSharedLevelStrictOrderAcrossAgents(t *testing.T) {
 
 // TestSharedLevelAgentNaming covers default names and the Agents accessor.
 func TestSharedLevelAgentNaming(t *testing.T) {
-	sl := NewSharedLevel(DefaultConfig())
-	h0 := sl.NewAgent("")
-	h1 := sl.NewAgent("widx")
+	top := DefaultTopology()
+	sl := NewSharedLevel(top)
+	h0 := sl.NewAgent(top.Agent(""))
+	h1 := sl.NewAgent(top.Agent("widx"))
 	if h0.Name() != "agent0" || h1.Name() != "widx" {
 		t.Fatalf("names: %q, %q", h0.Name(), h1.Name())
 	}
@@ -180,9 +186,10 @@ func TestSharedLevelAgentNaming(t *testing.T) {
 // TestSharedLevelResetScopes checks that a whole-system reset clears every
 // agent's private counters along with the shared ones.
 func TestSharedLevelResetScopes(t *testing.T) {
-	sl := NewSharedLevel(DefaultConfig())
-	a := sl.NewAgent("a")
-	b := sl.NewAgent("b")
+	top := DefaultTopology()
+	sl := NewSharedLevel(top)
+	a := sl.NewAgent(top.Agent("a"))
+	b := sl.NewAgent(top.Agent("b"))
 	a.Access(0x1000, 0, Load)
 	b.Access(0x2000, 10, Load)
 	sl.ResetCounters()

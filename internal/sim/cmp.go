@@ -67,23 +67,45 @@ type CMPAgentSpec struct {
 	Kind AgentKind
 	// Walkers applies to Widx agents (0 defaults to 4).
 	Walkers int
+	// MSHRs overrides the agent's private MSHR count (0 = the topology's
+	// default, Mem.L1MSHRs).
+	MSHRs int
+	// LLCWays overrides the agent's LLC way partition (0 = the kind's
+	// default: Config.LLCWays for Widx agents, the full LLC for host
+	// cores).
+	LLCWays int
 }
 
-// String renders the spec in the -agents grammar ("widx:4w", "ooo").
+// String renders the spec in the -agents grammar ("widx:4w",
+// "widx:4w:mshrs=5:ways=4", "ooo").
 func (s CMPAgentSpec) String() string {
+	out := s.Kind.String()
 	if s.Kind == AgentWidx {
 		w := s.Walkers
 		if w == 0 {
 			w = 4
 		}
-		return fmt.Sprintf("widx:%dw", w)
+		out = fmt.Sprintf("widx:%dw", w)
 	}
-	return s.Kind.String()
+	if s.MSHRs > 0 {
+		out += fmt.Sprintf(":mshrs=%d", s.MSHRs)
+	}
+	if s.LLCWays > 0 {
+		out += fmt.Sprintf(":ways=%d", s.LLCWays)
+	}
+	return out
 }
 
-// ParseAgents parses a CMP agent specification such as "4xooo+4xwidx:4w":
-// "+"-separated groups, each an optional "Nx" replication prefix, a kind
-// (widx, ooo, inorder), and for widx an optional ":Ww" walker count.
+// ParseAgents parses a CMP agent specification such as
+// "4xooo+4xwidx:4w:mshrs=5:ways=4": "+"-separated groups, each an optional
+// "Nx" replication prefix, a kind (widx, ooo, inorder), and ":"-separated
+// qualifiers — a bare "Ww" walker count (Widx only) plus per-agent
+// heterogeneity overrides "mshrs=N" (private MSHR count) and "ways=N" (LLC
+// allocation ways), accepted by every kind. Way partitions anchor at the
+// lowest N ways and overlap: "ways=N" is a fence bounding how much of each
+// LLC set the agent may claim, not a disjoint slice — fenced agents contend
+// among themselves in the low ways while the unfenced ways stay exclusive
+// to full-LLC agents.
 func ParseAgents(spec string) ([]CMPAgentSpec, error) {
 	var out []CMPAgentSpec
 	for _, group := range strings.Split(spec, "+") {
@@ -107,13 +129,6 @@ func ParseAgents(spec string) ([]CMPAgentSpec, error) {
 		case "widx":
 			one.Kind = AgentWidx
 			one.Walkers = 4
-			if rest != "" {
-				w, err := strconv.Atoi(strings.TrimSuffix(strings.ToLower(rest), "w"))
-				if err != nil || w <= 0 {
-					return nil, fmt.Errorf("sim: bad walker count %q in %q", rest, group)
-				}
-				one.Walkers = w
-			}
 		case "ooo":
 			one.Kind = AgentOoO
 		case "inorder", "in-order":
@@ -121,8 +136,33 @@ func ParseAgents(spec string) ([]CMPAgentSpec, error) {
 		default:
 			return nil, fmt.Errorf("sim: unknown agent kind %q (want widx, ooo or inorder)", kind)
 		}
-		if one.Kind != AgentWidx && rest != "" {
-			return nil, fmt.Errorf("sim: %s agents take no qualifier (%q)", one.Kind, group)
+		if rest != "" {
+			for _, q := range strings.Split(rest, ":") {
+				q = strings.TrimSpace(strings.ToLower(q))
+				if key, val, isKV := strings.Cut(q, "="); isKV {
+					n, err := strconv.Atoi(val)
+					if err != nil || n <= 0 {
+						return nil, fmt.Errorf("sim: bad %s value %q in %q", key, val, group)
+					}
+					switch key {
+					case "mshrs":
+						one.MSHRs = n
+					case "ways":
+						one.LLCWays = n
+					default:
+						return nil, fmt.Errorf("sim: unknown qualifier %q in %q (want Ww, mshrs=N or ways=N)", q, group)
+					}
+					continue
+				}
+				if one.Kind != AgentWidx {
+					return nil, fmt.Errorf("sim: %s agents take no walker count (%q)", one.Kind, group)
+				}
+				w, err := strconv.Atoi(strings.TrimSuffix(q, "w"))
+				if err != nil || w <= 0 {
+					return nil, fmt.Errorf("sim: bad walker count %q in %q", q, group)
+				}
+				one.Walkers = w
+			}
 		}
 		for i := 0; i < count; i++ {
 			out = append(out, one)
@@ -332,9 +372,28 @@ func warmPartitionsInterleaved(hiers []*mem.Hierarchy, ws []cmpAgentWorkload) {
 	}
 }
 
+// cmpAgentSpec builds one co-runner's private memory spec: the topology's
+// default, the kind's LLC-way default (Widx agents take the configured
+// accelerator partition, host cores keep the full LLC), then the spec's
+// explicit per-agent overrides.
+func (c Config) cmpAgentSpec(top mem.Topology, name string, spec CMPAgentSpec) mem.AgentSpec {
+	as := top.Agent(name)
+	if spec.Kind == AgentWidx {
+		as.LLCWays = c.LLCWays
+	}
+	if spec.MSHRs > 0 {
+		as.MSHRs = spec.MSHRs
+	}
+	if spec.LLCWays > 0 {
+		as.LLCWays = spec.LLCWays
+	}
+	return as
+}
+
 // newCMPRunner wires one agent spec onto a hierarchy view: a Widx offload
-// over its key column, or a core replay of its traces.
-func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w *cmpAgentWorkload, queueDepth int) (*cmpRunner, error) {
+// over its key column, or a core replay of its traces, beginning at
+// startCycle (the arrival stagger of the co-run; solo runs pass 0).
+func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w *cmpAgentWorkload, queueDepth int, startCycle uint64) (*cmpRunner, error) {
 	switch spec.Kind {
 	case AgentWidx:
 		walkers := spec.Walkers
@@ -346,7 +405,7 @@ func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w
 		if err != nil {
 			return nil, err
 		}
-		o, err := acc.StartOffload(widx.OffloadRequest{KeyBase: w.keyBase, KeyCount: uint64(w.keys)})
+		o, err := acc.StartOffload(widx.OffloadRequest{KeyBase: w.keyBase, KeyCount: uint64(w.keys), StartCycle: startCycle})
 		if err != nil {
 			return nil, err
 		}
@@ -367,7 +426,7 @@ func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w
 		if err != nil {
 			return nil, err
 		}
-		e, err := core.NewProbeEngine(w.traces, 0)
+		e, err := core.NewProbeEngine(w.traces, startCycle)
 		if err != nil {
 			return nil, err
 		}
@@ -406,6 +465,16 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWar
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("sim: no CMP agents")
 	}
+	// Per-agent overrides (":mshrs=N", ":ways=N") are only bounded by the
+	// topology, so validate every agent's resolved spec up front — a bad
+	// override must surface as an error, not as SharedLevel.NewAgent's
+	// panic mid-run.
+	top := c.topology()
+	for _, spec := range specs {
+		if err := c.cmpAgentSpec(top, spec.String(), spec).Validate(top.Shared); err != nil {
+			return nil, fmt.Errorf("sim: agent %s: %w", spec, err)
+		}
+	}
 	k := len(specs)
 	as, workloads, err := c.buildCMPWorkload(size, specs)
 	if err != nil {
@@ -415,15 +484,16 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWar
 	exp := &CMPExperiment{Size: size, Agents: make([]CMPAgentResult, k)}
 
 	// Solo reference runs: each agent alone on a fresh, uncontended
-	// hierarchy with its own partition warmed. Runs are sequential — agents
-	// share the workload's address space (Widx producers store into it),
-	// and the runs are seconds-scale.
+	// hierarchy with its own partition warmed and the same private spec
+	// (MSHRs, way partition) it will co-run with, so the slowdown isolates
+	// contention from the agent's own provisioning. Runs are sequential —
+	// agents share the workload's address space (Widx producers store into
+	// it), and the runs are seconds-scale.
 	for i, spec := range specs {
-		sl := mem.NewSharedLevel(c.Mem)
-		sl.SetStrictOrder(c.StrictMemOrder)
-		hier := sl.NewAgent(workloads[i].name)
+		sl := c.newSharedLevel()
+		hier := sl.NewAgent(c.cmpAgentSpec(sl.Topology(), workloads[i].name, spec))
 		warmPartition(hier, &workloads[i])
-		run, err := newCMPRunner(hier, spec, as, &workloads[i], c.queueDepth())
+		run, err := newCMPRunner(hier, spec, as, &workloads[i], c.queueDepth(), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -451,13 +521,12 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWar
 	// of a partitioned join lands on every agent evenly rather than evicting
 	// the partitions warmed first), merged by the system scheduler's event
 	// heap in globally monotonic cycle order.
-	sl := mem.NewSharedLevel(c.Mem)
-	sl.SetStrictOrder(c.StrictMemOrder)
+	sl := c.newSharedLevel()
 	runs := make([]*cmpRunner, k)
 	agents := make([]system.Agent, k)
 	hiers := make([]*mem.Hierarchy, k)
 	for i := range specs {
-		hiers[i] = sl.NewAgent(workloads[i].name)
+		hiers[i] = sl.NewAgent(c.cmpAgentSpec(sl.Topology(), workloads[i].name, specs[i]))
 	}
 	if interleavedWarm {
 		warmPartitionsInterleaved(hiers, workloads)
@@ -467,7 +536,7 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWar
 		}
 	}
 	for i, spec := range specs {
-		runs[i], err = newCMPRunner(hiers[i], spec, as, &workloads[i], c.queueDepth())
+		runs[i], err = newCMPRunner(hiers[i], spec, as, &workloads[i], c.queueDepth(), uint64(i)*c.Stagger)
 		if err != nil {
 			return nil, err
 		}
@@ -491,13 +560,15 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWar
 		a.LLCMissInflation = ratio(float64(stats.LLCMisses), float64(a.SoloMemStats.LLCMisses))
 		coMisses += stats.LLCMisses
 		soloMisses += a.SoloMemStats.LLCMisses
-		if cycles > exp.SystemCycles {
-			exp.SystemCycles = cycles
+		// The system drains when the last agent finishes; under a staggered
+		// arrival an agent's span is offset by its start cycle.
+		if end := uint64(i)*c.Stagger + cycles; end > exp.SystemCycles {
+			exp.SystemCycles = end
 		}
 	}
 	exp.SharedStats = sl.Stats()
 	exp.LLCMissInflation = ratio(float64(coMisses), float64(soloMisses))
-	exp.MSHRSaturationShare = exp.SharedStats.MSHRSaturationShare(c.Mem.L1MSHRs)
+	exp.MSHRSaturationShare = exp.SharedStats.MSHRSaturationShare(c.fillBuffers())
 	exp.BandwidthUtilization = c.Mem.MemBandwidthUtilization(exp.SharedStats.MemBlocks, exp.SystemCycles)
 	return exp, nil
 }

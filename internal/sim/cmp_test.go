@@ -43,13 +43,38 @@ func TestParseAgents(t *testing.T) {
 	if s, err := ParseAgents("2xinorder"); err != nil || len(s) != 2 || s[0].Kind != AgentInOrder {
 		t.Fatalf("inorder parse: %v %v", s, err)
 	}
-	for _, bad := range []string{"", "0xooo", "gpu", "ooo:4w", "widx:xw", "+", "widx:0w"} {
+	for _, bad := range []string{"", "0xooo", "gpu", "ooo:4w", "widx:xw", "+", "widx:0w",
+		"widx:4w:mshrs=0", "widx:4w:ways=-2", "ooo:mshrs=x", "widx:4w:depth=3"} {
 		if _, err := ParseAgents(bad); err == nil {
 			t.Fatalf("spec %q should not parse", bad)
 		}
 	}
 	if got := (CMPAgentSpec{Kind: AgentWidx}).String(); got != "widx:4w" {
 		t.Fatalf("default widx spec renders %q", got)
+	}
+
+	// Per-agent heterogeneity qualifiers: private MSHR and LLC-way
+	// overrides, on any kind, rendering back through String.
+	het, err := ParseAgents("1xooo:ways=16+2xwidx:2w:mshrs=5:ways=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(het) != 3 || het[0].Kind != AgentOoO || het[0].LLCWays != 16 || het[0].MSHRs != 0 {
+		t.Fatalf("host override parse wrong: %+v", het)
+	}
+	if het[1].Kind != AgentWidx || het[1].Walkers != 2 || het[1].MSHRs != 5 || het[1].LLCWays != 4 {
+		t.Fatalf("widx override parse wrong: %+v", het[1])
+	}
+	if got := het[1].String(); got != "widx:2w:mshrs=5:ways=4" {
+		t.Fatalf("heterogeneous spec renders %q", got)
+	}
+	if got := het[0].String(); got != "ooo:ways=16" {
+		t.Fatalf("host spec renders %q", got)
+	}
+	// Round trip: a rendered spec parses back to itself.
+	back, err := ParseAgents(het[1].String())
+	if err != nil || len(back) != 1 || back[0] != het[1] {
+		t.Fatalf("spec round trip failed: %+v %v", back, err)
 	}
 }
 
@@ -319,5 +344,129 @@ func TestWalkerUtilizationSweep(t *testing.T) {
 	text := sweep.Text()
 	if !strings.Contains(text, "walker utilization") || !strings.Contains(text, "mean MSHRs") {
 		t.Fatalf("sweep table malformed:\n%s", text)
+	}
+}
+
+// TestCMPWayPartitionProtectsHost is the QoS mechanism check: fencing the
+// Widx aggressors into a small slice of the LLC must cut the OoO host's
+// co-run LLC misses (its working set survives in the unfenced ways) and
+// with them its slowdown, relative to the unpartitioned co-run.
+func TestCMPWayPartitionProtectsHost(t *testing.T) {
+	cfg := cmpQuickConfig()
+	cfg.Scale = 1.0 / 8
+	cfg.SampleProbes = 2000
+	specs, err := ParseAgents("1xooo+2xwidx:2w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := cfg.RunCMP(join.Medium, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LLCWays = 4 // fence both Widx agents into 4 of the 16 ways
+	fenced, err := cfg.RunCMP(join.Medium, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ooo slowdown: unpartitioned %.2fx (misses %d) vs 4-way fence %.2fx (misses %d)",
+		open.Agents[0].Slowdown, open.Agents[0].MemStats.LLCMisses,
+		fenced.Agents[0].Slowdown, fenced.Agents[0].MemStats.LLCMisses)
+	if fenced.Agents[0].MemStats.LLCMisses >= open.Agents[0].MemStats.LLCMisses {
+		t.Fatalf("the fence did not reduce the host's LLC misses: %d vs %d",
+			fenced.Agents[0].MemStats.LLCMisses, open.Agents[0].MemStats.LLCMisses)
+	}
+	if fenced.Agents[0].Slowdown >= open.Agents[0].Slowdown {
+		t.Fatalf("the fence did not reduce the host's slowdown: %.3f vs %.3f",
+			fenced.Agents[0].Slowdown, open.Agents[0].Slowdown)
+	}
+	// A per-agent ":ways" override wins over the config default: fencing
+	// via the agent grammar alone must land in the same machine.
+	cfg.LLCWays = 0
+	overridden, err := ParseAgents("1xooo+2xwidx:2w:ways=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpec, err := cfg.RunCMP(join.Medium, overridden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSpec.Agents[0].Cycles != fenced.Agents[0].Cycles ||
+		viaSpec.SystemCycles != fenced.SystemCycles {
+		t.Fatalf(":ways override and LLCWays config disagree: %d vs %d cycles",
+			viaSpec.Agents[0].Cycles, fenced.Agents[0].Cycles)
+	}
+}
+
+// TestCMPStaggeredArrival covers the arrival-stagger knob: staggered agents
+// still satisfy the global monotonic-order contract (strict order is armed
+// by cmpQuickConfig), the system drain time accounts for the offsets, and a
+// stagger long enough to serialize the agents spreads the same off-chip
+// traffic over a longer span — bandwidth pressure and the shared
+// fill-buffer saturation drop even though LLC capacity pollution persists
+// across time (the late agent's partition is partially evicted either way).
+func TestCMPStaggeredArrival(t *testing.T) {
+	cfg := cmpQuickConfig()
+	cfg.Scale = 1.0 / 8
+	cfg.SampleProbes = 1000
+	specs, err := ParseAgents("2xwidx:2w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	together, err := cfg.RunCMP(join.Medium, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize: agent 1 starts only after agent 0 has surely finished.
+	cfg.Stagger = together.Agents[0].SoloCycles * 2
+	apart, err := cfg.RunCMP(join.Medium, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apart.SystemCycles < cfg.Stagger {
+		t.Fatalf("drain time %d ignores the %d-cycle stagger", apart.SystemCycles, cfg.Stagger)
+	}
+	if apart.SystemCycles <= together.SystemCycles {
+		t.Fatalf("serialization should lengthen the drain: %d vs %d cycles",
+			apart.SystemCycles, together.SystemCycles)
+	}
+	t.Logf("concurrent: system %d cycles, bandwidth %.1f%%, fill-buffer full %.1f%%",
+		together.SystemCycles, 100*together.BandwidthUtilization, 100*together.MSHRSaturationShare)
+	t.Logf("serialized: system %d cycles, bandwidth %.1f%%, fill-buffer full %.1f%%",
+		apart.SystemCycles, 100*apart.BandwidthUtilization, 100*apart.MSHRSaturationShare)
+	if apart.BandwidthUtilization >= together.BandwidthUtilization {
+		t.Fatalf("serialization should lower bandwidth pressure: %.3f vs %.3f",
+			apart.BandwidthUtilization, together.BandwidthUtilization)
+	}
+	if apart.MSHRSaturationShare > together.MSHRSaturationShare {
+		t.Fatalf("serialization should not raise fill-buffer saturation: %.3f vs %.3f",
+			apart.MSHRSaturationShare, together.MSHRSaturationShare)
+	}
+	// Each staggered agent's own span stays in the solo ballpark: no agent
+	// pays the other's offset as if it were stall time.
+	for i, a := range apart.Agents {
+		if a.Cycles > a.SoloCycles*3 {
+			t.Fatalf("agent %d span %d is unreasonably long vs solo %d under serialization",
+				i, a.Cycles, a.SoloCycles)
+		}
+	}
+}
+
+// TestCMPRejectsOutOfRangeOverrides pins the error path for per-agent
+// overrides the topology cannot satisfy: a ":ways" wider than the LLC (or
+// an absurd private MSHR count) must come back as an error from RunCMP,
+// never as a panic out of SharedLevel.NewAgent mid-run.
+func TestCMPRejectsOutOfRangeOverrides(t *testing.T) {
+	cfg := cmpQuickConfig()
+	cfg.SampleProbes = 100
+	for _, spec := range []string{"1xwidx:2w:ways=99", "1xooo:ways=17"} {
+		specs, err := ParseAgents(spec)
+		if err != nil {
+			t.Fatalf("%s should parse (bounds are topology-dependent): %v", spec, err)
+		}
+		if _, err := cfg.RunCMP(join.Small, specs); err == nil {
+			t.Fatalf("RunCMP accepted out-of-range override %s", spec)
+		} else if !strings.Contains(err.Error(), "LLCWays") {
+			t.Fatalf("unexpected error for %s: %v", spec, err)
+		}
 	}
 }

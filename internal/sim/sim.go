@@ -48,8 +48,23 @@ type Config struct {
 	// default). It is a first-class knob so queue-depth sweeps need no
 	// bespoke plumbing.
 	QueueDepth int
-	// Mem is the memory hierarchy configuration (Table 2 by default).
+	// Mem is the memory hierarchy configuration (Table 2 by default). Every
+	// design point builds its machine from Mem.Topology() with the three
+	// topology knobs below applied.
 	Mem mem.Config
+	// FillBuffers overrides the shared fill-buffer count of the memory
+	// topology — the cross-agent tier of the two-tier miss-handling model
+	// (0 tracks Mem.L1MSHRs, which reproduces the historical single shared
+	// pool).
+	FillBuffers int
+	// LLCWays restricts every Widx (accelerator) agent's LLC allocations to
+	// the lowest LLCWays ways of each set; host cores keep the full LLC —
+	// the way-partitioning QoS discipline. 0 means unpartitioned. Per-agent
+	// ":ways=N" overrides in CMP agent specs win over this default.
+	LLCWays int
+	// Stagger staggers CMP agent arrival times: co-running agent i starts
+	// at cycle i*Stagger (solo reference runs always start at cycle 0).
+	Stagger uint64
 	// Parallelism is the number of worker goroutines the harness fans
 	// independent experiments (workloads and design points) out to. Values
 	// below 2 run strictly sequentially. Results are bit-identical at every
@@ -114,7 +129,17 @@ func (c Config) Validate() error {
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("sim: negative QueueDepth")
 	}
-	return c.Mem.Validate()
+	if c.FillBuffers < 0 {
+		return fmt.Errorf("sim: negative FillBuffers")
+	}
+	// The topology below carries the fill-buffer override but not LLCWays
+	// (that is applied per Widx agent in widxSpec/cmpAgentSpec), so the
+	// way bound must be checked here to surface as an error rather than a
+	// NewAgent panic.
+	if c.LLCWays < 0 || c.LLCWays > c.Mem.LLCAssoc {
+		return fmt.Errorf("sim: LLCWays must be in [0, %d]", c.Mem.LLCAssoc)
+	}
+	return c.topology().Validate()
 }
 
 // queueDepth returns the effective Widx dispatch-queue depth (0 selects the
@@ -124,6 +149,39 @@ func (c Config) queueDepth() int {
 		return 2
 	}
 	return c.QueueDepth
+}
+
+// fillBuffers returns the effective shared fill-buffer count (0 tracks the
+// per-agent MSHR count — the single-pool shorthand).
+func (c Config) fillBuffers() int {
+	if c.FillBuffers > 0 {
+		return c.FillBuffers
+	}
+	return c.Mem.L1MSHRs
+}
+
+// topology builds the memory topology every design point's machine uses:
+// the flat Mem configuration with the fill-buffer override applied. Way
+// partitions are per-agent and land in the agent specs instead.
+func (c Config) topology() mem.Topology {
+	top := c.Mem.Topology()
+	top.Shared.FillBuffers = c.fillBuffers()
+	return top
+}
+
+// newSharedLevel builds a fresh shared memory level for one design point.
+func (c Config) newSharedLevel() *mem.SharedLevel {
+	sl := mem.NewSharedLevel(c.topology())
+	sl.SetStrictOrder(c.StrictMemOrder)
+	return sl
+}
+
+// widxSpec is the agent spec Widx accelerators attach with: the topology's
+// default private spec plus the configured accelerator way partition.
+func (c Config) widxSpec(top mem.Topology, name string) mem.AgentSpec {
+	spec := top.Agent(name)
+	spec.LLCWays = c.LLCWays
+	return spec
 }
 
 // sampleCount bounds n by the configured probe sample.
@@ -183,8 +241,8 @@ func (ph *indexPhase) allocResultRegion(walkers int, mode widx.HashingMode) uint
 // runBaseline executes the phase's probes on a baseline core with a fresh
 // hierarchy and returns the result.
 func (c Config) runBaseline(ph *indexPhase, coreCfg cores.Config) (cores.Result, error) {
-	hier := mem.NewHierarchy(c.Mem)
-	hier.SetStrictOrder(c.StrictMemOrder)
+	sl := c.newSharedLevel()
+	hier := sl.NewAgent(sl.Topology().Agent("host"))
 	core, err := cores.New(coreCfg, hier)
 	if err != nil {
 		return cores.Result{}, err
@@ -199,8 +257,8 @@ func (c Config) runBaseline(ph *indexPhase, coreCfg cores.Config) (cores.Result,
 // result region at resultBase must already be allocated on the phase's
 // address space via allocResultRegion.
 func (c Config) runWidx(ph *indexPhase, as *vm.AddressSpace, resultBase uint64, walkers int, mode widx.HashingMode) (*widx.OffloadResult, error) {
-	hier := mem.NewHierarchy(c.Mem)
-	hier.SetStrictOrder(c.StrictMemOrder)
+	sl := c.newSharedLevel()
+	hier := sl.NewAgent(c.widxSpec(sl.Topology(), "widx"))
 	bundle, err := program.ForTable(ph.index, resultBase)
 	if err != nil {
 		return nil, err

@@ -198,9 +198,10 @@ func TestMultiAgentSchedulerOverheadBudget(t *testing.T) {
 		return time.Since(start)
 	}
 	coRun := func() time.Duration {
-		sl := mem.NewSharedLevel(mem.DefaultConfig())
+		top := mem.DefaultTopology()
+		sl := mem.NewSharedLevel(top)
 		agents := multiAgentAgents(t, f, k, func(i int) *mem.Hierarchy {
-			return sl.NewAgent(fmt.Sprintf("widx%d", i))
+			return sl.NewAgent(top.Agent(fmt.Sprintf("widx%d", i)))
 		})
 		start := time.Now()
 		if err := system.Run(agents...); err != nil {

@@ -167,3 +167,60 @@ func TestMSHROccupancyHistogram(t *testing.T) {
 		t.Fatalf("mean MSHR occupancy should grow with walkers: %v", means)
 	}
 }
+
+// TestTwoTierMSHRKneeWithIdleFillBuffers is the two-tier saturation
+// acceptance test: a 5-MSHR *per-agent* budget in front of a generous
+// 20-entry shared fill-buffer pool reproduces the Section 3.2 walker-scaling
+// knee cycle-for-cycle (for a lone agent the private gate is the binding
+// constraint, exactly like the historical 5-entry single pool), while the
+// shared pool stays under-subscribed: no fill-buffer stalls, and the shared
+// occupancy never exceeds what 5 private MSHRs can offer.
+func TestTwoTierMSHRKneeWithIdleFillBuffers(t *testing.T) {
+	singlePool := mem.DefaultConfig()
+	singlePool.L1MSHRs = 5
+
+	twoTier := mem.DefaultConfig().Topology()
+	twoTier.Shared.FillBuffers = 20
+	agentSpec := twoTier.Agent("widx")
+	agentSpec.MSHRs = 5
+
+	cpt := map[int]float64{}
+	for _, n := range []int{1, 4, 8} {
+		// Reference: the flat 5-MSHR machine (both tiers at 5).
+		f := strictFixture(t, hashidx.LayoutInline, hashidx.HashRobust, 60000, 2500, 1<<16, singlePool)
+		acc := f.accelerator(t, Config{NumWalkers: n, QueueDepth: 2})
+		ref := f.offload(t, acc)
+
+		// The two-tier machine: 5 private MSHRs, 20 shared fill buffers.
+		f2 := newFixture(t, hashidx.LayoutInline, hashidx.HashRobust, 60000, 2500, 1<<16)
+		sl := mem.NewSharedLevel(twoTier)
+		sl.SetStrictOrder(true)
+		f2.hier = sl.NewAgent(agentSpec)
+		acc2 := f2.accelerator(t, Config{NumWalkers: n, QueueDepth: 2})
+		res := f2.offload(t, acc2)
+
+		if res.TotalCycles != ref.TotalCycles {
+			t.Fatalf("w%d: a lone agent gated by 5 private MSHRs must time exactly like the 5-entry single pool: %d vs %d",
+				n, res.TotalCycles, ref.TotalCycles)
+		}
+		cpt[n] = res.CyclesPerTuple()
+		ms := res.MemStats
+		if ms.FillStallCycles != 0 {
+			t.Fatalf("w%d: the 20-entry fill-buffer pool stalled a 5-MSHR agent (%d cycles)", n, ms.FillStallCycles)
+		}
+		shared := sl.Stats()
+		if sat := shared.MSHRSaturationShare(6); sat != 0 {
+			t.Fatalf("w%d: shared pool occupancy exceeded the 5-MSHR private offer (share at >=6: %.3f)", n, sat)
+		}
+		t.Logf("walkers=%d cpt=%.1f private-full=%.2f shared-mean-occ=%.2f",
+			n, cpt[n], ms.MSHRSaturationShare(5), shared.MeanMSHROccupancy())
+	}
+	// The knee: near-linear to 4 walkers, marginal beyond — purely from the
+	// per-agent tier.
+	if gain := cpt[1] / cpt[4]; gain < 3.0 {
+		t.Fatalf("1->4 walker gain = %.2fx, want near-linear below the private budget", gain)
+	}
+	if gain := cpt[4] / cpt[8]; gain > 1.4 {
+		t.Fatalf("4->8 walker gain = %.2fx, want marginal once the private MSHRs saturate", gain)
+	}
+}
