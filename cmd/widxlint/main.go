@@ -1,0 +1,83 @@
+// Command widxlint machine-checks the simulator's load-bearing invariants:
+// byte-identical output at any -parallel (no map-iteration order in
+// anything emitted, no wall-clock/ambient-randomness/environment reads in
+// the simulation core), per-agent stats summing to shared totals (every
+// field covered by the mem.Stats Add/Sub pair), and an honest experiment
+// manifest schema (declared parameters are read, read parameters are
+// declared).
+//
+// Standalone (the CI gate):
+//
+//	go run ./cmd/widxlint ./...
+//	go run ./cmd/widxlint -tests=false ./...          # skip _test.go variants
+//	go run ./cmd/widxlint -detmap ./internal/exp/...  # one analyzer only
+//
+// As a go vet tool (the local workflow — vet caches clean packages, so
+// incremental runs are fast):
+//
+//	go build -o "$(go env GOPATH)/bin/widxlint" ./cmd/widxlint
+//	go vet -vettool=$(which widxlint) ./...
+//
+// Exit status is nonzero iff any diagnostic was reported. Suppress a
+// false positive with `//widxlint:ignore <analyzer> <reason>` on the
+// offending line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"widx/internal/lint"
+	"widx/internal/lint/unitchecker"
+)
+
+func main() {
+	analyzers := lint.Analyzers()
+
+	// cmd/go's vet-tool protocol: -V=full, -flags, or a single *.cfg
+	// positional argument.
+	args := os.Args[1:]
+	if len(args) > 0 {
+		last := args[len(args)-1]
+		if args[0] == "-V=full" || args[0] == "-flags" || strings.HasSuffix(last, ".cfg") {
+			unitchecker.Main("widxlint", args, analyzers)
+			return // unreachable; Main exits
+		}
+	}
+
+	fs := flag.NewFlagSet("widxlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: widxlint [flags] packages...\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	tests := fs.Bool("tests", true, "also analyze _test.go files (test package variants)")
+	enabled := unitchecker.RegisterFlags(fs, analyzers)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(1)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	findings, err := lint.Run(".", *tests, unitchecker.Enabled(analyzers, enabled), patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "widxlint:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "widxlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

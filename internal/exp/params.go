@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -109,12 +110,19 @@ func Resolve(e Experiment, set map[string]string) (Params, error) {
 		known[s.Key] = true
 		p[s.Key] = s.Default
 	}
-	for k, v := range set {
+	// Sorted keys: with several unknown overrides, which one the error
+	// names must not depend on map iteration order (widxlint detmap).
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		if !known[k] {
 			return nil, fmt.Errorf("exp: experiment %s does not take parameter %q (accepted: %s)",
 				e.Name(), k, strings.Join(paramKeys(specs), ", "))
 		}
-		p[k] = v
+		p[k] = set[k]
 	}
 	return p, nil
 }

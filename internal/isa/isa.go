@@ -18,7 +18,10 @@
 // instructions makes unit programs self-contained and testable.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Reg identifies one of the 32 software-exposed registers of a Widx unit.
 // R0 is hardwired to zero, which the hashing programs rely on for comparisons
@@ -354,7 +357,14 @@ func (p *Program) Validate() error {
 	if len(p.OutputRegs) == 0 && p.Kind != Producer && p.usesEmit() {
 		return fmt.Errorf("isa: program %q emits but declares no output registers", p.Name)
 	}
+	// Sorted registers: with several bad preloads, which one the error
+	// names must not depend on map iteration order (widxlint detmap).
+	regs := make([]Reg, 0, len(p.ConstRegs))
 	for r := range p.ConstRegs {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
 		if !r.Valid() {
 			return fmt.Errorf("isa: program %q preloads invalid register %d", p.Name, r)
 		}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive. A diagnostic from analyzer NAME at line L is
+// suppressed when line L, or the line immediately above it, carries a
+// comment of the form
+//
+//	//widxlint:ignore NAME reason for the exception
+//
+// The reason is required: a directive without one does not suppress and is
+// itself reported, so every silenced finding documents why. NAME may be a
+// comma-separated list to silence several analyzers at one site.
+const ignorePrefix = "widxlint:ignore"
+
+// ignoreDirective is one parsed //widxlint:ignore comment.
+type ignoreDirective struct {
+	line      int    // line the comment sits on
+	analyzers string // comma-separated analyzer names
+	reason    string // required justification
+	pos       token.Pos
+}
+
+// ignoreIndex holds every directive of one package, keyed by file and line.
+type ignoreIndex struct {
+	fset *token.FileSet
+	// byLine maps file name + line to the directive on that line.
+	byLine map[string]map[int]ignoreDirective
+}
+
+// buildIgnoreIndex scans the package's comments for ignore directives.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	idx := &ignoreIndex{fset: fset, byLine: map[string]map[int]ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				m := idx.byLine[pos.Filename]
+				if m == nil {
+					m = map[int]ignoreDirective{}
+					idx.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = ignoreDirective{
+					line:      pos.Line,
+					analyzers: names,
+					reason:    strings.TrimSpace(reason),
+					pos:       c.Pos(),
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether a diagnostic from the named analyzer at pos is
+// covered by a directive, and whether that directive is malformed (covers
+// the site but gives no reason).
+func (idx *ignoreIndex) suppresses(analyzer string, pos token.Pos) (suppressed bool, missingReason *ignoreDirective) {
+	p := idx.fset.Position(pos)
+	m := idx.byLine[p.Filename]
+	if m == nil {
+		return false, nil
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		d, ok := m[line]
+		if !ok || !d.matches(analyzer) {
+			continue
+		}
+		if d.reason == "" {
+			return false, &d
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (d ignoreDirective) matches(analyzer string) bool {
+	for _, n := range strings.Split(d.analyzers, ",") {
+		if strings.TrimSpace(n) == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// RunWithIgnores runs one analyzer over a package, applying
+// //widxlint:ignore suppression, and returns the surviving diagnostics.
+// Directives that match a finding but omit the required reason do not
+// suppress; instead an extra diagnostic flags the directive itself.
+func RunWithIgnores(a *Analyzer, pass *Pass) ([]Diagnostic, error) {
+	idx := buildIgnoreIndex(pass.Fset, pass.Files)
+	var out []Diagnostic
+	badDirectives := map[token.Pos]bool{}
+	pass.Report = func(d Diagnostic) {
+		// A diagnostic can carry a secondary anchor in End (detmap points
+		// it at the range statement); a directive at either location
+		// suppresses.
+		anchors := []token.Pos{d.Pos}
+		if d.End.IsValid() && d.End != d.Pos {
+			anchors = append(anchors, d.End)
+		}
+		var bad *ignoreDirective
+		for _, pos := range anchors {
+			suppressed, b := idx.suppresses(a.Name, pos)
+			if suppressed {
+				return
+			}
+			if b != nil {
+				bad = b
+			}
+		}
+		if bad != nil && !badDirectives[bad.pos] {
+			badDirectives[bad.pos] = true
+			out = append(out, Diagnostic{
+				Pos:      bad.pos,
+				Category: a.Name,
+				Message:  "widxlint:ignore directive needs a reason (//widxlint:ignore " + a.Name + " <why>)",
+			})
+		}
+		if d.Category == "" {
+			d.Category = a.Name
+		}
+		out = append(out, d)
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// retAnalyzer reports every return statement — a minimal probe for the
+// suppression machinery.
+var retAnalyzer = &Analyzer{
+	Name: "ret",
+	Doc:  "reports every return",
+	Run: func(pass *Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(r.Pos(), "return here")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func runOn(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Analyzer: retAnalyzer, Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+	diags, err := RunWithIgnores(retAnalyzer, pass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestIgnoreWithReasonSuppresses(t *testing.T) {
+	diags := runOn(t, `package x
+func a() int {
+	//widxlint:ignore ret documented exception
+	return 1
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("expected suppression, got %v", diags)
+	}
+}
+
+func TestIgnoreSameLineSuppresses(t *testing.T) {
+	diags := runOn(t, `package x
+func a() int {
+	return 1 //widxlint:ignore ret same-line exception
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("expected suppression, got %v", diags)
+	}
+}
+
+func TestIgnoreWithoutReasonDoesNotSuppress(t *testing.T) {
+	diags := runOn(t, `package x
+func a() int {
+	//widxlint:ignore ret
+	return 1
+}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("expected the finding plus the reasonless-directive report, got %v", diags)
+	}
+	var sawFinding, sawDirective bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "return here") {
+			sawFinding = true
+		}
+		if strings.Contains(d.Message, "needs a reason") {
+			sawDirective = true
+		}
+	}
+	if !sawFinding || !sawDirective {
+		t.Fatalf("missing expected diagnostics: %v", diags)
+	}
+}
+
+func TestIgnoreOtherAnalyzerDoesNotSuppress(t *testing.T) {
+	diags := runOn(t, `package x
+func a() int {
+	//widxlint:ignore detmap reason that names a different analyzer
+	return 1
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("expected the finding to survive, got %v", diags)
+	}
+}
+
+func TestIgnoreListMatches(t *testing.T) {
+	diags := runOn(t, `package x
+func a() int {
+	//widxlint:ignore detmap,ret multi-analyzer exception
+	return 1
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("expected suppression via list, got %v", diags)
+	}
+}
+
+func TestSecondaryAnchorSuppresses(t *testing.T) {
+	// A diagnostic whose End points at an earlier anchor line is
+	// suppressed by a directive at that anchor (detmap's range-statement
+	// anchoring).
+	src := `package x
+func a() int {
+	//widxlint:ignore anchor suppressed at the anchor line
+	_ = 0
+	return 1
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{
+		Name: "anchor",
+		Doc:  "reports returns anchored at the preceding statement",
+		Run: func(pass *Pass) (interface{}, error) {
+			var anchor token.Pos
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					anchor = n.Pos()
+				case *ast.ReturnStmt:
+					pass.Report(Diagnostic{Pos: n.Pos(), End: anchor, Message: "anchored finding"})
+				}
+				return true
+			})
+			return nil, nil
+		},
+	}
+	pass := &Pass{Analyzer: a, Fset: fset, Files: []*ast.File{f}}
+	diags, err := RunWithIgnores(a, pass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected suppression via secondary anchor, got %v", diags)
+	}
+}

@@ -1,0 +1,334 @@
+// Package detmap implements the widxlint analyzer that guards the repo's
+// first invariant: simulation output is byte-identical at any -parallel.
+// Go's map iteration order is deliberately randomized, so a `range` over a
+// map whose body feeds anything ordered — a string or JSON being built, a
+// slice that is later emitted, an early return carrying the key — produces
+// output that differs run to run unless the keys are sorted first. That
+// exact bug class has shipped twice (RunHashingAblation's map-ordered
+// design points in PR 1; see CHANGES.md), and every manifest or report
+// encoder is a new opportunity.
+//
+// The analyzer flags a `for ... range m` over a map when the body reaches
+// an ordered sink:
+//
+//   - appends loop-derived values to a slice declared outside the loop that
+//     is never passed to a sort afterwards in the enclosing function (the
+//     collect-keys-then-sort idiom is the accepted fix and is not flagged);
+//   - builds a string (`s += ...`), writes to an outer writer or builder
+//     (fmt.Fprintf, strings.Builder/bytes.Buffer Write* methods), or prints
+//     directly, with loop-derived arguments;
+//   - returns a value derived from the loop variables (which key wins the
+//     early return depends on iteration order — error messages and lookup
+//     results alike);
+//   - sends loop-derived values on a channel declared outside the loop.
+//
+// Order-insensitive bodies — counter and sum accumulation, writes into
+// another map, deletes — pass. False positives are suppressed with
+// `//widxlint:ignore detmap <reason>` on the range statement's line or the
+// line above.
+package detmap
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"widx/internal/lint/analysis"
+)
+
+// Analyzer is the detmap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "flag map iteration whose order leaks into ordered output\n\n" +
+		"Reports range-over-map loops that append to later-emitted slices without a sort,\n" +
+		"build strings or write output, return loop-derived values, or send on channels —\n" +
+		"the bug class that breaks byte-identical reports at any -parallel.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rs) {
+					return true
+				}
+				checkMapRange(pass, fn, rs)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// report emits a sink diagnostic anchored both at the sink (Pos) and at the
+// enclosing range statement (End), so a //widxlint:ignore directive works on
+// either line.
+func report(pass *analysis.Pass, rs *ast.RangeStmt, pos token.Pos, format string, args ...interface{}) {
+	pass.Report(analysis.Diagnostic{
+		Pos:     pos,
+		End:     rs.Pos(),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// isMapRange reports whether rs ranges over a map value.
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange walks one map-range body looking for ordered sinks.
+func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	// Returns inside function literals (sort comparators, subtest bodies)
+	// do not leave the ranged function and are exempt from the early-return
+	// rule.
+	var funcLits []*ast.FuncLit
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			funcLits = append(funcLits, fl)
+		}
+		return true
+	})
+	insideFuncLit := func(pos token.Pos) bool {
+		for _, fl := range funcLits {
+			if fl.Pos() <= pos && pos <= fl.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, fn, rs, s)
+		case *ast.ReturnStmt:
+			if !insideFuncLit(s.Pos()) && mentionsLoopScope(pass, rs, s.Results...) {
+				report(pass, rs, s.Pos(), "map iteration order escapes through this return: which key reaches it first is nondeterministic; iterate sorted keys")
+			}
+		case *ast.SendStmt:
+			if declaredOutside(pass, rs, s.Chan) && mentionsLoopScope(pass, rs, s.Value) {
+				report(pass, rs, s.Pos(), "loop-derived value sent on a channel in map iteration order; iterate sorted keys")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, rs, s)
+		}
+		return true
+	})
+}
+
+// checkAssign flags string building and records un-sorted slice appends.
+func checkAssign(pass *analysis.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, s *ast.AssignStmt) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+
+	// s += expr / s = s + expr on an outer string.
+	if isString(pass, lhs) && declaredOutside(pass, rs, lhs) {
+		concat := s.Tok == token.ADD_ASSIGN
+		if s.Tok == token.ASSIGN {
+			if bin, ok := rhs.(*ast.BinaryExpr); ok && bin.Op == token.ADD && sameObject(pass, lhs, bin.X) {
+				concat = true
+			}
+		}
+		if concat && mentionsLoopScope(pass, rs, rhs) {
+			report(pass, rs, s.Pos(), "string built in map iteration order; iterate sorted keys")
+			return
+		}
+	}
+
+	// out = append(out, ...loop-derived...) into an outer slice.
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isBuiltinAppend(pass, call) || len(call.Args) < 2 {
+		return
+	}
+	if !declaredOutside(pass, rs, lhs) || !mentionsLoopScope(pass, rs, call.Args[1:]...) {
+		return
+	}
+	if obj := objectOf(pass, lhs); obj != nil && !sortedAfter(pass, fn, rs, obj) {
+		report(pass, rs, s.Pos(), "slice %s accumulates map keys/values in iteration order and is never sorted in %s; sort it after the loop", obj.Name(), fn.Name.Name)
+	}
+}
+
+// writerMethods are ordered-output methods on builders, buffers and writers.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+// printFuncs are fmt/io package functions that emit in call order.
+var printFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"WriteString": true,
+}
+
+// checkCall flags ordered output produced inside the loop body.
+func checkCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if pkg := packageName(pass, sel.X); pkg != "" {
+		if (pkg == "fmt" || pkg == "io") && printFuncs[sel.Sel.Name] && mentionsLoopScope(pass, rs, call.Args...) {
+			report(pass, rs, call.Pos(), "%s.%s inside a map range emits in iteration order; iterate sorted keys", pkg, sel.Sel.Name)
+		}
+		return
+	}
+	// Method call on an outer receiver (strings.Builder, bytes.Buffer, any
+	// io.Writer wrapper): writing loop-derived bytes is ordered output.
+	if writerMethods[sel.Sel.Name] && declaredOutside(pass, rs, sel.X) && mentionsLoopScope(pass, rs, call.Args...) {
+		report(pass, rs, call.Pos(), "%s on an outer writer inside a map range emits in iteration order; iterate sorted keys", sel.Sel.Name)
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the range
+// statement within the enclosing function — the collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(pass, arg, obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes sort/slices package calls and local helpers whose
+// name mentions sorting.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if pkg := packageName(pass, fun.X); pkg == "sort" || pkg == "slices" {
+			return true
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}
+
+// --- small type-aware helpers ---
+
+// objectOf resolves an expression to the variable it names, if any.
+func objectOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := pass.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.ParenExpr:
+		return objectOf(pass, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return objectOf(pass, e.X)
+		}
+	}
+	return nil
+}
+
+func sameObject(pass *analysis.Pass, a, b ast.Expr) bool {
+	oa, ob := objectOf(pass, a), objectOf(pass, b)
+	return oa != nil && oa == ob
+}
+
+// declaredOutside reports whether the variable e names is declared outside
+// the range statement (so writes to it survive the loop).
+func declaredOutside(pass *analysis.Pass, rs *ast.RangeStmt, e ast.Expr) bool {
+	obj := objectOf(pass, e)
+	if obj == nil {
+		// Field selectors (b.buf), dereferences: treat as outer state.
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// mentionsLoopScope reports whether any expression references a variable
+// declared inside the range statement — the loop key/value or a body local
+// derived from them.
+func mentionsLoopScope(pass *analysis.Pass, rs *ast.RangeStmt, exprs ...ast.Expr) bool {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// usesObject reports whether expression e references obj.
+func usesObject(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// packageName returns the imported package name e refers to, or "".
+func packageName(pass *analysis.Pass, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"widx/internal/lint/analysistest"
+	"widx/internal/lint/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, "testdata", detmap.Analyzer, "detmaptest")
+}

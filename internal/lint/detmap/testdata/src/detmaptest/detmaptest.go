@@ -1,0 +1,155 @@
+// Package detmaptest is the detmap analyzer fixture: each function is one
+// report or non-report case from the analyzer's rule set.
+package detmaptest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// --- report cases ---
+
+func badAppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys accumulates map keys/values in iteration order and is never sorted`
+	}
+	return keys
+}
+
+func badStringConcat(m map[string]int) string {
+	s := ""
+	for k, v := range m {
+		s += fmt.Sprintf("%s=%d;", k, v) // want `string built in map iteration order`
+	}
+	return s
+}
+
+func badBuilderWrite(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString on an outer writer inside a map range`
+	}
+	return b.String()
+}
+
+func badFprintf(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want `fmt.Fprintf inside a map range emits in iteration order`
+	}
+	return b.String()
+}
+
+func badEarlyReturn(m map[string]int, want int) (string, bool) {
+	for k, v := range m {
+		if v == want {
+			return k, true // want `map iteration order escapes through this return`
+		}
+	}
+	return "", false
+}
+
+func badErrorReturn(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("negative entry %q", k) // want `map iteration order escapes through this return`
+		}
+	}
+	return nil
+}
+
+func badChannelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `loop-derived value sent on a channel in map iteration order`
+	}
+}
+
+func badDerivedLocalAppend(m map[string]int) []string {
+	var rows []string
+	for k, v := range m {
+		row := fmt.Sprintf("%-8s %d", k, v)
+		rows = append(rows, row) // want `slice rows accumulates map keys/values in iteration order and is never sorted`
+	}
+	return rows
+}
+
+// --- non-report cases ---
+
+// The accepted idiom: collect keys, sort, then use.
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with the collected slice inside a closure argument also
+// counts as sorting.
+func goodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Commutative accumulation is order-insensitive.
+func goodAccumulate(m map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Map-to-map copies are order-insensitive.
+func goodMapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Deleting while ranging is the documented Go idiom.
+func goodDeleteDuringRange(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// A return that carries nothing loop-derived does not leak order.
+func goodConstantReturn(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Ranging a slice feeds ordered sinks deterministically.
+func goodSliceRange(keys []string) string {
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// A deliberate exception, silenced with the mandatory reason.
+func goodIgnoredWithReason(m map[string]int) []string {
+	var keys []string
+	//widxlint:ignore detmap caller treats the result as a set and sorts before emitting
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,93 @@
+// Package lint assembles the widxlint analyzer suite: the custom analyzers
+// that machine-check the simulator's two load-bearing invariants —
+// byte-identical output at any -parallel (detmap, nondet) and per-agent
+// stats summing to shared totals (statssum) — plus the experiment manifest
+// schema's honesty (paramuse). cmd/widxlint drives the suite standalone
+// (`go run ./cmd/widxlint ./...`) and as a `go vet -vettool`.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"widx/internal/lint/analysis"
+	"widx/internal/lint/detmap"
+	"widx/internal/lint/loader"
+	"widx/internal/lint/nondet"
+	"widx/internal/lint/paramuse"
+	"widx/internal/lint/statssum"
+)
+
+// Analyzers returns the full widxlint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detmap.Analyzer,
+		nondet.Analyzer,
+		paramuse.Analyzer,
+		statssum.Analyzer,
+	}
+}
+
+// Finding is one diagnostic with its resolved position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run loads patterns from dir and applies the given analyzers — the
+// standalone driver's whole job.
+func Run(dir string, includeTests bool, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	pkgs, err := loader.Load(dir, includeTests, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers)
+}
+
+// RunPackages applies every analyzer to every loaded package and returns
+// the surviving findings in deterministic (position-sorted) order.
+func RunPackages(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			diags, err := analysis.RunWithIgnores(a, pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+			}
+			for _, d := range diags {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: d.Category,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"widx/internal/lint/analysistest"
+	"widx/internal/lint/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	// Point the core-package list at the fixture.
+	if err := nondet.Analyzer.Flags.Set("pkgs", "simcore"); err != nil {
+		t.Fatal(err)
+	}
+	defer nondet.Analyzer.Flags.Set("pkgs",
+		"widx/internal/sim,widx/internal/mem,widx/internal/widx,widx/internal/system,widx/internal/cores,widx/internal/exp")
+	analysistest.Run(t, "testdata", nondet.Analyzer, "simcore")
+}
+
+func TestNondetSkipsForeignPackages(t *testing.T) {
+	// With the default core list, the fixture package is out of scope and
+	// must produce no diagnostics; prove it by expecting the fixture's
+	// `want` lines to fail... instead, run the analyzer directly and check
+	// it reports nothing. The simplest spelling with the harness: a
+	// separate fixture would duplicate files, so this is covered by the
+	// inCore unit behavior below.
+	if nondetInCore := nondet.InCore; nondetInCore != nil {
+		if nondetInCore("widx/internal/sim [widx/internal/sim.test]") != true {
+			t.Error("test-variant import path of a core package must be in core")
+		}
+		if nondetInCore("widx/internal/simx") {
+			t.Error("sibling package with a core-path prefix must not match")
+		}
+		if !nondetInCore("widx/internal/sim/inner") {
+			t.Error("subtree of a core package must match")
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package simcore is the nondet analyzer fixture, standing in for a
+// deterministic-core package (the test points -nondet.pkgs at it).
+package simcore
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// --- report cases ---
+
+func badWallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in the simulation core`
+}
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in the simulation core`
+}
+
+func badGlobalRand(n int) int {
+	return rand.Intn(n) // want `global rand.Intn draws from the ambient source`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle draws from the ambient source`
+}
+
+func badEnv() string {
+	return os.Getenv("WIDX_SEED") // want `os.Getenv in the simulation core`
+}
+
+// --- non-report cases ---
+
+// Explicitly seeded generators are the accepted fix: the seed is part of
+// the run's resolved configuration, so replay stays byte-identical.
+func goodSeededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Simulated-time arithmetic never touches the wall clock.
+func goodSimulatedTime(cycles uint64, cyclesPerNs float64) time.Duration {
+	return time.Duration(float64(cycles)/cyclesPerNs) * time.Nanosecond
+}
+
+// A deliberate, justified exception.
+func goodIgnoredWithReason() int64 {
+	//widxlint:ignore nondet diagnostic-only trace timestamp, never in simulation output
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,16 @@
+package simcore
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: wall-clock overhead budgets (the repo's
+// TestSchedulerOverheadBudget pattern) legitimately time real execution
+// without affecting simulation output. No diagnostic expected here.
+func TestWallClockBudget(t *testing.T) {
+	start := time.Now()
+	if time.Since(start) < 0 {
+		t.Fatal("clock went backwards")
+	}
+}

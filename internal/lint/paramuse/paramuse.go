@@ -1,0 +1,403 @@
+// Package paramuse implements the widxlint analyzer that keeps the
+// experiment registry's manifest schema honest. Every run's
+// widx-experiment-manifest/v1 records the resolved parameter set an
+// experiment Describes; the catalog's contract is that each declared
+// ParamSpec is actually consumed by Run, and that Run consumes nothing it
+// does not declare. A declared-but-unread key labels manifests (and sweep
+// axes!) with a knob that does nothing; a read-but-undeclared key can never
+// be set from -set/-sweep and silently runs at the zero value.
+//
+// The analyzer inspects every NewExperiment(name, doc, params, run) call:
+// the []ParamSpec literal gives the declared keys; the run function literal
+// gives the read keys — p.String("k"), p.Int("k"), p["k"], and reads made
+// by same-package helper functions the Params value is passed to
+// (transitively). The common config keys every experiment accepts
+// (CommonParams / -paramuse.common) are exempt. If the Params value
+// escapes into another package or is read with a non-constant key, the
+// declared-but-unread check is skipped for that experiment — the analyzer
+// only reports what it can prove.
+//
+// Suppress a deliberate exception with //widxlint:ignore paramuse <reason>.
+package paramuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"widx/internal/lint/analysis"
+)
+
+// Analyzer is the paramuse analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "paramuse",
+	Doc: "experiment parameters must be declared iff they are read\n\n" +
+		"Cross-checks each NewExperiment call's []ParamSpec against the parameter\n" +
+		"keys its run function (and same-package helpers it passes Params to)\n" +
+		"actually reads, keeping the experiment manifest schema honest.",
+	Run: run,
+}
+
+// common is the extra allowance for keys every experiment accepts without
+// declaring; the CommonParams function of the analyzed package, when
+// present, is unioned in automatically.
+var common = "scale,sample,mshrs,fill-buffers,llc-ways,queue-depth"
+
+func init() {
+	Analyzer.Flags.StringVar(&common, "common", common,
+		"comma-separated parameter keys every experiment accepts without declaring them")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	a := &analyzer{
+		pass:  pass,
+		decls: map[*types.Func]*ast.FuncDecl{},
+		memo:  map[*ast.FuncDecl]readSet{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					a.decls[fn] = fd
+				}
+			}
+		}
+	}
+	commonKeys := map[string]bool{}
+	for _, k := range strings.Split(common, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			commonKeys[k] = true
+		}
+	}
+	for fn, fd := range a.decls {
+		if fn.Name() == "CommonParams" {
+			for k := range collectSpecKeys(pass, fd.Body) {
+				commonKeys[k] = true
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isNewExperiment(call) || len(call.Args) < 4 {
+				return true
+			}
+			a.checkExperiment(call, commonKeys)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type analyzer struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*ast.FuncDecl]readSet
+	path  []*ast.FuncDecl // recursion guard
+}
+
+// readSet is the outcome of tracking one Params value through a function:
+// the keys read (with the first read site), and whether the value escaped
+// tracking (passed outside the package, non-constant key, aliased).
+type readSet struct {
+	keys   map[string]token.Pos
+	opaque bool
+}
+
+func (r *readSet) add(key string, pos token.Pos) {
+	if r.keys == nil {
+		r.keys = map[string]token.Pos{}
+	}
+	if _, ok := r.keys[key]; !ok {
+		r.keys[key] = pos
+	}
+}
+
+func (r *readSet) union(o readSet) {
+	for k, pos := range o.keys {
+		r.add(k, pos)
+	}
+	r.opaque = r.opaque || o.opaque
+}
+
+// checkExperiment cross-checks one NewExperiment call site.
+func (a *analyzer) checkExperiment(call *ast.CallExpr, commonKeys map[string]bool) {
+	expName := "experiment"
+	if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			expName = s
+		}
+	}
+
+	declared, declaredOpaque := declaredKeys(a.pass, call.Args[2])
+
+	runLit, ok := call.Args[3].(*ast.FuncLit)
+	if !ok {
+		return // run function built elsewhere: nothing to prove here
+	}
+	paramObj := paramsParam(a.pass, runLit.Type)
+	var reads readSet
+	if paramObj == nil {
+		// No Params parameter in scope (e.g. ignored via _): nothing is
+		// readable, so every declared key is dead.
+		reads = readSet{}
+	} else {
+		reads = a.track(paramObj, runLit.Body)
+	}
+
+	for key, pos := range reads.keys {
+		if _, ok := declared[key]; !ok && !commonKeys[key] && !declaredOpaque {
+			a.pass.Reportf(pos, "experiment %q reads parameter %q that its ParamSpecs do not declare; it can never be set via -set/-sweep", expName, key)
+		}
+	}
+	if !reads.opaque {
+		for key, pos := range declared {
+			if _, ok := reads.keys[key]; !ok {
+				a.pass.Reportf(pos, "experiment %q declares parameter %q but its run function never reads it; the manifest advertises a knob that does nothing", expName, key)
+			}
+		}
+	}
+}
+
+// track follows one Params-typed object through a function body: direct
+// reads, helper calls within the package (followed transitively), and
+// anything that defeats tracking (marked opaque).
+func (a *analyzer) track(param types.Object, body *ast.BlockStmt) readSet {
+	var reads readSet
+	info := a.pass.TypesInfo
+
+	// handled marks param-identifier uses already accounted for by an
+	// enclosing read/call pattern; any remaining use is an escape.
+	handled := map[*ast.Ident]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// p.String("key") and friends: a typed getter read.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && info.Uses[id] == param {
+					handled[id] = true
+					if len(n.Args) >= 1 {
+						if key, ok := stringLit(n.Args[0]); ok {
+							reads.add(key, n.Args[0].Pos())
+						} else {
+							reads.opaque = true // non-constant key
+						}
+					}
+					return true
+				}
+			}
+			// p passed to a helper: follow same-package functions,
+			// give up on anything else.
+			for i, arg := range n.Args {
+				id, ok := arg.(*ast.Ident)
+				if !ok || info.Uses[id] != param {
+					continue
+				}
+				handled[id] = true
+				if sub, ok := a.helperReads(n, i); ok {
+					reads.union(sub)
+				} else {
+					reads.opaque = true
+				}
+			}
+		case *ast.IndexExpr:
+			// p["key"]: a raw read.
+			if id, ok := n.X.(*ast.Ident); ok && info.Uses[id] == param {
+				handled[id] = true
+				if key, ok := stringLit(n.Index); ok {
+					reads.add(key, n.Index.Pos())
+				} else {
+					reads.opaque = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Any use of param not consumed by the patterns above (assignment,
+	// composite literal, range, return) is an escape we do not model.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == param && !handled[id] {
+			reads.opaque = true
+		}
+		return true
+	})
+	return reads
+}
+
+// helperReads resolves the callee of a call whose argIdx-th argument is a
+// Params value and returns the keys that function reads through it. It only
+// succeeds for plain same-package functions with an AST in this pass.
+func (a *analyzer) helperReads(call *ast.CallExpr, argIdx int) (readSet, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return readSet{}, false
+	}
+	fn, ok := a.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return readSet{}, false
+	}
+	fd := a.decls[fn]
+	if fd == nil || fd.Body == nil {
+		return readSet{}, false
+	}
+	for _, onPath := range a.path {
+		if onPath == fd {
+			return readSet{}, true // recursion: already being accumulated
+		}
+	}
+	if memo, ok := a.memo[fd]; ok {
+		return memo, true
+	}
+	obj := nthParamObj(a.pass, fd, argIdx)
+	if obj == nil {
+		return readSet{}, false
+	}
+	a.path = append(a.path, fd)
+	reads := a.track(obj, fd.Body)
+	a.path = a.path[:len(a.path)-1]
+	a.memo[fd] = reads
+	return reads, true
+}
+
+// nthParamObj returns the object of a function declaration's n-th
+// parameter.
+func nthParamObj(pass *analysis.Pass, fd *ast.FuncDecl, n int) types.Object {
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{nil}
+		}
+		for _, name := range names {
+			if i == n {
+				if name == nil {
+					return nil
+				}
+				return pass.TypesInfo.Defs[name]
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// paramsParam finds the run function's parameter whose type is named
+// "Params" and returns its object.
+func paramsParam(pass *analysis.Pass, ft *ast.FuncType) types.Object {
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "Params" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// declaredKeys extracts the Key of every ParamSpec in the params argument
+// of a NewExperiment call. A nil literal declares nothing; anything that is
+// not a slice literal is opaque (built elsewhere).
+func declaredKeys(pass *analysis.Pass, arg ast.Expr) (map[string]token.Pos, bool) {
+	out := map[string]token.Pos{}
+	switch arg := arg.(type) {
+	case *ast.Ident:
+		if arg.Name == "nil" {
+			return out, false
+		}
+	case *ast.CompositeLit:
+		for _, elt := range arg.Elts {
+			cl, ok := elt.(*ast.CompositeLit)
+			if !ok {
+				return out, true
+			}
+			key, pos, ok := specKey(cl)
+			if !ok {
+				return out, true
+			}
+			out[key] = pos
+		}
+		return out, false
+	}
+	return out, true
+}
+
+// specKey pulls the Key value out of one ParamSpec composite literal,
+// keyed or positional.
+func specKey(cl *ast.CompositeLit) (string, token.Pos, bool) {
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Key" {
+				if s, ok := stringLit(kv.Value); ok {
+					return s, kv.Value.Pos(), true
+				}
+				return "", 0, false
+			}
+			continue
+		}
+		// Positional literal: Key is the first field.
+		if s, ok := stringLit(elt); ok {
+			return s, elt.Pos(), true
+		}
+		return "", 0, false
+	}
+	return "", 0, false
+}
+
+// collectSpecKeys gathers the Key of every ParamSpec literal in a body —
+// used to read the analyzed package's CommonParams.
+func collectSpecKeys(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(cl)
+		if t == nil {
+			return true
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "ParamSpec" {
+			if key, _, ok := specKey(cl); ok {
+				out[key] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// isNewExperiment matches calls to a function named NewExperiment, plain or
+// package-qualified.
+func isNewExperiment(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "NewExperiment"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "NewExperiment"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package paramuse_test
+
+import (
+	"testing"
+
+	"widx/internal/lint/analysistest"
+	"widx/internal/lint/paramuse"
+)
+
+func TestParamuse(t *testing.T) {
+	analysistest.Run(t, "testdata", paramuse.Analyzer, "paramusetest")
+}

@@ -1,0 +1,94 @@
+package paramusetest
+
+import "fmt"
+
+// Catalog entries under test. Registration side effects are irrelevant to
+// the analyzer; the variables only keep the calls referenced.
+var (
+	// Honest: every declared key is read, every read key is declared.
+	_ = NewExperiment("kernel", "declares and reads sizes + walkers",
+		[]ParamSpec{
+			{Key: "sizes", Default: "Small,Medium", Help: "size classes"},
+			{Key: "walkers", Default: "4", Help: "walker counts"},
+		},
+		func(cfg Config, p Params) (Result, error) {
+			sizes := p.String("sizes")
+			w, err := p.Int("walkers")
+			if err != nil {
+				return nil, err
+			}
+			return fmt.Sprintf("%s/%d", sizes, w), nil
+		})
+
+	// Honest: no declared params, none read.
+	_ = NewExperiment("model", "parameterless", nil,
+		func(cfg Config, p Params) (Result, error) {
+			return cfg.Scale, nil
+		})
+
+	// Honest: common config keys (from CommonParams) need no declaration.
+	_ = NewExperiment("scaled", "reads only a common key", nil,
+		func(cfg Config, p Params) (Result, error) {
+			return p.String("scale"), nil
+		})
+
+	// Honest: reads made through a same-package helper are followed.
+	_ = NewExperiment("helper", "reads walkers via applyWalkers",
+		[]ParamSpec{
+			{Key: "walkers", Default: "", Help: "walker counts"},
+		},
+		func(cfg Config, p Params) (Result, error) {
+			cfg, err := applyWalkers(cfg, p)
+			return cfg, err
+		})
+
+	// Dishonest: "stagger" is declared, advertised in every manifest, and
+	// does nothing.
+	_ = NewExperiment("dead-knob", "declares a parameter it never reads",
+		[]ParamSpec{
+			{Key: "size", Default: "Medium", Help: "size class"},
+			{Key: "stagger", Default: "0", Help: "arrival stagger"}, // want `declares parameter "stagger" but its run function never reads it`
+		},
+		func(cfg Config, p Params) (Result, error) {
+			return p.String("size"), nil
+		})
+
+	// Dishonest: "queue" can never be set from -set/-sweep because it is
+	// not declared, so Run always sees the zero value.
+	_ = NewExperiment("ghost-knob", "reads a parameter it does not declare",
+		[]ParamSpec{
+			{Key: "size", Default: "Medium", Help: "size class"},
+		},
+		func(cfg Config, p Params) (Result, error) {
+			depth, err := p.Int("queue") // want `reads parameter "queue" that its ParamSpecs do not declare`
+			if err != nil {
+				return nil, err
+			}
+			return p.String("size") + fmt.Sprint(depth), nil
+		})
+
+	// Opaque: p escapes into another package, so declared-but-unread is
+	// not provable and must not be reported.
+	_ = NewExperiment("escapes", "passes Params outside the package",
+		[]ParamSpec{
+			{Key: "mystery", Default: "", Help: "consumed by a foreign helper"},
+		},
+		func(cfg Config, p Params) (Result, error) {
+			fmt.Println(p)
+			return nil, nil
+		})
+)
+
+// applyWalkers is the same-package helper shape from the real catalog: the
+// analyzer follows p into it and credits the "walkers" read.
+func applyWalkers(cfg Config, p Params) (Config, error) {
+	if p.String("walkers") == "" {
+		return cfg, nil
+	}
+	n, err := p.Int("walkers")
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Walkers = []int{n}
+	return cfg, nil
+}

@@ -1,0 +1,50 @@
+// Package paramusetest is the paramuse analyzer fixture: a miniature of
+// the internal/exp registry surface (ParamSpec, Params, NewExperiment,
+// CommonParams) with honest and dishonest catalog entries.
+package paramusetest
+
+// ParamSpec mirrors exp.ParamSpec.
+type ParamSpec struct {
+	Key     string
+	Default string
+	Help    string
+}
+
+// Params mirrors exp.Params.
+type Params map[string]string
+
+func (p Params) String(key string) string { return p[key] }
+
+func (p Params) Int(key string) (int, error) { return 0, nil }
+
+func (p Params) Bool(key string) (bool, error) { return false, nil }
+
+// Config stands in for sim.Config.
+type Config struct {
+	Scale   float64
+	Walkers []int
+}
+
+// Result mirrors exp.Result.
+type Result interface{}
+
+// Experiment is the registered unit.
+type Experiment struct {
+	name string
+	run  func(cfg Config, p Params) (Result, error)
+}
+
+// NewExperiment mirrors exp.NewExperiment: name, description, declared
+// parameters, run function.
+func NewExperiment(name, describe string, params []ParamSpec, run func(cfg Config, p Params) (Result, error)) *Experiment {
+	return &Experiment{name: name, run: run}
+}
+
+// CommonParams mirrors exp.CommonParams: keys every experiment accepts
+// without declaring. The analyzer reads these out of the function body.
+func CommonParams() []ParamSpec {
+	return []ParamSpec{
+		{Key: "scale", Default: "", Help: "workload scale"},
+		{Key: "sample", Default: "", Help: "probes per design"},
+	}
+}

@@ -1,0 +1,143 @@
+// Package statssum implements the widxlint analyzer that guards the repo's
+// second invariant: per-agent mem.Stats provably sum to the shared totals.
+// The invariant rests on Stats.Add and Stats.Sub being exact field-wise
+// inverses over every counter — a new field added to the struct but
+// forgotten in Add (or Sub) silently drops that counter from aggregated
+// system stats and from phase-scoped snapshots, without failing any
+// existing test until a golden fingerprint happens to cover it.
+//
+// For every named struct type that defines both an Add and a Sub method
+// taking the type itself (the aggregation pair convention — mem.Stats
+// today, any future per-agent counter block tomorrow), the analyzer checks
+// that each field of the struct is referenced in the bodies of both
+// methods. A field a method legitimately must not touch is excused with
+// //widxlint:ignore statssum <reason> on the method's declaration line.
+//
+// The reflection-based runtime twin (TestStatsAddSubRoundTrip in
+// internal/mem) covers what this static check cannot: that the arithmetic
+// on each touched field is actually inverse, including element-wise
+// histogram handling.
+package statssum
+
+import (
+	"go/ast"
+	"go/types"
+
+	"widx/internal/lint/analysis"
+)
+
+// Analyzer is the statssum analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "statssum",
+	Doc: "every field of an Add/Sub aggregation pair must be touched by both methods\n\n" +
+		"Reports struct fields missing from the body of Add or Sub on types that\n" +
+		"define the aggregation pair, so a new counter cannot silently break the\n" +
+		"per-agent-stats-sum-to-shared-totals invariant.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Map method *types.Func -> its declaration, for body inspection.
+	methodDecls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				methodDecls[fn] = fd
+			}
+		}
+	}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		add := pairMethod(named, "Add")
+		sub := pairMethod(named, "Sub")
+		if add == nil || sub == nil {
+			continue
+		}
+		addDecl, sub2 := methodDecls[add], methodDecls[sub]
+		if addDecl == nil || sub2 == nil {
+			continue
+		}
+		for _, m := range []struct {
+			fn   *types.Func
+			decl *ast.FuncDecl
+		}{{add, addDecl}, {sub, sub2}} {
+			touched := touchedFields(pass, m.decl)
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if !touched[field] {
+					pass.Reportf(m.decl.Name.Pos(),
+						"%s.%s does not touch field %s: aggregated stats will silently drop it (per-agent sums-to-shared invariant)",
+						name, m.fn.Name(), field.Name())
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// pairMethod returns the method named name on t (value or pointer receiver)
+// if it takes exactly one parameter of type t — the aggregation-pair shape.
+func pairMethod(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != name {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() != 1 {
+			return nil
+		}
+		pt := sig.Params().At(0).Type()
+		if ptr, ok := pt.(*types.Pointer); ok {
+			pt = ptr.Elem()
+		}
+		if types.Identical(pt, named) {
+			return m
+		}
+		return nil
+	}
+	return nil
+}
+
+// touchedFields collects the struct fields referenced anywhere in a method
+// body: selector expressions (d.Loads) and composite-literal keys
+// (Stats{Loads: ...}) both count.
+func touchedFields(pass *analysis.Pass, decl *ast.FuncDecl) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	if decl.Body == nil {
+		return out
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && v.IsField() {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package statssum_test
+
+import (
+	"testing"
+
+	"widx/internal/lint/analysistest"
+	"widx/internal/lint/statssum"
+)
+
+func TestStatssum(t *testing.T) {
+	analysistest.Run(t, "testdata", statssum.Analyzer, "statssumtest")
+}

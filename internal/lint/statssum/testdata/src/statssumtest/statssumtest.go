@@ -1,0 +1,125 @@
+// Package statssumtest is the statssum analyzer fixture: Add/Sub
+// aggregation pairs with complete and incomplete field coverage.
+package statssumtest
+
+// Complete is the well-formed shape of mem.Stats: every field appears in
+// both Add and Sub, including the element-wise histogram.
+type Complete struct {
+	Loads     uint64
+	Stores    uint64
+	Histogram []uint64
+}
+
+func (s Complete) Add(o Complete) Complete {
+	d := s
+	d.Loads += o.Loads
+	d.Stores += o.Stores
+	d.Histogram = append([]uint64(nil), s.Histogram...)
+	for i, v := range o.Histogram {
+		if i < len(d.Histogram) {
+			d.Histogram[i] += v
+		}
+	}
+	return d
+}
+
+func (s Complete) Sub(prev Complete) Complete {
+	d := s
+	d.Loads -= prev.Loads
+	d.Stores -= prev.Stores
+	d.Histogram = append([]uint64(nil), s.Histogram...)
+	for i := range d.Histogram {
+		if i < len(prev.Histogram) {
+			d.Histogram[i] -= prev.Histogram[i]
+		}
+	}
+	return d
+}
+
+// CompositeStyle uses keyed composite literals instead of field
+// assignments; both spellings count as touching the field.
+type CompositeStyle struct {
+	Hits   uint64
+	Misses uint64
+}
+
+func (s CompositeStyle) Add(o CompositeStyle) CompositeStyle {
+	return CompositeStyle{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
+}
+
+func (s CompositeStyle) Sub(o CompositeStyle) CompositeStyle {
+	return CompositeStyle{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses}
+}
+
+// Dropped models the bug the analyzer exists for: a field added to the
+// struct but forgotten in Add (and another in Sub). The aggregated totals
+// silently lose the counter.
+type Dropped struct {
+	Loads       uint64
+	StallCycles uint64
+	Evictions   uint64
+}
+
+func (s Dropped) Add(o Dropped) Dropped { // want `Dropped.Add does not touch field Evictions`
+	d := s
+	d.Loads += o.Loads
+	d.StallCycles += o.StallCycles
+	return d
+}
+
+func (s Dropped) Sub(prev Dropped) Dropped { // want `Dropped.Sub does not touch field StallCycles` `Dropped.Sub does not touch field Evictions`
+	d := s
+	d.Loads -= prev.Loads
+	return d
+}
+
+// AddOnly has no Sub, so it is not an aggregation pair and is exempt.
+type AddOnly struct {
+	Count   uint64
+	Ignored uint64
+}
+
+func (s AddOnly) Add(o AddOnly) AddOnly {
+	s.Count += o.Count
+	return s
+}
+
+// OtherSignature's Add takes a different type, so the pair shape does not
+// match and the invariant does not apply.
+type OtherSignature struct {
+	Value uint64
+}
+
+func (s OtherSignature) Add(n uint64) OtherSignature {
+	s.Value += n
+	return s
+}
+
+func (s OtherSignature) Sub(n uint64) OtherSignature {
+	s.Value -= n
+	return s
+}
+
+// Excused shows the escape hatch: a derived field a method deliberately
+// must not aggregate, silenced with the mandatory reason.
+type Excused struct {
+	Total uint64
+	Peak  uint64
+}
+
+//widxlint:ignore statssum Peak is a high-water mark, max-merged in Add and meaningless to subtract
+func (s Excused) Add(o Excused) Excused {
+	d := s
+	d.Total += o.Total
+	if o.Peak > d.Peak {
+		d.Peak = o.Peak
+	}
+	return d
+}
+
+//widxlint:ignore statssum Peak is a high-water mark; Sub scopes counters, not extrema
+func (s Excused) Sub(prev Excused) Excused {
+	d := s
+	d.Total -= prev.Total
+	return d
+}

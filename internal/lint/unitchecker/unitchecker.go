@@ -1,0 +1,259 @@
+// Package unitchecker implements the `go vet -vettool` protocol for the
+// widxlint suite, mirroring golang.org/x/tools/go/analysis/unitchecker on
+// the standard library. cmd/go drives a vet tool in three ways:
+//
+//	widxlint -V=full          print a version line (used for build caching)
+//	widxlint -flags           print the tool's flags as JSON
+//	widxlint [flags] foo.cfg  analyze one package unit described by foo.cfg
+//
+// The .cfg file is a JSON description of one compiled package: its Go
+// files, the export-data file of every dependency, and where to write the
+// (empty — widxlint exchanges no facts) .vetx output. Diagnostics go to
+// stderr as file:line:col lines and exit status 2 reports findings, so
+// `go vet -vettool=$(which widxlint) ./...` fails exactly when the
+// standalone driver would.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"widx/internal/lint/analysis"
+)
+
+// Config is the JSON schema of a cmd/go vet configuration file, matching
+// x/tools unitchecker.Config field for field (unused fields retained so
+// future cmd/go versions round-trip).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vet-tool protocol over args (os.Args[1:]) and exits.
+func Main(progname string, args []string, analyzers []*analysis.Analyzer) {
+	if len(args) == 1 && args[0] == "-V=full" {
+		// The version line keys cmd/go's result cache; hash the executable
+		// so a rebuilt tool invalidates cached vet results.
+		fmt.Println(versionLine(progname))
+		os.Exit(0)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		printFlags(analyzers)
+		os.Exit(0)
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	enabled := RegisterFlags(fs, analyzers)
+	if err := fs.Parse(args); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s (unitchecker mode): expected one .cfg argument, got %q\n", progname, fs.Args())
+		os.Exit(1)
+	}
+	diags, err := Check(fs.Arg(0), Enabled(analyzers, enabled))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// RegisterFlags registers each analyzer's enable flag (-name) and its
+// sub-flags (-name.flag) on fs, returning the enable map.
+func RegisterFlags(fs *flag.FlagSet, analyzers []*analysis.Analyzer) map[string]*bool {
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		enabled[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer: "+doc)
+		prefix := a.Name + "."
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, prefix+f.Name, f.Usage)
+		})
+	}
+	return enabled
+}
+
+// Enabled applies vet's enable-flag semantics: if any -name flag is set,
+// only those analyzers run; otherwise all do.
+func Enabled(analyzers []*analysis.Analyzer, enabled map[string]*bool) []*analysis.Analyzer {
+	any := false
+	for _, on := range enabled {
+		if *on {
+			any = true
+		}
+	}
+	if !any {
+		return analyzers
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Check analyzes the package unit described by cfgFile and returns the
+// rendered diagnostics.
+func Check(cfgFile string, analyzers []*analysis.Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("unitchecker: parsing %s: %v", cfgFile, err)
+	}
+
+	// cmd/go requires the facts output to exist even though widxlint
+	// exchanges none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("unitchecker: type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	var out []string
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+		}
+		diags, err := analysis.RunWithIgnores(a, pass)
+		if err != nil {
+			return nil, fmt.Errorf("unitchecker: %s: %s: %v", cfg.ImportPath, a.Name, err)
+		}
+		for _, d := range diags {
+			out = append(out, fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Category, d.Message))
+		}
+	}
+	return out, nil
+}
+
+// jsonFlag is one entry of the -flags listing cmd/go consumes.
+type jsonFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+func printFlags(analyzers []*analysis.Analyzer) {
+	var out []jsonFlag
+	fs := flag.NewFlagSet("widxlint", flag.ContinueOnError)
+	RegisterFlags(fs, analyzers)
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// versionLine builds the -V=full line, content-addressed by the tool
+// binary itself.
+func versionLine(progname string) string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("%s version devel buildID=%x", progname, h.Sum(nil)[:12])
+}
