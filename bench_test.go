@@ -11,12 +11,17 @@
 package widx_test
 
 import (
+	"encoding/json"
+	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"widx/internal/exp"
 	"widx/internal/join"
 	"widx/internal/model"
 	"widx/internal/sim"
+	"widx/internal/warmstate"
 	"widx/internal/workloads"
 )
 
@@ -309,6 +314,76 @@ func BenchmarkAblation_DecoupledHashing(b *testing.B) {
 	}
 	b.ReportMetric(100*(1-1/ab.DecouplingGain), "decoupling-gain-%")
 	b.ReportMetric(ab.SharedCPT/ab.PerWalkerCPT, "shared-vs-perwalker")
+}
+
+// BenchmarkWarmCacheSweep measures the warm-state cache on its target
+// shape — a warm-invariant queue-depth sweep of the cmp experiment, where
+// every grid point shares one table build and one hierarchy warm-up — by
+// timing the sweep cold (cache off) and cached, requiring byte-identical
+// reports, and writing the cold-vs-cached trajectory to
+// BENCH_warmcache.json. The sweep runs sequentially: the ratio isolates
+// the warm-up work the cache removes, not worker-pool overlap.
+func BenchmarkWarmCacheSweep(b *testing.B) {
+	e, ok := exp.Lookup("cmp")
+	if !ok {
+		b.Fatal("cmp experiment not registered")
+	}
+	axes := []exp.Axis{{Key: "queue-depth", Values: []string{"2", "4", "8", "16"}}}
+	set := map[string]string{"size": "Medium", "agents": "widx:2w+ooo"}
+	cfg := benchConfig(b)
+	cfg.Scale = 1.0 / 2
+	cfg.SampleProbes = 500
+	cfg.Parallelism = 1
+	if testing.Short() {
+		cfg.Scale = 1.0 / 8
+	}
+	run := func(cache *warmstate.Cache) (string, time.Duration) {
+		cfg := cfg
+		cfg.WarmCache = cache
+		start := time.Now()
+		out, err := exp.RunSweep(e, cfg, set, axes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return out.Text(), time.Since(start)
+	}
+	coldBest := time.Duration(1<<63 - 1)
+	cachedBest := coldBest
+	for i := 0; i < b.N; i++ {
+		coldText, cold := run(nil)
+		cachedText, cached := run(warmstate.New())
+		if coldText != cachedText {
+			b.Fatal("cached sweep report diverges from the cold run")
+		}
+		if cold < coldBest {
+			coldBest = cold
+		}
+		if cached < cachedBest {
+			cachedBest = cached
+		}
+	}
+	speedup := float64(coldBest) / float64(cachedBest)
+	b.ReportMetric(speedup, "cold/cached-x")
+	payload := struct {
+		Sweep    string  `json:"sweep"`
+		Points   int     `json:"points"`
+		ColdNS   int64   `json:"cold_ns"`
+		CachedNS int64   `json:"cached_ns"`
+		Speedup  float64 `json:"speedup"`
+	}{
+		Sweep:    "cmp queue-depth=2,4,8,16 size=Medium agents=widx:2w+ooo",
+		Points:   len(axes[0].Values),
+		ColdNS:   coldBest.Nanoseconds(),
+		CachedNS: cachedBest.Nanoseconds(),
+		Speedup:  speedup,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_warmcache.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkAblation_QueueDepth measures the sensitivity to the dispatcher

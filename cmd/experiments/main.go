@@ -10,6 +10,8 @@
 //	            [-json] [-out dir]
 //	            [-scale 0.015] [-sample 20000] [-parallel N] [-strict-order]
 //	            [-agents 4xooo+4xwidx:4w]
+//	            [-warm-cache=false] [-warm-cache-verify]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // -run accepts the canonical experiment names and their historical aliases
 // (fig2, fig4/fig5, fig8, fig9/fig10/fig11, fig5sim); -run all executes
@@ -21,6 +23,13 @@
 // one axis per flag) whose runs fan out across the worker pool with
 // deterministic result placement — the report is byte-identical at any
 // -parallel level.
+//
+// The warm-state cache (-warm-cache, default on) shares built tables and
+// warmed hierarchies across runs and grid points that differ only in
+// warm-invariant (timing) knobs; results are byte-identical either way.
+// -warm-cache-verify rebuilds on every hit and cross-checks content hashes
+// (slow; debugs parameter classification). -cpuprofile/-memprofile write
+// pprof profiles of the invocation.
 //
 // -json prints the run's reproducibility manifest (resolved config + params
 // + results) to stdout instead of the text report; -out DIR writes
@@ -41,7 +50,9 @@ import (
 	"strings"
 
 	"widx/internal/exp"
+	"widx/internal/profiling"
 	"widx/internal/sim"
+	"widx/internal/warmstate"
 )
 
 // kvFlag collects repeatable -set k=v flags.
@@ -88,7 +99,17 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points and sweep runs (1 = sequential)")
 	strictOrder := flag.Bool("strict-order", false, "assert that memory accesses reach the hierarchy in monotonic cycle order (debug)")
 	agentsSpec := flag.String("agents", "", "agent mix for the cmp experiment (shorthand for -set agents=...)")
+	warmCache := flag.Bool("warm-cache", true, "share built workloads and warmed hierarchies across runs that differ only in timing knobs (results are byte-identical either way)")
+	warmVerify := flag.Bool("warm-cache-verify", false, "rebuild on every warm-cache hit and cross-check content hashes (slow; debugs key classification)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, perr := profiling.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		fail(perr)
+	}
+	defer stopProfiles()
 
 	if *list {
 		fmt.Print(exp.List())
@@ -108,6 +129,10 @@ func main() {
 	cfg.SampleProbes = *sample
 	cfg.Parallelism = *parallel
 	cfg.StrictMemOrder = *strictOrder
+	if *warmCache || *warmVerify {
+		cfg.WarmCache = warmstate.New()
+		cfg.WarmCache.SetVerify(*warmVerify)
+	}
 	if *agentsSpec != "" {
 		set["agents"] = *agentsSpec
 	}

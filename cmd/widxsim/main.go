@@ -27,7 +27,10 @@
 // offline plotting ("-" writes to stdout), using the same JSON encoding as
 // the experiments manifests. -strict-order enables the debug assertion that
 // all memory accesses reach the hierarchy in monotonically non-decreasing
-// cycle order.
+// cycle order. The warm-state cache (-warm-cache, default on) shares built
+// workloads and warmed hierarchies across the invocation's design points;
+// -warm-cache-verify cross-checks every hit; -cpuprofile/-memprofile write
+// pprof profiles.
 //
 // For the registry of full experiments (figure regeneration, parameter
 // sweeps, run manifests), see cmd/experiments.
@@ -41,7 +44,9 @@ import (
 
 	"widx/internal/exp"
 	"widx/internal/join"
+	"widx/internal/profiling"
 	"widx/internal/sim"
+	"widx/internal/warmstate"
 	"widx/internal/widx"
 	"widx/internal/workloads"
 )
@@ -59,7 +64,17 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
 	breakdownJSON := flag.String("breakdown-json", "", "dump per-walker cycle breakdowns and MSHR-occupancy histograms as JSON to this file (\"-\" = stdout)")
 	strictOrder := flag.Bool("strict-order", false, "assert that memory accesses reach the hierarchy in monotonic cycle order (debug)")
+	warmCache := flag.Bool("warm-cache", true, "share built workloads and warmed hierarchies across runs that differ only in timing knobs (results are byte-identical either way)")
+	warmVerify := flag.Bool("warm-cache-verify", false, "rebuild on every warm-cache hit and cross-check content hashes (slow; debugs key classification)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, perr := profiling.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		fail(perr)
+	}
+	defer stopProfiles()
 
 	cfg := sim.DefaultConfig()
 	cfg.Scale = *scale
@@ -69,6 +84,10 @@ func main() {
 	cfg.Stagger = *stagger
 	cfg.Parallelism = *parallel
 	cfg.StrictMemOrder = *strictOrder
+	if *warmCache || *warmVerify {
+		cfg.WarmCache = warmstate.New()
+		cfg.WarmCache.SetVerify(*warmVerify)
+	}
 
 	switch {
 	case *agentsSpec != "":

@@ -50,7 +50,7 @@ func init() {
 			"indexing speedup over the OoO baseline.",
 		[]ParamSpec{
 			{Key: "sizes", Default: "Small,Medium,Large", Help: "comma-separated kernel size classes"},
-			{Key: "walkers", Default: "", Help: "comma-separated Widx walker counts"},
+			{Key: "walkers", Default: "", Help: "comma-separated Widx walker counts", Warm: WarmInvariant},
 		},
 		func(cfg sim.Config, p Params) (Result, error) {
 			cfg, err := applyWalkers(cfg, p)
@@ -79,7 +79,7 @@ func init() {
 			"where the simulated MSHR pool actually fills.",
 		[]ParamSpec{
 			{Key: "size", Default: "Medium", Help: "kernel size class the sweep probes"},
-			{Key: "max-walkers", Default: "8", Help: "sweep walker counts 1..max-walkers"},
+			{Key: "max-walkers", Default: "8", Help: "sweep walker counts 1..max-walkers", Warm: WarmInvariant},
 		},
 		func(cfg sim.Config, p Params) (Result, error) {
 			size, err := join.ParseSizeClass(p.String("size"))
@@ -102,7 +102,7 @@ func init() {
 		[]ParamSpec{
 			{Key: "agents", Default: "4xwidx:4w", Help: "agent mix, e.g. 1xooo+2xwidx:4w:mshrs=5:ways=4"},
 			{Key: "size", Default: "Medium", Help: "kernel size class each partition is built at"},
-			{Key: "stagger", Default: "0", Help: "arrival stagger: co-running agent i starts at cycle i*stagger"},
+			{Key: "stagger", Default: "0", Help: "arrival stagger: co-running agent i starts at cycle i*stagger", Warm: WarmInvariant},
 		},
 		func(cfg sim.Config, p Params) (Result, error) {
 			specs, err := sim.ParseAgents(p.String("agents"))
@@ -131,7 +131,7 @@ func init() {
 		[]ParamSpec{
 			{Key: "suite", Default: "TPC-H", Help: "benchmark suite of the workload query"},
 			{Key: "query", Default: "q20", Help: "workload query name"},
-			{Key: "walkers", Default: "4", Help: "walker count of every design point"},
+			{Key: "walkers", Default: "4", Help: "walker count of every design point", Warm: WarmInvariant},
 		},
 		func(cfg sim.Config, p Params) (Result, error) {
 			suite, err := workloads.ParseSuite(p.String("suite"))

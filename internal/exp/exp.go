@@ -185,7 +185,11 @@ func describeOne(e Experiment) string {
 			if def == "" {
 				def = "(inherit)"
 			}
-			fmt.Fprintf(&b, "    %-14s default %-22s %s\n", s.Key, def, s.Help)
+			help := s.Help
+			if s.Warm == WarmInvariant {
+				help += " [warm-invariant]"
+			}
+			fmt.Fprintf(&b, "    %-14s default %-22s %s\n", s.Key, def, help)
 		}
 	}
 	return b.String()

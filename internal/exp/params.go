@@ -9,14 +9,43 @@ import (
 	"widx/internal/sim"
 )
 
+// WarmClass classifies a parameter for warm-state reuse (sim.Config's
+// WarmCache): does changing the parameter change what a warm-up builds —
+// the workload image, the hash tables, the warmed cache/TLB content — or
+// only how the measured run times it?
+type WarmClass uint8
+
+const (
+	// WarmAffecting parameters change the built workload or the warmed
+	// hierarchy content; design points differing in one must not share
+	// warm state. The zero value on purpose: an unclassified parameter
+	// is treated as affecting, which costs speed, never correctness.
+	WarmAffecting WarmClass = iota
+	// WarmInvariant parameters are timing-side only (MSHR budgets, queue
+	// depths, stagger, walker counts); a sweep over them reuses one
+	// build and warm-up. The classification is asserted, not trusted:
+	// the cache's verify mode rebuilds on hits and fails loudly if a
+	// parameter marked invariant actually leaks into warm content.
+	WarmInvariant
+)
+
+// MarshalText encodes the class by name for any JSON surface.
+func (w WarmClass) MarshalText() ([]byte, error) {
+	if w == WarmInvariant {
+		return []byte("invariant"), nil
+	}
+	return []byte("affecting"), nil
+}
+
 // ParamSpec declares one experiment parameter: its key, its default (the
 // value used when -set does not override it; "" means "inherit from the
-// harness configuration") and a help line for -describe and the README
-// catalog.
+// harness configuration"), a help line for -describe and the README
+// catalog, and its warm-reuse classification.
 type ParamSpec struct {
-	Key     string `json:"key"`
-	Default string `json:"default"`
-	Help    string `json:"help"`
+	Key     string    `json:"key"`
+	Default string    `json:"default"`
+	Help    string    `json:"help"`
+	Warm    WarmClass `json:"warm,omitempty"`
 }
 
 // Params is a fully resolved parameter set: every accepted key is present,
@@ -82,14 +111,17 @@ func (p Params) clone() Params {
 // configuration (the -scale/-sample flags and sim.DefaultConfig) — and
 // exist as parameters so sweeps over scale, sampling effort, MSHR budgets
 // and queue depths need no per-experiment plumbing.
+// The warm classes: scale and sample shape the built workload and probe
+// streams; llc-ways moves the warm-up's LLC inserts (the allocation way
+// mask); mshrs, fill-buffers and queue-depth are pure timing knobs.
 func CommonParams() []ParamSpec {
 	return []ParamSpec{
 		{Key: "scale", Default: "", Help: "workload scale relative to the paper's setup"},
 		{Key: "sample", Default: "", Help: "probes simulated in detail per design (0 = all)"},
-		{Key: "mshrs", Default: "", Help: "per-agent MSHR count (and the fill-buffer default)"},
-		{Key: "fill-buffers", Default: "", Help: "shared fill-buffer count (default: track mshrs)"},
+		{Key: "mshrs", Default: "", Help: "per-agent MSHR count (and the fill-buffer default)", Warm: WarmInvariant},
+		{Key: "fill-buffers", Default: "", Help: "shared fill-buffer count (default: track mshrs)", Warm: WarmInvariant},
 		{Key: "llc-ways", Default: "", Help: "LLC allocation ways per Widx agent (0 = unpartitioned)"},
-		{Key: "queue-depth", Default: "", Help: "Widx per-walker dispatch-queue depth"},
+		{Key: "queue-depth", Default: "", Help: "Widx per-walker dispatch-queue depth", Warm: WarmInvariant},
 	}
 }
 
@@ -97,6 +129,19 @@ func CommonParams() []ParamSpec {
 // config knobs followed by the experiment's own specs.
 func AllParams(e Experiment) []ParamSpec {
 	return append(CommonParams(), e.Params()...)
+}
+
+// WarmInvariantKeys lists the parameters of an experiment that are
+// classified timing-side only (WarmInvariant), in declaration order — the
+// axes a warm-cached sweep shares builds and warm-ups across.
+func WarmInvariantKeys(e Experiment) []string {
+	var out []string
+	for _, s := range AllParams(e) {
+		if s.Warm == WarmInvariant {
+			out = append(out, s.Key)
+		}
+	}
+	return out
 }
 
 // Resolve validates a -set style override map against an experiment's

@@ -3,6 +3,7 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"widx/internal/sim"
@@ -96,6 +97,40 @@ func (s *SweepResult) JSON() ([]byte, error) {
 	return json.MarshalIndent(payload, "", "  ")
 }
 
+// sweepOrder plans the dispatch order of a sweep grid. Without a warm
+// cache the grid runs in index order. With one, points are grouped by
+// their warm-affecting axis assignment (stable within a group, groups in
+// grid order), so one build and warm-up — done by the group's first point,
+// memoized under the warm cache's content-addressed key — serves the whole
+// warm-invariant row before the grid moves to the next warm state.
+// Dispatch order is pure scheduling: every point still writes its result
+// to its own grid index, so reports are byte-identical either way.
+func sweepOrder(e Experiment, cfg sim.Config, axes []Axis, points []Params) []int {
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	if cfg.WarmCache == nil {
+		return order
+	}
+	invariant := map[string]bool{}
+	for _, key := range WarmInvariantKeys(e) {
+		invariant[key] = true
+	}
+	sig := make([]string, len(points))
+	for i, p := range points {
+		var parts []string
+		for _, ax := range axes {
+			if !invariant[ax.Key] {
+				parts = append(parts, ax.Key+"="+p[ax.Key])
+			}
+		}
+		sig[i] = strings.Join(parts, " ")
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sig[order[a]] < sig[order[b]] })
+	return order
+}
+
 // RunSweep expands the axes into a full-factorial grid over the experiment
 // and executes every point through the sim worker pool: the grid fans out
 // across cfg.Parallelism workers (each point sharing the budget via
@@ -138,10 +173,11 @@ func RunSweep(e Experiment, cfg sim.Config, set map[string]string, axes []Axis) 
 		n *= len(ax.Values)
 	}
 
-	sweep := &SweepResult{Experiment: e.Name(), Axes: axes, Runs: make([]SweepRun, n)}
-	inner := cfg.InnerConfig(n)
-	if err := cfg.RunTasks(n, func(i int) error {
-		// Decode grid index i into one value per axis, last axis fastest.
+	// Decode every grid point up front: the planner below wants the full
+	// grid to order dispatch, and each point's parameter set is fixed by
+	// its index alone (last axis varies fastest).
+	points := make([]Params, n)
+	for i := 0; i < n; i++ {
 		p := base.clone()
 		rem := i
 		for a := len(axes) - 1; a >= 0; a-- {
@@ -149,6 +185,15 @@ func RunSweep(e Experiment, cfg sim.Config, set map[string]string, axes []Axis) 
 			p[ax.Key] = ax.Values[rem%len(ax.Values)]
 			rem /= len(ax.Values)
 		}
+		points[i] = p
+	}
+
+	sweep := &SweepResult{Experiment: e.Name(), Axes: axes, Runs: make([]SweepRun, n)}
+	inner := cfg.InnerConfig(n)
+	order := sweepOrder(e, cfg, axes, points)
+	if err := cfg.RunTasks(n, func(slot int) error {
+		i := order[slot]
+		p := points[i]
 		runCfg, err := ApplyConfig(inner, p)
 		if err != nil {
 			return err

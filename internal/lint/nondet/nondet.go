@@ -40,7 +40,7 @@ var Analyzer = &analysis.Analyzer{
 
 // pkgs restricts the analyzer to the deterministic core. Import paths match
 // exactly or by "path/..." subtree; override with -nondet.pkgs.
-var pkgs = "widx/internal/sim,widx/internal/mem,widx/internal/widx,widx/internal/system,widx/internal/cores,widx/internal/exp"
+var pkgs = "widx/internal/sim,widx/internal/mem,widx/internal/widx,widx/internal/system,widx/internal/cores,widx/internal/exp,widx/internal/warmstate"
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs,

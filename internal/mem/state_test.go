@@ -1,0 +1,184 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// hetLevel builds the heterogeneous machine from
+// TestPerAgentStatsSumUnderHeterogeneity: a way-partitioned LLC in front
+// of agents with distinct MSHR budgets, partitions and TLB sizes.
+func hetLevel() (*SharedLevel, []*Hierarchy) {
+	top := DefaultTopology()
+	narrow := top.Agent("narrow")
+	narrow.MSHRs = 2
+	narrow.LLCWays = 2
+	narrow.TLBEntries = 16
+	wide := top.Agent("wide")
+	wide.MSHRs = 10
+	wide.LLCWays = 8
+	host := top.Agent("host")
+	sl := NewSharedLevel(top)
+	sl.SetStrictOrder(true)
+	agents := []*Hierarchy{sl.NewAgent(narrow), sl.NewAgent(wide), sl.NewAgent(host)}
+	return sl, agents
+}
+
+// warmHet applies a deterministic mixed warming policy: LLC+TLB warming
+// for the partitioned agents (the cmp experiment's policy) and full
+// L1+LLC+TLB warming for the host, so the snapshot covers both paths.
+func warmHet(agents []*Hierarchy) {
+	for i := 0; i < 512; i++ {
+		addr := 0x1000000 + uint64(i)*64
+		agents[i%2].WarmLLCOnly(addr)
+	}
+	for i := 0; i < 128; i++ {
+		agents[2].WarmBlock(0x4000000 + uint64(i)*64)
+	}
+}
+
+// driveHet replays the heterogeneity test's deterministic access stream
+// and fingerprints every agent's stats plus the shared totals.
+func driveHet(sl *SharedLevel, agents []*Hierarchy) string {
+	cycle := uint64(0)
+	for i := 0; i < 4000; i++ {
+		h := agents[i%len(agents)]
+		var addr uint64
+		switch {
+		case i%7 == 0:
+			addr = 0x1000000 + uint64(i%64)*64
+		default:
+			addr = uint64(0x8000000*(1+i%len(agents))) + uint64(i)*64
+		}
+		r := h.Access(addr, cycle, Load)
+		if i%3 == 0 {
+			cycle = r.CompleteCycle
+		} else if i%5 == 0 {
+			cycle++
+		}
+	}
+	out := ""
+	for _, v := range sl.AgentStatsAll() {
+		out += fmt.Sprintf("%s: %+v\n", v.Name, v.Stats)
+	}
+	out += fmt.Sprintf("shared: %+v\n", sl.Stats())
+	return out
+}
+
+// TestWarmStateRoundTrip is the snapshot round-trip invariant: a fresh
+// heterogeneous level restored from a warm-state snapshot produces
+// byte-identical fingerprinted stats to the level the snapshot was
+// captured from, and re-warming reproduces the same content hash.
+func TestWarmStateRoundTrip(t *testing.T) {
+	slA, agentsA := hetLevel()
+	warmHet(agentsA)
+	ws := slA.CaptureWarmState()
+
+	slB, agentsB := hetLevel()
+	slB.RestoreWarmState(ws)
+
+	// The restored level carries the warmed content (spot check before the
+	// stats comparison: a warmed block hits the LLC, a warmed host block
+	// hits the host L1).
+	if !slB.LLC().Contains(0x1000000) {
+		t.Fatal("restored LLC lost the warmed working set")
+	}
+	if !agentsB[2].L1().Contains(0x4000000) {
+		t.Fatal("restored host L1 lost the warmed blocks")
+	}
+
+	a, b := driveHet(slA, agentsA), driveHet(slB, agentsB)
+	if a != b {
+		t.Fatalf("restored level diverges from the warmed original:\n%s\nvs\n%s", a, b)
+	}
+
+	// An independent identical warm-up hashes to the same content; the
+	// snapshot hash is stable across capture calls.
+	slC, agentsC := hetLevel()
+	warmHet(agentsC)
+	if got, want := slC.CaptureWarmState().ContentHash(), ws.ContentHash(); got != want {
+		t.Fatalf("identical warm-ups hash differently: %#x vs %#x", got, want)
+	}
+
+	// A different warming policy changes the hash (the verify-mode signal).
+	slD, agentsD := hetLevel()
+	warmHet(agentsD)
+	agentsD[0].WarmLLCOnly(0x9000000)
+	if slD.CaptureWarmState().ContentHash() == ws.ContentHash() {
+		t.Fatal("distinct warm content collides")
+	}
+}
+
+// TestWarmStateGeometryGuards pins the mismatch panics: restoring across
+// agent counts or component geometries must fail loudly, because it
+// always means a warm-affecting field escaped the cache key.
+func TestWarmStateGeometryGuards(t *testing.T) {
+	sl, agents := hetLevel()
+	warmHet(agents)
+	ws := sl.CaptureWarmState()
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+
+	mustPanic("agent count", func() {
+		top := DefaultTopology()
+		other := NewSharedLevel(top)
+		other.NewAgent(top.Agent("only"))
+		other.RestoreWarmState(ws)
+	})
+	mustPanic("l1 geometry", func() {
+		top := DefaultTopology()
+		other := NewSharedLevel(top)
+		small := top.Agent("narrow")
+		small.L1SizeBytes = 16 * 1024
+		other.NewAgent(small)
+		other.NewAgent(top.Agent("wide"))
+		other.NewAgent(top.Agent("host"))
+		other.RestoreWarmState(ws)
+	})
+	mustPanic("tlb geometry", func() {
+		otherSl, _ := func() (*SharedLevel, []*Hierarchy) {
+			top := DefaultTopology()
+			sl := NewSharedLevel(top)
+			a := top.Agent("narrow")
+			a.MSHRs = 2
+			a.LLCWays = 2 // TLBEntries left at the default, unlike hetLevel
+			return sl, []*Hierarchy{sl.NewAgent(a), sl.NewAgent(top.Agent("wide")), sl.NewAgent(top.Agent("host"))}
+		}()
+		otherSl.RestoreWarmState(ws)
+	})
+	mustPanic("capture mid-run", func() {
+		sl2, agents2 := hetLevel()
+		agents2[0].TLB().WarmPage(0x100000)
+		agents2[0].Access(0x100000, 0, Load)
+		sl2.CaptureWarmState()
+	})
+
+	// Restoring into an identically shaped level but with different
+	// timing-side knobs (MSHRs, fill buffers) is legal — warm content is
+	// timing-independent, which is the property the sweep cache exploits.
+	top := DefaultTopology()
+	top.Shared.FillBuffers = 4
+	slT := NewSharedLevel(top)
+	narrow := top.Agent("narrow")
+	narrow.MSHRs = 7 // different budget, same caches
+	narrow.LLCWays = 2
+	narrow.TLBEntries = 16
+	wide := top.Agent("wide")
+	wide.MSHRs = 3
+	wide.LLCWays = 8
+	slT.NewAgent(narrow)
+	slT.NewAgent(wide)
+	slT.NewAgent(top.Agent("host"))
+	slT.RestoreWarmState(ws)
+	if !slT.LLC().Contains(0x1000000) {
+		t.Fatal("restore across timing knobs lost content")
+	}
+}

@@ -1,0 +1,54 @@
+// Package profiling wires the standard runtime/pprof file profiles behind
+// the CLIs' -cpuprofile/-memprofile flags, so a slow sweep or a heavy
+// allocation site can be pinned down with `go tool pprof` without bespoke
+// instrumentation in every command.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile (cpuPath) and/or schedules a heap profile
+// (memPath); either may be empty to skip. The returned stop function ends
+// the CPU profile and writes the heap snapshot — call it exactly once,
+// normally via defer, at process end. Profile-write failures at stop time
+// are reported on stderr rather than returned: by then the command's real
+// work has finished and its exit status should reflect that work.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: write heap profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+	}, nil
+}

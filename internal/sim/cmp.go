@@ -476,7 +476,7 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWar
 		}
 	}
 	k := len(specs)
-	as, workloads, err := c.buildCMPWorkload(size, specs)
+	as, workloads, workloadKey, err := c.cmpWorkload(size, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -492,7 +492,9 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWar
 	for i, spec := range specs {
 		sl := c.newSharedLevel()
 		hier := sl.NewAgent(c.cmpAgentSpec(sl.Topology(), workloads[i].name, spec))
-		warmPartition(hier, &workloads[i])
+		if err := c.warmCMPSolo(hier, workloadKey, &workloads[i], i); err != nil {
+			return nil, err
+		}
 		run, err := newCMPRunner(hier, spec, as, &workloads[i], c.queueDepth(), 0)
 		if err != nil {
 			return nil, err
@@ -528,12 +530,8 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWar
 	for i := range specs {
 		hiers[i] = sl.NewAgent(c.cmpAgentSpec(sl.Topology(), workloads[i].name, specs[i]))
 	}
-	if interleavedWarm {
-		warmPartitionsInterleaved(hiers, workloads)
-	} else {
-		for i := range specs {
-			warmPartition(hiers[i], &workloads[i])
-		}
+	if err := c.warmCMPCoRun(sl, hiers, workloadKey, workloads, interleavedWarm); err != nil {
+		return nil, err
 	}
 	for i, spec := range specs {
 		runs[i], err = newCMPRunner(hiers[i], spec, as, &workloads[i], c.queueDepth(), uint64(i)*c.Stagger)

@@ -89,19 +89,9 @@ func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
 	inner := c.InnerConfig(len(sizes))
 	if err := c.RunTasks(len(sizes), func(i int) error {
 		size := sizes[i]
-		kcfg := join.DefaultKernelConfig(size, c.Scale)
-		// The probe stream only needs to cover the detailed sample.
-		kcfg.OuterTuples = c.sampleCount(4 * size.Tuples(c.Scale))
-		kernel, err := join.BuildKernel(kcfg)
+		ph, err := c.kernelPhase(size, true)
 		if err != nil {
 			return err
-		}
-		ph := &indexPhase{
-			as:           kernel.AS,
-			index:        kernel.Index,
-			probeKeyBase: kernel.ProbeKeyBase,
-			probeCount:   len(kernel.ProbeKeys),
-			traces:       kernel.Traces(c.sampleCount(len(kernel.ProbeKeys))),
 		}
 
 		baseRes, widxRes, err := inner.runPhase(ph,

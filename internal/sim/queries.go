@@ -5,7 +5,6 @@ import (
 
 	"widx/internal/cores"
 	"widx/internal/energy"
-	"widx/internal/engine"
 	"widx/internal/stats"
 	"widx/internal/widx"
 	"widx/internal/workloads"
@@ -50,7 +49,7 @@ func (c Config) RunQuery(q workloads.QuerySpec) (*QueryResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	engRes, err := engine.Run(engine.FromWorkload(q, c.Scale))
+	engRes, err := c.engineRun(q, true)
 	if err != nil {
 		return nil, fmt.Errorf("sim: query %s %s: %w", q.Suite, q.Name, err)
 	}
@@ -211,7 +210,9 @@ func (c Config) RunBreakdowns(simulatedOnly bool) (BreakdownRows, error) {
 	rows := make(BreakdownRows, len(queries))
 	if err := c.RunTasks(len(queries), func(i int) error {
 		q := queries[i]
-		engRes, err := engine.Run(engine.FromWorkload(q, c.Scale))
+		// Breakdown rows read only the engine-level measurements, so the
+		// shared cached result suffices — no address-space clone.
+		engRes, err := c.engineRun(q, false)
 		if err != nil {
 			return err
 		}
@@ -247,7 +248,7 @@ func (c Config) RunHashingAblation(q workloads.QuerySpec, walkers int) (*Ablatio
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	engRes, err := engine.Run(engine.FromWorkload(q, c.Scale))
+	engRes, err := c.engineRun(q, true)
 	if err != nil {
 		return nil, err
 	}

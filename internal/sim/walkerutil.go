@@ -49,17 +49,12 @@ func (c Config) RunWalkerUtilization(size join.SizeClass, maxWalkers int) (*Walk
 	if maxWalkers <= 0 {
 		return nil, fmt.Errorf("sim: non-positive walker sweep bound")
 	}
-	kcfg := join.DefaultKernelConfig(size, c.Scale)
-	kcfg.OuterTuples = c.sampleCount(4 * size.Tuples(c.Scale))
-	kernel, err := join.BuildKernel(kcfg)
+	// The walker sweep replays the same kernel workload the Figure 8
+	// experiment builds (probe traces unused — no baseline cores here), so
+	// with the warm cache enabled the two share one build.
+	ph, err := c.kernelPhase(size, false)
 	if err != nil {
 		return nil, err
-	}
-	ph := &indexPhase{
-		as:           kernel.AS,
-		index:        kernel.Index,
-		probeKeyBase: kernel.ProbeKeyBase,
-		probeCount:   len(kernel.ProbeKeys),
 	}
 	points := make([]widxPoint, maxWalkers)
 	for i := range points {

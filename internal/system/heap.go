@@ -21,6 +21,18 @@ type heapEntry struct {
 // Len returns the number of queued entries.
 func (h *CycleHeap) Len() int { return len(h.entries) }
 
+// Grow ensures the heap can hold at least n entries without reallocating.
+// Schedulers with a fixed candidate population (one entry per unit or agent,
+// never queued twice) call it once up front so the steady-state grant loop
+// never touches the allocator.
+func (h *CycleHeap) Grow(n int) {
+	if cap(h.entries) < n {
+		entries := make([]heapEntry, len(h.entries), n)
+		copy(entries, h.entries)
+		h.entries = entries
+	}
+}
+
 // Reset empties the heap, retaining its backing storage.
 func (h *CycleHeap) Reset() { h.entries = h.entries[:0] }
 

@@ -56,18 +56,13 @@ func Run(agents ...Agent) error {
 		return fmt.Errorf("system: no agents to run")
 	}
 	var ready CycleHeap
-	requeue := func(i int) error {
+	ready.Grow(len(agents))
+	for i := range agents {
 		if err := agents[i].Settle(); err != nil {
 			return err
 		}
 		if cycle, ok := agents[i].PendingMem(); ok {
 			ready.Push(cycle, i)
-		}
-		return nil
-	}
-	for i := range agents {
-		if err := requeue(i); err != nil {
-			return err
 		}
 	}
 	for {
@@ -75,14 +70,31 @@ func Run(agents ...Agent) error {
 		if !ok {
 			break
 		}
-		if err := agents[i].GrantMem(); err != nil {
-			return err
-		}
 		// Granting agent i's access can only unblock agent i: agents share
 		// no queues, and the memory level is passive. Re-settling the
-		// granted agent alone keeps the scheduler O(log n) per grant.
-		if err := requeue(i); err != nil {
-			return err
+		// granted agent alone keeps the scheduler O(log n) per grant — and
+		// since i is then the only agent whose pending access moved, it can
+		// be re-granted directly for as long as it still beats the heap's
+		// minimum under the (cycle, agent order) tie-break. The batch makes
+		// exactly the picks the Push+Pop round trip would (an agent's
+		// pending cycle never decreases), but a burst of back-to-back
+		// accesses from one agent — the common case when one agent streams
+		// while the others stall on memory — costs zero heap traffic.
+		for {
+			if err := agents[i].GrantMem(); err != nil {
+				return err
+			}
+			if err := agents[i].Settle(); err != nil {
+				return err
+			}
+			cycle, pending := agents[i].PendingMem()
+			if !pending {
+				break
+			}
+			if top, order, queued := ready.Peek(); queued && (top < cycle || (top == cycle && order < i)) {
+				ready.Push(cycle, i)
+				break
+			}
 		}
 	}
 	for _, a := range agents {

@@ -19,6 +19,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"widx/internal/warmstate"
 )
 
 // PageBits is log2 of the simulated page size. 4 KiB pages match the paper's
@@ -100,6 +102,33 @@ func (as *AddressSpace) Clone() *AddressSpace {
 		as.cow[pn] = true
 	}
 	return c
+}
+
+// ContentHash digests the address space's logical content: touched pages
+// in ascending page order, the allocation map, and the break. The
+// copy-on-write bookkeeping is deliberately excluded — Clone mutates it
+// on both sides without changing content — so a cached master hashes the
+// same before and after clones are taken, as long as nobody writes
+// through it.
+func (as *AddressSpace) ContentHash() uint64 {
+	h := warmstate.NewHasher()
+	pns := make([]uint64, 0, len(as.pages))
+	for pn := range as.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		h.Word(pn)
+		h.Bytes(as.pages[pn])
+	}
+	h.Word(uint64(len(as.regions)))
+	for _, r := range as.regions {
+		h.String(r.Name)
+		h.Word(r.Base)
+		h.Word(r.Size)
+	}
+	h.Word(as.brk)
+	return h.Sum()
 }
 
 // Alloc reserves size bytes aligned to align (which must be a power of two,

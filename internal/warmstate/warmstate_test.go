@@ -1,0 +1,154 @@
+package warmstate
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGetMemoizes: the builder runs once per key, hits return the same
+// artifact, and the counters track hit/miss traffic.
+func TestGetMemoizes(t *testing.T) {
+	c := New()
+	var builds int
+	build := func() (*[]int, error) {
+		builds++
+		v := []int{1, 2, 3}
+		return &v, nil
+	}
+	a, err := Get(c, "k", build, nil)
+	if err != nil || builds != 1 {
+		t.Fatalf("first Get: err=%v builds=%d", err, builds)
+	}
+	b, err := Get(c, "k", build, nil)
+	if err != nil || builds != 1 {
+		t.Fatalf("second Get rebuilt: err=%v builds=%d", err, builds)
+	}
+	if a != b {
+		t.Fatal("hit returned a different artifact")
+	}
+	if _, err := Get(c, "k2", build, nil); err != nil || builds != 2 {
+		t.Fatalf("distinct key did not build: err=%v builds=%d", err, builds)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+}
+
+// TestGetSingleflight: concurrent Gets for one key run the builder
+// exactly once and all receive the same artifact.
+func TestGetSingleflight(t *testing.T) {
+	c := New()
+	var builds atomic.Int32
+	build := func() (*int, error) {
+		builds.Add(1)
+		v := 7
+		return &v, nil
+	}
+	const n = 16
+	results := make([]*int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := Get(c, "k", build, nil)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("builder ran %d times, want 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent Gets returned different artifacts")
+		}
+	}
+}
+
+// TestErrorCached: a failed build is remembered — deterministic builders
+// fail deterministically, so retrying per design point would only hide
+// that the failure is shared.
+func TestErrorCached(t *testing.T) {
+	c := New()
+	boom := errors.New("boom")
+	var builds int
+	build := func() (int, error) {
+		builds++
+		return 0, boom
+	}
+	if _, err := Get(c, "k", build, nil); !errors.Is(err, boom) {
+		t.Fatalf("first Get err = %v", err)
+	}
+	if _, err := Get(c, "k", build, nil); !errors.Is(err, boom) || builds != 1 {
+		t.Fatalf("error not cached: err=%v builds=%d", err, builds)
+	}
+}
+
+// TestVerifyDetectsMismatch is the misclassification drill: a builder
+// whose output varies while its key stays fixed models a warm-affecting
+// input that leaked out of the fingerprint. Verify mode must turn the
+// poisoned hit into an error naming the key.
+func TestVerifyDetectsMismatch(t *testing.T) {
+	c := New()
+	c.SetVerify(true)
+	next := uint64(0)
+	build := func() (uint64, error) {
+		next++
+		return next, nil
+	}
+	ident := func(v uint64) uint64 { return v }
+	if _, err := Get(c, "leaky", build, ident); err != nil {
+		t.Fatalf("first Get: %v", err)
+	}
+	_, err := Get(c, "leaky", build, ident)
+	if err == nil || !strings.Contains(err.Error(), "leaky") {
+		t.Fatalf("verify mode missed the mismatch: %v", err)
+	}
+	// A stable builder passes verification.
+	stable := func() (uint64, error) { return 42, nil }
+	if _, err := Get(c, "ok", stable, ident); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := Get(c, "ok", stable, ident); err != nil || v != 42 {
+		t.Fatalf("verified hit: v=%d err=%v", v, err)
+	}
+}
+
+// TestFingerprint: field order is significant and values render
+// deterministically.
+func TestFingerprint(t *testing.T) {
+	k := NewFingerprint("kernel").Field("size", "Small").Field("scale", 0.25).Key()
+	if k != "kernel|size=Small|scale=0.25" {
+		t.Fatalf("key = %q", k)
+	}
+	if NewFingerprint("a").Field("x", 1).Key() == NewFingerprint("b").Field("x", 1).Key() {
+		t.Fatal("kinds collide")
+	}
+}
+
+// TestHasher: the FNV-1a primitive distinguishes order and boundaries.
+func TestHasher(t *testing.T) {
+	sum := func(f func(h *Hasher)) uint64 {
+		h := NewHasher()
+		f(h)
+		return h.Sum()
+	}
+	if sum(func(h *Hasher) { h.Word(1); h.Word(2) }) == sum(func(h *Hasher) { h.Word(2); h.Word(1) }) {
+		t.Fatal("word order not significant")
+	}
+	if sum(func(h *Hasher) { h.String("ab"); h.String("c") }) == sum(func(h *Hasher) { h.String("a"); h.String("bc") }) {
+		t.Fatal("string boundaries not significant")
+	}
+	// Known FNV-1a vector: empty input is the offset basis.
+	if got := NewHasher().Sum(); got != 14695981039346656037 {
+		t.Fatalf("offset basis = %d", got)
+	}
+}

@@ -59,22 +59,36 @@ type qitem struct {
 // uses the seed model's rule: the k-th push needs the (k-cap)-th pop to have
 // happened, and a blocked push is granted at that pop's cycle.
 type dqueue struct {
-	cap    int
-	items  []qitem
-	pushes uint64
-	// popCycles[j] is the cycle the j-th pop left the queue (the consumer's
-	// item start cycle).
+	cap int
+	// items with head form a recycling deque: head indexes the next entry
+	// to pop, push appends, and the backing array rewinds whenever the
+	// queue drains, so a steady producer/consumer pair stops allocating
+	// once the array covers the queue's high-water mark (the historical
+	// reslice-on-pop walked the array forward and reallocated on append
+	// for the whole offload).
+	items []qitem
+	head  int
+	// pushes/pops count lifetime traffic; popCycles[j%cap] is the cycle
+	// the j-th pop left the queue (the consumer's item start cycle). Only
+	// the last cap pops are ever consulted — the push that reuses pop j's
+	// slot happens before pop j+cap can — so a fixed ring replaces the
+	// historical one-entry-per-pop append.
+	pops      uint64
+	pushes    uint64
 	popCycles []uint64
 }
 
+// len returns the number of queued entries.
+func (q *dqueue) len() int { return len(q.items) - q.head }
+
 // canPush reports whether a slot is free.
-func (q *dqueue) canPush() bool { return len(q.items) < q.cap }
+func (q *dqueue) canPush() bool { return q.len() < q.cap }
 
 // pushReadyAt returns the earliest cycle >= want the next push may happen,
 // assuming canPush (the slot that frees it has been popped).
 func (q *dqueue) pushReadyAt(want uint64) uint64 {
 	if q.pushes >= uint64(q.cap) {
-		if t := q.popCycles[q.pushes-uint64(q.cap)]; t > want {
+		if t := q.popCycles[(q.pushes-uint64(q.cap))%uint64(q.cap)]; t > want {
 			return t
 		}
 	}
@@ -87,11 +101,25 @@ func (q *dqueue) push(it qitem) {
 	q.pushes++
 }
 
+// front returns the head entry without removing it.
+func (q *dqueue) front() qitem { return q.items[q.head] }
+
 // pop removes the head, recording the cycle the consumer took it.
 func (q *dqueue) pop(at uint64) qitem {
-	it := q.items[0]
-	q.items = q.items[1:]
-	q.popCycles = append(q.popCycles, at)
+	it := q.items[q.head]
+	q.items[q.head] = qitem{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	if q.popCycles == nil {
+		// canPush guarantees a pop precedes the first capacity-limited
+		// pushReadyAt lookup, so allocating here covers every reader.
+		q.popCycles = make([]uint64, q.cap)
+	}
+	q.popCycles[q.pops%uint64(q.cap)] = at
+	q.pops++
 	return it
 }
 
@@ -151,10 +179,13 @@ type sched struct {
 	// released to the producer (and to res.Matches) in key order, which keeps
 	// the functional output identical to the seed model and independent of
 	// timing. done holds finished keys awaiting release; nextOut is the next
-	// key index to release; prodQ is the released match stream.
-	done    map[uint64]keyOutput
-	nextOut uint64
-	prodQ   []qitem
+	// key index to release; prodQ with prodHead is the released match
+	// stream, a recycling deque like dqueue.items (releaseDone appends,
+	// the producer consumes from prodHead, the array rewinds on drain).
+	done     map[uint64]keyOutput
+	nextOut  uint64
+	prodQ    []qitem
+	prodHead int
 	// releaseClock is the reorder buffer's drain clock: a key's matches
 	// become visible to the producer no earlier than every preceding key's
 	// walk finish (a match is only known to be next-in-order once all
@@ -237,6 +268,9 @@ func newSched(a *Accelerator, req OffloadRequest, stride uint64) (*sched, error)
 	s.prodLast = req.StartCycle
 
 	s.units = append(append(append([]*Unit{}, s.hashUnits...), s.walkers...), s.producer)
+	// Each unit occupies at most one ready-heap slot, so this covers the
+	// whole offload and the grant loop never grows the heap.
+	s.ready.Grow(len(s.units))
 	return s, nil
 }
 
@@ -367,8 +401,8 @@ func (s *sched) Settle() error {
 		}
 		for qi := range s.queues {
 			q := s.queues[qi]
-			for len(q.items) > 0 {
-				head := q.items[0]
+			for q.len() > 0 {
+				head := q.front()
 				w := s.pickWalker(qi, head.avail)
 				if w < 0 {
 					break
@@ -398,9 +432,14 @@ func (s *sched) Settle() error {
 		}
 
 		// Producer: consume the released match stream in key order.
-		if s.producer.State() == UnitIdle && len(s.prodQ) > 0 {
-			head := s.prodQ[0]
-			s.prodQ = s.prodQ[1:]
+		if s.producer.State() == UnitIdle && s.prodHead < len(s.prodQ) {
+			head := s.prodQ[s.prodHead]
+			s.prodQ[s.prodHead] = qitem{}
+			s.prodHead++
+			if s.prodHead == len(s.prodQ) {
+				s.prodQ = s.prodQ[:0]
+				s.prodHead = 0
+			}
 			start := s.prodLast
 			if head.avail > start {
 				start = head.avail
@@ -524,7 +563,7 @@ func (s *sched) releaseDone() {
 // finished reports whether every key has been hashed, walked, released and
 // produced, with all units idle.
 func (s *sched) finished() bool {
-	if s.nextOut != s.req.KeyCount || len(s.prodQ) > 0 {
+	if s.nextOut != s.req.KeyCount || s.prodHead < len(s.prodQ) {
 		return false
 	}
 	for i, u := range s.hashUnits {
@@ -538,7 +577,7 @@ func (s *sched) finished() bool {
 		}
 	}
 	for _, q := range s.queues {
-		if len(q.items) > 0 {
+		if q.len() > 0 {
 			return false
 		}
 	}
