@@ -37,6 +37,18 @@ func (w WarmClass) MarshalText() ([]byte, error) {
 	return []byte("affecting"), nil
 }
 
+// UnmarshalText decodes the class name, so catalog payloads (the sweep
+// service's /api/v1/experiments) round-trip. Unknown names fall back to
+// affecting, matching the zero value's safe default.
+func (w *WarmClass) UnmarshalText(text []byte) error {
+	if string(text) == "invariant" {
+		*w = WarmInvariant
+	} else {
+		*w = WarmAffecting
+	}
+	return nil
+}
+
 // ParamSpec declares one experiment parameter: its key, its default (the
 // value used when -set does not override it; "" means "inherit from the
 // harness configuration"), a help line for -describe and the README

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"widx/internal/sim"
+)
+
+// TestPlanShardMergeByteIdentical is the library half of the sweep
+// service's headline property: a grid split into index-tagged chunks,
+// executed chunk by chunk (as worker processes would), round-tripped
+// through the wire encoding (RawResult) and merged by Output produces a
+// report and manifest byte-identical to a single RunSweep.
+func TestPlanShardMergeByteIdentical(t *testing.T) {
+	e := NewExperiment("shardgrid", "test grid", []ParamSpec{
+		{Key: "a", Default: "0"}, {Key: "b", Default: "0"},
+	}, func(cfg sim.Config, p Params) (Result, error) {
+		return fakeResult(p.String("a") + "/" + p.String("b")), nil
+	})
+	axes := []Axis{{Key: "a", Values: []string{"1", "2"}}, {Key: "b", Values: []string{"x", "y", "z"}}}
+	cfg := quickConfig()
+
+	local, err := RunSweep(e, cfg, nil, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localManifest, err := local.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localBytes, err := localManifest.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl, err := PlanSweep(e, cfg, nil, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Points) != 6 {
+		t.Fatalf("grid has %d points, want 6", len(pl.Points))
+	}
+	// Round-robin chunks, like the coordinator's striping.
+	const workers = 2
+	results := make([]Result, len(pl.Points))
+	for w := 0; w < workers; w++ {
+		var indices []int
+		for i := w; i < len(pl.Points); i += workers {
+			indices = append(indices, i)
+		}
+		runs, err := pl.Run(cfg, indices, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos, i := range indices {
+			// Wire round trip: only the text and JSON bytes cross processes.
+			raw, err := runs[pos].Result.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(map[string]string(runs[pos].Params), map[string]string(pl.Points[i])) {
+				t.Fatalf("shard run %d params %v, want grid point %v", i, runs[pos].Params, pl.Points[i])
+			}
+			results[i] = RawResult{Report: runs[pos].Result.Text(), Payload: raw}
+		}
+	}
+	merged, err := pl.Output(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Text() != local.Text() {
+		t.Fatalf("merged text differs from local run:\n%s\nvs\n%s", merged.Text(), local.Text())
+	}
+	mergedManifest, err := merged.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedBytes, err := mergedManifest.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergedBytes, localBytes) {
+		t.Fatalf("merged manifest differs from local run:\n%s\nvs\n%s", mergedBytes, localBytes)
+	}
+}
+
+// Plan-level validation: bad index subsets and incomplete merges are
+// rejected rather than silently mis-assembled.
+func TestPlanIndexValidation(t *testing.T) {
+	e := NewExperiment("idxgrid", "test grid", []ParamSpec{
+		{Key: "a", Default: "0"},
+	}, func(cfg sim.Config, p Params) (Result, error) {
+		return fakeResult(p.String("a")), nil
+	})
+	axes := []Axis{{Key: "a", Values: []string{"1", "2", "3"}}}
+	pl, err := PlanSweep(e, quickConfig(), nil, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.CheckIndices([]int{0, 2}); err != nil {
+		t.Fatalf("valid subset rejected: %v", err)
+	}
+	if err := pl.CheckIndices([]int{3}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := pl.CheckIndices([]int{-1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := pl.CheckIndices([]int{1, 1}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if _, err := pl.Run(quickConfig(), []int{7}, nil); err == nil {
+		t.Fatal("Run accepted an out-of-range subset")
+	}
+	if _, err := pl.Output(make([]Result, 2)); err == nil {
+		t.Fatal("Output accepted a short result slice")
+	}
+	if _, err := pl.Output(make([]Result, 3)); err == nil {
+		t.Fatal("Output accepted missing (nil) results")
+	}
+}
+
+// The onPoint hook fires once per executed point with its grid index.
+func TestPlanRunOnPoint(t *testing.T) {
+	e := NewExperiment("hookgrid", "test grid", []ParamSpec{
+		{Key: "a", Default: "0"},
+	}, func(cfg sim.Config, p Params) (Result, error) {
+		return fakeResult(p.String("a")), nil
+	})
+	axes := []Axis{{Key: "a", Values: []string{"1", "2", "3", "4"}}}
+	pl, err := PlanSweep(e, quickConfig(), nil, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	cfg.Parallelism = 1
+	got := map[int]string{}
+	if _, err := pl.Run(cfg, []int{1, 3}, func(i int, r SweepRun) {
+		got[i] = r.Result.Text()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{1: fakeResult("2").Text(), 3: fakeResult("4").Text()}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("onPoint saw %v, want %v", got, want)
+	}
+}

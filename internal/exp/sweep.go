@@ -97,6 +97,175 @@ func (s *SweepResult) JSON() ([]byte, error) {
 	return json.MarshalIndent(payload, "", "  ")
 }
 
+// SweepPlan is an expanded sweep grid before (or independent of) execution:
+// every grid point's fully resolved parameter set plus the manifest inputs
+// shared by all of them. The plan is pure data derived deterministically
+// from (experiment, config, overrides, axes) — two processes expanding the
+// same request agree on every point and its index, which is what lets a
+// coordinator chunk a grid across worker processes by index and merge the
+// index-tagged results back into a report byte-identical to a local run.
+type SweepPlan struct {
+	Experiment Experiment
+	Axes       []Axis
+	// Base is the resolved base parameter set, including swept keys at
+	// their base values (the form Resolve returns).
+	Base Params
+	// BaseConfig is the harness config with the base common knobs applied —
+	// the config the sweep manifest records.
+	BaseConfig sim.Config
+	// Points is the full-factorial grid in grid order: the last axis
+	// varies fastest, and Points[i] is the complete parameter set of grid
+	// index i.
+	Points []Params
+}
+
+// PlanSweep validates a sweep request and expands the grid without running
+// anything. RunSweep is PlanSweep + Run + Output; shard executors call the
+// pieces directly to run an index subset.
+func PlanSweep(e Experiment, cfg sim.Config, set map[string]string, axes []Axis) (*SweepPlan, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("exp: sweep over %s needs at least one axis", e.Name())
+	}
+	base, err := Resolve(e, set)
+	if err != nil {
+		return nil, err
+	}
+	// The manifest's resolved config: the base common knobs applied to the
+	// harness config. Swept config knobs vary per point and are recorded in
+	// each run's params instead.
+	baseCfg, err := ApplyConfig(cfg, base)
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	seen := map[string]bool{}
+	for _, ax := range axes {
+		if _, known := base[ax.Key]; !known {
+			return nil, fmt.Errorf("exp: experiment %s does not take sweep parameter %q", e.Name(), ax.Key)
+		}
+		if seen[ax.Key] {
+			return nil, fmt.Errorf("exp: duplicate sweep axis %q", ax.Key)
+		}
+		// A -set value for a swept key would never run — every grid point
+		// overwrites it. Silently discarding an override breaks the
+		// package's rule that overrides are never ignored.
+		if _, overridden := set[ax.Key]; overridden {
+			return nil, fmt.Errorf("exp: parameter %q is both -set and -sweep; pick one", ax.Key)
+		}
+		seen[ax.Key] = true
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("exp: sweep axis %q has no values", ax.Key)
+		}
+		n *= len(ax.Values)
+	}
+
+	// Decode every grid point up front: the dispatch planner wants the full
+	// grid to order execution, and each point's parameter set is fixed by
+	// its index alone (last axis varies fastest).
+	points := make([]Params, n)
+	for i := 0; i < n; i++ {
+		p := base.clone()
+		rem := i
+		for a := len(axes) - 1; a >= 0; a-- {
+			ax := axes[a]
+			p[ax.Key] = ax.Values[rem%len(ax.Values)]
+			rem /= len(ax.Values)
+		}
+		points[i] = p
+	}
+	return &SweepPlan{Experiment: e, Axes: axes, Base: base, BaseConfig: baseCfg, Points: points}, nil
+}
+
+// CheckIndices validates a grid-index subset (a coordinator shard): every
+// index must be in range and appear at most once. A nil or empty subset is
+// valid and means "the whole grid".
+func (pl *SweepPlan) CheckIndices(indices []int) error {
+	seen := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(pl.Points) {
+			return fmt.Errorf("exp: sweep index %d out of range [0, %d)", i, len(pl.Points))
+		}
+		if seen[i] {
+			return fmt.Errorf("exp: duplicate sweep index %d", i)
+		}
+		seen[i] = true
+	}
+	return nil
+}
+
+// Run executes the grid points named by indices (nil means every point)
+// through the sim worker pool and returns their runs, parallel to indices.
+// Points are dispatched in warm-grouped order when cfg carries a warm cache
+// but every run lands at its own position, so the returned slice — and any
+// report assembled from it — is byte-identical at any parallelism.
+// onPoint, when non-nil, is called once per completed point with its grid
+// index, from worker goroutines (the caller synchronizes); it is the
+// progress and persistence hook of the serve layer.
+func (pl *SweepPlan) Run(cfg sim.Config, indices []int, onPoint func(gridIndex int, r SweepRun)) ([]SweepRun, error) {
+	if indices == nil {
+		indices = make([]int, len(pl.Points))
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	if err := pl.CheckIndices(indices); err != nil {
+		return nil, err
+	}
+	subset := make([]Params, len(indices))
+	for pos, i := range indices {
+		subset[pos] = pl.Points[i]
+	}
+	runs := make([]SweepRun, len(indices))
+	inner := cfg.InnerConfig(len(indices))
+	order := sweepOrder(pl.Experiment, cfg, pl.Axes, subset)
+	if err := cfg.RunTasks(len(indices), func(slot int) error {
+		pos := order[slot]
+		p := subset[pos]
+		runCfg, err := ApplyConfig(inner, p)
+		if err != nil {
+			return err
+		}
+		res, err := pl.Experiment.Run(runCfg, p)
+		if err != nil {
+			return fmt.Errorf("exp: %s [%s]: %w", pl.Experiment.Name(), SweepRun{Params: p}.label(pl.Axes), err)
+		}
+		runs[pos] = SweepRun{Params: p, Result: res}
+		if onPoint != nil {
+			onPoint(indices[pos], runs[pos])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// Output assembles the full-grid RunOutput from per-index results —
+// results[i] is grid index i's result, from any mix of local runs, cache
+// hits and wire-restored RawResults. The output (and the manifest built
+// from it) is byte-identical to a single-process RunSweep of the same
+// request, which is the sharded sweep service's headline correctness
+// property.
+func (pl *SweepPlan) Output(results []Result) (*RunOutput, error) {
+	if len(results) != len(pl.Points) {
+		return nil, fmt.Errorf("exp: sweep over %s has %d points, got %d results", pl.Experiment.Name(), len(pl.Points), len(results))
+	}
+	sweep := &SweepResult{Experiment: pl.Experiment.Name(), Axes: pl.Axes, Runs: make([]SweepRun, len(results))}
+	for i, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("exp: sweep over %s is missing the result of grid index %d", pl.Experiment.Name(), i)
+		}
+		sweep.Runs[i] = SweepRun{Params: pl.Points[i], Result: res}
+	}
+	// The manifest's top-level params drop the swept keys: their base values
+	// never ran, and every grid point records its own full set.
+	baseParams := pl.Base.clone()
+	for _, ax := range pl.Axes {
+		delete(baseParams, ax.Key)
+	}
+	return &RunOutput{Experiment: pl.Experiment, Params: baseParams, Config: pl.BaseConfig, Axes: pl.Axes, Result: sweep}, nil
+}
+
 // sweepOrder plans the dispatch order of a sweep grid. Without a warm
 // cache the grid runs in index order. With one, points are grouped by
 // their warm-affecting axis assignment (stable within a group, groups in
@@ -137,81 +306,17 @@ func sweepOrder(e Experiment, cfg sim.Config, axes []Axis, points []Params) []in
 // InnerConfig) and every point writes its result into its own grid index,
 // so the report is byte-identical at any parallelism level.
 func RunSweep(e Experiment, cfg sim.Config, set map[string]string, axes []Axis) (*RunOutput, error) {
-	if len(axes) == 0 {
-		return nil, fmt.Errorf("exp: sweep over %s needs at least one axis", e.Name())
-	}
-	base, err := Resolve(e, set)
+	pl, err := PlanSweep(e, cfg, set, axes)
 	if err != nil {
 		return nil, err
 	}
-	// The manifest's resolved config: the base common knobs applied to the
-	// harness config. Swept config knobs vary per point and are recorded in
-	// each run's params instead.
-	baseCfg, err := ApplyConfig(cfg, base)
+	runs, err := pl.Run(cfg, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	n := 1
-	seen := map[string]bool{}
-	for _, ax := range axes {
-		if _, known := base[ax.Key]; !known {
-			return nil, fmt.Errorf("exp: experiment %s does not take sweep parameter %q", e.Name(), ax.Key)
-		}
-		if seen[ax.Key] {
-			return nil, fmt.Errorf("exp: duplicate sweep axis %q", ax.Key)
-		}
-		// A -set value for a swept key would never run — every grid point
-		// overwrites it. Silently discarding an override breaks the
-		// package's rule that overrides are never ignored.
-		if _, overridden := set[ax.Key]; overridden {
-			return nil, fmt.Errorf("exp: parameter %q is both -set and -sweep; pick one", ax.Key)
-		}
-		seen[ax.Key] = true
-		if len(ax.Values) == 0 {
-			return nil, fmt.Errorf("exp: sweep axis %q has no values", ax.Key)
-		}
-		n *= len(ax.Values)
+	results := make([]Result, len(runs))
+	for i, r := range runs {
+		results[i] = r.Result
 	}
-
-	// Decode every grid point up front: the planner below wants the full
-	// grid to order dispatch, and each point's parameter set is fixed by
-	// its index alone (last axis varies fastest).
-	points := make([]Params, n)
-	for i := 0; i < n; i++ {
-		p := base.clone()
-		rem := i
-		for a := len(axes) - 1; a >= 0; a-- {
-			ax := axes[a]
-			p[ax.Key] = ax.Values[rem%len(ax.Values)]
-			rem /= len(ax.Values)
-		}
-		points[i] = p
-	}
-
-	sweep := &SweepResult{Experiment: e.Name(), Axes: axes, Runs: make([]SweepRun, n)}
-	inner := cfg.InnerConfig(n)
-	order := sweepOrder(e, cfg, axes, points)
-	if err := cfg.RunTasks(n, func(slot int) error {
-		i := order[slot]
-		p := points[i]
-		runCfg, err := ApplyConfig(inner, p)
-		if err != nil {
-			return err
-		}
-		res, err := e.Run(runCfg, p)
-		if err != nil {
-			return fmt.Errorf("exp: %s [%s]: %w", e.Name(), SweepRun{Params: p}.label(axes), err)
-		}
-		sweep.Runs[i] = SweepRun{Params: p, Result: res}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	// The manifest's top-level params drop the swept keys: their base values
-	// never ran, and every grid point records its own full set.
-	baseParams := base.clone()
-	for _, ax := range axes {
-		delete(baseParams, ax.Key)
-	}
-	return &RunOutput{Experiment: e, Params: baseParams, Config: baseCfg, Axes: axes, Result: sweep}, nil
+	return pl.Output(results)
 }

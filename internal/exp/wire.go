@@ -1,0 +1,25 @@
+package exp
+
+import "encoding/json"
+
+// RawResult is a Result restored from its wire encoding: the text report
+// and JSON payload an executed Result produced elsewhere — in another
+// process, or in the sweep service's persistent result store. Both methods
+// return the stored bytes verbatim, so a sweep report or manifest
+// assembled from RawResults encodes byte-identically to one assembled from
+// the original Results. That byte-preservation is what the sharded sweep
+// service's merge correctness rests on; do not "normalize" here.
+type RawResult struct {
+	// Report is the Text() report of the original result.
+	Report string
+	// Payload is the JSON() encoding of the original result.
+	Payload json.RawMessage
+}
+
+// Text returns the stored text report.
+func (r RawResult) Text() string { return r.Report }
+
+// JSON returns a copy of the stored JSON payload.
+func (r RawResult) JSON() ([]byte, error) {
+	return append([]byte(nil), r.Payload...), nil
+}

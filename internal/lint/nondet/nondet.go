@@ -17,6 +17,17 @@
 //     accepted fix.
 //   - os.Getenv / os.LookupEnv / os.Environ
 //
+// internal/serve is deliberately NOT in the core list. The sweep service
+// schedules, caches and transports results; it never computes them. Its
+// job metadata (created/started/finished timestamps, HTTP deadlines) is
+// legitimate wall-clock, while manifests and reports are produced inside
+// the core and cross the serve layer only as opaque byte-preserved
+// payloads (exp.RawResult), so service time cannot leak into results.
+// The servejob fixture under testdata/src pins this scope decision: a
+// serve-shaped package full of time.Now must produce no diagnostics.
+// (detmap, by contrast, applies to internal/serve like everywhere else —
+// ordered API output must not be fed from map iteration.)
+//
 // Suppress a deliberate exception with //widxlint:ignore nondet <reason>.
 package nondet
 

@@ -7,14 +7,30 @@ import (
 	"widx/internal/lint/nondet"
 )
 
-func TestNondet(t *testing.T) {
-	// Point the core-package list at the fixture.
-	if err := nondet.Analyzer.Flags.Set("pkgs", "simcore"); err != nil {
+// setCorePkgs points the analyzer's core-package list at a fixture and
+// restores whatever was configured before (not a hardcoded copy of the
+// default, which would silently go stale as the real list evolves).
+func setCorePkgs(t *testing.T, pkgs string) {
+	t.Helper()
+	prev := nondet.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := nondet.Analyzer.Flags.Set("pkgs", pkgs); err != nil {
 		t.Fatal(err)
 	}
-	defer nondet.Analyzer.Flags.Set("pkgs",
-		"widx/internal/sim,widx/internal/mem,widx/internal/widx,widx/internal/system,widx/internal/cores,widx/internal/exp")
+	t.Cleanup(func() { nondet.Analyzer.Flags.Set("pkgs", prev) })
+}
+
+func TestNondet(t *testing.T) {
+	setCorePkgs(t, "simcore")
 	analysistest.Run(t, "testdata", nondet.Analyzer, "simcore")
+}
+
+// TestNondetServeScope pins the scope decision for the sweep service:
+// a serve-shaped package (job metadata full of time.Now/time.Since)
+// outside the core list produces no diagnostics — the servejob fixture
+// deliberately has no `want` comments, so any report fails the run.
+func TestNondetServeScope(t *testing.T) {
+	setCorePkgs(t, "simcore")
+	analysistest.Run(t, "testdata", nondet.Analyzer, "servejob")
 }
 
 func TestNondetSkipsForeignPackages(t *testing.T) {

@@ -1,0 +1,26 @@
+// Package servejob is the fixture pinning the nondet analyzer's scope
+// decision for the sweep service: wall-clock is legitimate in job
+// metadata (this package is serve-shaped and out of the core list), so
+// none of these calls may produce a diagnostic — there are no `want`
+// comments in this file on purpose.
+package servejob
+
+import "time"
+
+// Job mirrors the serve layer's job metadata: timestamps that describe
+// the service's own scheduling, never simulation results.
+type Job struct {
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// Start stamps the job with wall-clock service time.
+func Start(j *Job) {
+	j.Started = time.Now()
+}
+
+// Age measures how long a job has existed — service observability only.
+func Age(j *Job) time.Duration {
+	return time.Since(j.Created)
+}

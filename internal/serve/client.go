@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the widxserve HTTP API. Its zero HTTP client has no
+// global timeout — jobs run for minutes; per-call contexts govern
+// lifetimes instead.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a widxserve base URL (e.g. "http://127.0.0.1:8091").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// do issues one JSON round-trip. A non-2xx response is decoded from the
+// server's {"error": ...} envelope.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	body, err := c.raw(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("serve client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// raw issues one round-trip and returns the response body bytes.
+func (c *Client) raw(ctx context.Context, method, path string, in any) ([]byte, error) {
+	var reqBody io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("serve client: encoding request: %w", err)
+		}
+		reqBody = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reqBody)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("serve client: %s %s: %s", method, path, e.Error)
+		}
+		return nil, fmt.Errorf("serve client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// Submit enqueues a job.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &st)
+	return st, err
+}
+
+// Status polls one job.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Manifest fetches a finished job's manifest bytes verbatim.
+func (c *Client) Manifest(ctx context.Context, id string) ([]byte, error) {
+	return c.raw(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/manifest", nil)
+}
+
+// Text fetches a finished job's text report verbatim.
+func (c *Client) Text(ctx context.Context, id string) ([]byte, error) {
+	return c.raw(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/text", nil)
+}
+
+// Points fetches a job's finished points, sorted by grid index.
+func (c *Client) Points(ctx context.Context, id string) ([]PointResult, error) {
+	var pts []PointResult
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/points", nil, &pts)
+	return pts, err
+}
+
+// Experiments fetches the registry catalog.
+func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
+	var infos []ExperimentInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/experiments", nil, &infos)
+	return infos, err
+}
+
+// Statusz fetches the server counters.
+func (c *Client) Statusz(ctx context.Context) (Statusz, error) {
+	var st Statusz
+	err := c.do(ctx, http.MethodGet, "/statusz", nil, &st)
+	return st, err
+}
+
+// Watch streams a job's events, invoking onEvent for each, until the job
+// reaches a terminal state; it then returns the final status. If the
+// event stream drops mid-job (worker restart, proxy timeout), Watch
+// falls back to polling until it can re-attach or the job finishes.
+func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) (JobStatus, error) {
+	for {
+		terminal, err := c.streamEvents(ctx, id, onEvent)
+		if err != nil && ctx.Err() != nil {
+			return JobStatus{}, ctx.Err()
+		}
+		if terminal {
+			return c.Status(ctx, id)
+		}
+		// Stream dropped without a terminal event: poll, then retry.
+		st, serr := c.Status(ctx, id)
+		if serr != nil {
+			return JobStatus{}, serr
+		}
+		if Terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// streamEvents consumes one /events stream. It reports whether a
+// terminal state event was seen.
+func (c *Client) streamEvents(ctx context.Context, id string, onEvent func(Event)) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("serve client: events stream: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return false, fmt.Errorf("serve client: decoding event: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.Type == "state" && Terminal(ev.State) {
+			return true, nil
+		}
+	}
+	return false, sc.Err()
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// job is one submitted run or sweep. All mutable state is guarded by mu;
+// cond broadcasts on every append to events and on every state change, so
+// /events streamers and the executor's waiters block on the same signal.
+type job struct {
+	id  string
+	req SubmitRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	state    string
+	total    int
+	done     int
+	cached   int
+	errText  string
+	events   []Event
+	points   []PointResult // index-tagged finished points, append order
+	manifest []byte        // terminal artifacts of non-shard jobs
+	text     []byte
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func newJob(id string, req SubmitRequest) *job {
+	j := &job{id: id, req: req, state: JobQueued, created: time.Now()}
+	j.cond = sync.NewCond(&j.mu)
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	return j
+}
+
+// status snapshots the job for the poll surface.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Experiment: j.req.Experiment,
+		Total:      j.total,
+		Done:       j.done,
+		Cached:     j.cached,
+		Error:      j.errText,
+		Shard:      len(j.req.Indices) > 0,
+		Created:    j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// setState transitions the job and broadcasts. started/finished
+// timestamps are job metadata only — they never reach manifests.
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	j.state = state
+	switch state {
+	case JobRunning:
+		j.started = time.Now()
+	case JobDone, JobFailed, JobCancelled:
+		j.finished = time.Now()
+	}
+	j.events = append(j.events, Event{Type: "state", State: state, Done: j.done, Total: j.total})
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// setTotal records the grid size once planning resolved it.
+func (j *job) setTotal(n int) {
+	j.mu.Lock()
+	j.total = n
+	j.mu.Unlock()
+}
+
+// fail records the error text for the terminal state that follows.
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.errText = err.Error()
+	j.mu.Unlock()
+}
+
+// addPoint records one finished grid point and its progress event.
+// Called from worker goroutines in completion order; /points sorts by
+// index before serving, so the externally visible order is deterministic.
+func (j *job) addPoint(p PointResult) {
+	j.mu.Lock()
+	j.points = append(j.points, p)
+	j.done++
+	if p.Cached {
+		j.cached++
+	}
+	j.events = append(j.events, Event{Type: "point", Index: p.Index, Cached: p.Cached, Done: j.done, Total: j.total})
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// mirrorProgress adopts a remote shard's progress counters (coordinator
+// relaying worker events): done/cached are recomputed from all relays.
+func (j *job) mirrorPoint(ev Event) {
+	j.mu.Lock()
+	j.done++
+	if ev.Cached {
+		j.cached++
+	}
+	j.events = append(j.events, Event{Type: "point", Index: ev.Index, Cached: ev.Cached, Done: j.done, Total: j.total})
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// setArtifacts stores the terminal manifest and text report.
+func (j *job) setArtifacts(manifest, text []byte) {
+	j.mu.Lock()
+	j.manifest = manifest
+	j.text = text
+	j.mu.Unlock()
+}
+
+// artifacts returns the terminal artifacts (nil until done).
+func (j *job) artifacts() (manifest, text []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.manifest, j.text
+}
+
+// pointsSnapshot returns the finished points sorted by grid index.
+func (j *job) pointsSnapshot() []PointResult {
+	j.mu.Lock()
+	pts := append([]PointResult(nil), j.points...)
+	j.mu.Unlock()
+	sort.Slice(pts, func(a, b int) bool { return pts[a].Index < pts[b].Index })
+	return pts
+}
+
+// stream invokes emit for every event, in order, blocking for new ones
+// until a terminal state event has been delivered, emit fails, or ctx is
+// cancelled. It is the /events handler's engine.
+func (j *job) stream(ctx context.Context, emit func(Event) error) error {
+	// Wake the cond waiter when the streaming client goes away.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.events) && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		batch := append([]Event(nil), j.events[next:]...)
+		next += len(batch)
+		j.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, ev := range batch {
+			if err := emit(ev); err != nil {
+				return err
+			}
+			if ev.Type == "state" && Terminal(ev.State) {
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,462 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"widx/internal/exp"
+	"widx/internal/serve"
+	"widx/internal/sim"
+	"widx/internal/warmstate"
+)
+
+// slowExperiment blocks until its run context is cancelled: the handle
+// the cancellation tests use to catch a job mid-flight deterministically.
+// It is test-only and excluded from the all-experiments manifest test.
+const slowExperiment = "serveslow"
+
+func init() {
+	exp.Register(exp.NewExperiment(slowExperiment,
+		"test-only: blocks until the run context is cancelled",
+		nil,
+		func(cfg sim.Config, p exp.Params) (exp.Result, error) {
+			if cfg.Ctx == nil {
+				return nil, fmt.Errorf("serveslow needs a run context")
+			}
+			select {
+			case <-cfg.Ctx.Done():
+				return nil, cfg.Ctx.Err()
+			case <-time.After(30 * time.Second):
+				return nil, fmt.Errorf("serveslow was never cancelled")
+			}
+		}))
+}
+
+// startServer runs a widxserve over HTTP and returns it with its base URL.
+func startServer(t *testing.T, opts serve.Options) (*serve.Server, string) {
+	t.Helper()
+	s, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts.URL
+}
+
+// tinySpec is the request-side harness config every test pins; localConfig
+// is its exact CLI-side equivalent.
+func tinySpec() serve.ConfigSpec {
+	sample := 300
+	return serve.ConfigSpec{Scale: 1.0 / 512, Sample: &sample, StrictOrder: true}
+}
+
+func localConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scale = 1.0 / 512
+	cfg.SampleProbes = 300
+	cfg.Parallelism = runtime.NumCPU()
+	cfg.StrictMemOrder = true
+	cfg.WarmCache = warmstate.New()
+	return cfg
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// submitAndWait submits a request and waits for a terminal state.
+func submitAndWait(t *testing.T, c *serve.Client, req serve.SubmitRequest) serve.JobStatus {
+	t.Helper()
+	ctx := testCtx(t)
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Watch(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestShardedSweepByteIdenticalToLocal is the headline correctness test:
+// a sweep sharded across two worker processes through a coordinator must
+// merge into a manifest and text report byte-identical to the same sweep
+// run in-process — and resubmitting it must be served entirely from the
+// workers' persistent result stores with zero new simulations.
+func TestShardedSweepByteIdenticalToLocal(t *testing.T) {
+	ctx := testCtx(t)
+	_, w1 := startServer(t, serve.Options{StoreDir: t.TempDir(), WarmCache: true})
+	_, w2 := startServer(t, serve.Options{StoreDir: t.TempDir(), WarmCache: true})
+	_, coordURL := startServer(t, serve.Options{Workers: []string{w1, w2}})
+	coord := serve.NewClient(coordURL)
+
+	axes := []exp.Axis{
+		{Key: "llc-ways", Values: []string{"0", "8", "4"}},
+		{Key: "agents", Values: []string{"1xooo+2xwidx:4w", "1xooo+4xwidx:4w"}},
+	}
+	req := serve.SubmitRequest{Experiment: "cmp", Sweep: axes, Config: tinySpec()}
+
+	st, err := coord.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pointEvents int
+	st, err = coord.Watch(ctx, st.ID, func(ev serve.Event) {
+		if ev.Type == "point" {
+			pointEvents++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.JobDone || st.Total != 6 || st.Done != 6 {
+		t.Fatalf("coordinator job = %+v, want done 6/6", st)
+	}
+	if pointEvents != 6 {
+		t.Fatalf("event stream relayed %d point events, want 6", pointEvents)
+	}
+
+	manifest, err := coord.Manifest(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := coord.Text(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, _ := exp.Lookup("cmp")
+	local, err := exp.RunSweep(e, localConfig(), nil, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localManifest, err := local.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantManifest, err := localManifest.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(manifest, wantManifest) {
+		t.Errorf("sharded manifest differs from the local run\n--- sharded ---\n%s\n--- local ---\n%s", manifest, wantManifest)
+	}
+	if string(text) != local.Text() {
+		t.Errorf("sharded report differs from the local run\n--- sharded ---\n%s\n--- local ---\n%s", text, local.Text())
+	}
+
+	// Both workers simulated their shard (3 points each, striped i%2).
+	for _, w := range []string{w1, w2} {
+		sz, err := serve.NewClient(w).Statusz(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz.SimulatedPoints != 3 {
+			t.Errorf("worker %s simulated %d points, want 3", w, sz.SimulatedPoints)
+		}
+	}
+
+	// Resubmission: every point is a disk hit on its worker; nothing
+	// simulates anywhere, and the merged artifacts are byte-identical.
+	st2 := submitAndWait(t, coord, req)
+	if st2.State != serve.JobDone || st2.Cached != 6 {
+		t.Fatalf("resubmitted job = %+v, want done with 6 cached points", st2)
+	}
+	for _, w := range []string{w1, w2} {
+		sz, err := serve.NewClient(w).Statusz(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz.SimulatedPoints != 3 {
+			t.Errorf("worker %s re-simulated: %d points total, want still 3", w, sz.SimulatedPoints)
+		}
+	}
+	manifest2, err := coord.Manifest(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(manifest2, manifest) {
+		t.Error("cache-served manifest differs from the simulated one")
+	}
+}
+
+// TestCoordinatorForwardsSingleRun: a one-point job through a coordinator
+// relays the worker's artifacts verbatim.
+func TestCoordinatorForwardsSingleRun(t *testing.T) {
+	ctx := testCtx(t)
+	_, w1 := startServer(t, serve.Options{StoreDir: t.TempDir()})
+	_, coordURL := startServer(t, serve.Options{Workers: []string{w1}})
+	coord := serve.NewClient(coordURL)
+
+	st := submitAndWait(t, coord, serve.SubmitRequest{Experiment: "model", Config: tinySpec()})
+	if st.State != serve.JobDone {
+		t.Fatalf("forwarded job = %+v", st)
+	}
+	manifest, err := coord.Manifest(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, _ := exp.Lookup("model")
+	local, err := exp.Run(e, localConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := local.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lm.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(manifest, want) {
+		t.Errorf("forwarded manifest differs from the local run")
+	}
+}
+
+// TestPersistentCacheSurvivesRestart: a fresh server over the same store
+// directory serves an earlier server's results without simulating.
+func TestPersistentCacheSurvivesRestart(t *testing.T) {
+	ctx := testCtx(t)
+	dir := t.TempDir()
+	req := serve.SubmitRequest{
+		Experiment: "cmp",
+		Sweep:      []exp.Axis{{Key: "llc-ways", Values: []string{"0", "4"}}},
+		Config:     tinySpec(),
+	}
+
+	s1, err := serve.New(serve.Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	c1 := serve.NewClient(ts1.URL)
+	st := submitAndWait(t, c1, req)
+	if st.State != serve.JobDone || st.Cached != 0 {
+		t.Fatalf("first run = %+v", st)
+	}
+	manifest1, err := c1.Manifest(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	s1.Close()
+
+	_, url2 := startServer(t, serve.Options{StoreDir: dir})
+	c2 := serve.NewClient(url2)
+	st2 := submitAndWait(t, c2, req)
+	if st2.State != serve.JobDone || st2.Cached != st2.Total || st2.Total != 2 {
+		t.Fatalf("restarted run = %+v, want 2/2 cached", st2)
+	}
+	sz, err := c2.Statusz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.SimulatedPoints != 0 {
+		t.Errorf("restarted server simulated %d points, want 0", sz.SimulatedPoints)
+	}
+	if sz.ResultStore == nil || sz.ResultStore.Hits != 2 {
+		t.Errorf("store stats = %+v, want 2 hits", sz.ResultStore)
+	}
+	manifest2, err := c2.Manifest(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(manifest2, manifest1) {
+		t.Error("restart-cached manifest differs from the original")
+	}
+}
+
+// TestCancellation: cancelling a queued job is immediate; cancelling a
+// running job unwinds it promptly through the sim context and leaves the
+// result store with no partial entries.
+func TestCancellation(t *testing.T) {
+	ctx := testCtx(t)
+	s, url := startServer(t, serve.Options{StoreDir: t.TempDir()})
+	c := serve.NewClient(url)
+
+	running, err := c.Submit(ctx, serve.SubmitRequest{Experiment: slowExperiment})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The executor is serial: once job 1 runs, job 2 stays queued.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := c.Status(ctx, running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == serve.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued, err := c.Submit(ctx, serve.SubmitRequest{Experiment: slowExperiment})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queued cancel is synchronous.
+	st, err := c.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.JobCancelled || st.Done != 0 {
+		t.Fatalf("cancelled queued job = %+v", st)
+	}
+
+	// Running cancel unwinds through cfg.Ctx; Watch sees the terminal state.
+	start := time.Now()
+	if _, err := c.Cancel(ctx, running.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Watch(ctx, running.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serve.JobCancelled {
+		t.Fatalf("cancelled running job = %+v", final)
+	}
+	if wait := time.Since(start); wait > 10*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", wait)
+	}
+	// No partial entries may have been committed by the aborted job.
+	if err := s.Store().Verify(); err != nil {
+		t.Fatalf("store verify after cancel: %v", err)
+	}
+	sz, err := c.Statusz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.ResultStore == nil || sz.ResultStore.Entries != 0 {
+		t.Errorf("store after cancelled jobs = %+v, want empty", sz.ResultStore)
+	}
+}
+
+// TestManifestsMatchDirectRun: for every registered experiment, the
+// service's manifest and report are byte-identical to running the
+// experiment directly (the CLI's -json / stdout path).
+func TestManifestsMatchDirectRun(t *testing.T) {
+	ctx := testCtx(t)
+	_, url := startServer(t, serve.Options{StoreDir: t.TempDir(), WarmCache: true})
+	c := serve.NewClient(url)
+
+	for _, name := range exp.Names() {
+		if name == slowExperiment {
+			continue
+		}
+		st := submitAndWait(t, c, serve.SubmitRequest{Experiment: name, Config: tinySpec()})
+		if st.State != serve.JobDone {
+			t.Fatalf("%s: job = %+v", name, st)
+		}
+		manifest, err := c.Manifest(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, err := c.Text(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		e, _ := exp.Lookup(name)
+		local, err := exp.Run(e, localConfig(), nil)
+		if err != nil {
+			t.Fatalf("%s: direct run: %v", name, err)
+		}
+		lm, err := local.Manifest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lm.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(manifest, want) {
+			t.Errorf("%s: served manifest differs from the direct run", name)
+		}
+		if string(text) != local.Text() {
+			t.Errorf("%s: served report differs from the direct run", name)
+		}
+	}
+}
+
+// TestExperimentsCatalogRoundTrip: the catalog endpoint decodes on the
+// client side and preserves every registered experiment's parameter
+// specs — including the warm classification, which marshals by name and
+// must unmarshal back (the bug this pins: WarmClass without
+// UnmarshalText broke `widxserve -list`).
+func TestExperimentsCatalogRoundTrip(t *testing.T) {
+	ctx := testCtx(t)
+	_, url := startServer(t, serve.Options{})
+	c := serve.NewClient(url)
+	infos, err := c.Experiments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]serve.ExperimentInfo{}
+	for _, in := range infos {
+		byName[in.Name] = in
+	}
+	for _, name := range exp.Names() {
+		e, _ := exp.Lookup(name)
+		in, ok := byName[e.Name()]
+		if !ok {
+			t.Errorf("catalog is missing %s", e.Name())
+			continue
+		}
+		if want := exp.AllParams(e); !reflect.DeepEqual(in.Params, want) {
+			t.Errorf("%s params did not round-trip: got %+v, want %+v", name, in.Params, want)
+		}
+	}
+}
+
+// TestSubmitValidation: malformed submissions fail synchronously.
+func TestSubmitValidation(t *testing.T) {
+	ctx := testCtx(t)
+	_, wurl := startServer(t, serve.Options{})
+	w := serve.NewClient(wurl)
+
+	if _, err := w.Submit(ctx, serve.SubmitRequest{Experiment: "nope"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown experiment: %v", err)
+	}
+	if _, err := w.Submit(ctx, serve.SubmitRequest{
+		Experiment: "cmp",
+		Sweep:      []exp.Axis{{Key: "bogus", Values: []string{"1"}}},
+	}); err == nil {
+		t.Error("unknown sweep axis accepted")
+	}
+	if _, err := w.Submit(ctx, serve.SubmitRequest{Experiment: "cmp", Indices: []int{0}}); err == nil ||
+		!strings.Contains(err.Error(), "indices need a sweep grid") {
+		t.Errorf("indices without sweep: %v", err)
+	}
+
+	_, curl := startServer(t, serve.Options{Workers: []string{wurl}})
+	coord := serve.NewClient(curl)
+	if _, err := coord.Submit(ctx, serve.SubmitRequest{
+		Experiment: "cmp",
+		Sweep:      []exp.Axis{{Key: "llc-ways", Values: []string{"0", "4"}}},
+		Indices:    []int{0},
+	}); err == nil || !strings.Contains(err.Error(), "coordinator") {
+		t.Errorf("coordinator shard submission: %v", err)
+	}
+}

@@ -1,0 +1,554 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"widx/internal/exp"
+	"widx/internal/sim"
+	"widx/internal/warmstate"
+)
+
+// Options configures a Server.
+type Options struct {
+	// StoreDir roots the persistent result store; empty disables
+	// persistence (every point simulates).
+	StoreDir string
+	// Workers, when non-empty, puts the server in coordinator mode: jobs
+	// are sharded across (sweeps) or forwarded to (single runs) these
+	// base URLs instead of simulating locally.
+	Workers []string
+	// WarmCache shares one in-memory warm-state cache across every job
+	// this process executes (the PR 7 cache, now living as long as the
+	// daemon); WarmVerify enables its content-hash rebuild checks.
+	WarmCache  bool
+	WarmVerify bool
+	// Parallel is the default sim worker-pool width for requests that do
+	// not pin one (0 = NumCPU), mirroring the CLI's -parallel default.
+	Parallel int
+	// QueueDepth bounds the job queue (0 = 256). Submissions beyond it
+	// are rejected with 503 rather than buffered without bound.
+	QueueDepth int
+	// Logf, when non-nil, receives one line per job transition.
+	Logf func(format string, args ...any)
+}
+
+// Server executes submitted experiment jobs one at a time (each job fans
+// out internally through the sim worker pool) and serves their status,
+// progress streams and finished artifacts over HTTP.
+type Server struct {
+	opts  Options
+	build string
+	store *ResultStore
+	warm  *warmstate.Cache
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job IDs in submission order
+	nextID int
+	closed bool
+
+	queue     chan *job
+	idle      sync.WaitGroup // executor's in-flight job
+	simulated atomic.Uint64
+}
+
+// New builds a Server and starts its executor.
+func New(opts Options) (*Server, error) {
+	store, err := NewResultStore(opts.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	s := &Server{
+		opts:  opts,
+		build: BuildFingerprint(),
+		store: store,
+		jobs:  map[string]*job{},
+		queue: make(chan *job, depth),
+	}
+	if opts.WarmCache || opts.WarmVerify {
+		s.warm = warmstate.New()
+		s.warm.SetVerify(opts.WarmVerify)
+	}
+	s.idle.Add(1)
+	go s.executor()
+	return s, nil
+}
+
+// Close cancels every job, stops the executor, and waits for the
+// in-flight job (if any) to unwind.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, id := range s.order {
+		s.jobs[id].cancel()
+	}
+	close(s.queue)
+	s.mu.Unlock()
+	s.idle.Wait()
+}
+
+// Store exposes the persistent result store (tests verify its integrity
+// after cancellations).
+func (s *Server) Store() *ResultStore { return s.store }
+
+// Build returns the build fingerprint cache keys are scoped to.
+func (s *Server) Build() string { return s.build }
+
+// logf logs one line when Options.Logf is set.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// config materializes a request's harness configuration exactly like the
+// CLI does its flags: sim.DefaultConfig with the pinned knobs applied.
+func (s *Server) config(spec ConfigSpec) sim.Config {
+	cfg := sim.DefaultConfig()
+	if spec.Scale != 0 {
+		cfg.Scale = spec.Scale
+	}
+	if spec.Sample != nil {
+		cfg.SampleProbes = *spec.Sample
+	}
+	switch {
+	case spec.Parallel != 0:
+		cfg.Parallelism = spec.Parallel
+	case s.opts.Parallel != 0:
+		cfg.Parallelism = s.opts.Parallel
+	default:
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	cfg.StrictMemOrder = spec.StrictOrder
+	return cfg
+}
+
+// validate rejects malformed submissions synchronously (400), so a typo
+// never becomes a queued-then-failed job.
+func (s *Server) validate(req SubmitRequest) error {
+	e, ok := exp.Lookup(req.Experiment)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", req.Experiment)
+	}
+	if len(req.Sweep) == 0 {
+		if len(req.Indices) > 0 {
+			return fmt.Errorf("indices need a sweep grid")
+		}
+		_, err := exp.Resolve(e, req.Set)
+		return err
+	}
+	pl, err := exp.PlanSweep(e, s.config(req.Config), req.Set, req.Sweep)
+	if err != nil {
+		return err
+	}
+	if len(req.Indices) > 0 {
+		if len(s.opts.Workers) > 0 {
+			return fmt.Errorf("a coordinator does not accept shard (indices) jobs")
+		}
+		if err := pl.CheckIndices(req.Indices); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submit validates and enqueues a job.
+func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
+	if err := s.validate(req); err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("server is shutting down")
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("j%06d", s.nextID), req)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("job queue is full")
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.logf("serve: job %s queued: %s", j.id, req.Experiment)
+	return j.status(), nil
+}
+
+// lookup resolves a job ID.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// executor drains the queue, one job at a time: a design-space sweep
+// saturates the machine through the sim worker pool on its own, so
+// running jobs concurrently would only interleave their timing, not
+// improve throughput.
+func (s *Server) executor() {
+	defer s.idle.Done()
+	for j := range s.queue {
+		if !j.tryStart() {
+			continue // cancelled while queued
+		}
+		s.logf("serve: job %s running", j.id)
+		var err error
+		if len(s.opts.Workers) > 0 {
+			err = s.runCoordinated(j)
+		} else {
+			err = s.runLocal(j)
+		}
+		switch {
+		case err == nil:
+			j.setState(JobDone)
+		case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
+			j.fail(err)
+			j.setState(JobCancelled)
+		default:
+			j.fail(err)
+			j.setState(JobFailed)
+		}
+		st := j.status()
+		s.logf("serve: job %s %s (%d/%d points, %d cached)", j.id, st.State, st.Done, st.Total, st.Cached)
+	}
+}
+
+// tryStart transitions queued -> running; false if the job was cancelled
+// while queued.
+func (j *job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.events = append(j.events, Event{Type: "state", State: JobRunning, Done: j.done, Total: j.total})
+	j.cond.Broadcast()
+	return true
+}
+
+// tryCancel cancels the job's context and, if it never started, marks it
+// terminal immediately.
+func (j *job) tryCancel() {
+	j.cancel()
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.state = JobCancelled
+		j.finished = time.Now()
+		j.events = append(j.events, Event{Type: "state", State: JobCancelled, Done: j.done, Total: j.total})
+		j.cond.Broadcast()
+	}
+	j.mu.Unlock()
+}
+
+// runLocal executes a job in this process: single runs and (possibly
+// index-restricted) sweeps, each point first consulted against the
+// persistent result store.
+func (s *Server) runLocal(j *job) error {
+	e, _ := exp.Lookup(j.req.Experiment)
+	cfg := s.config(j.req.Config)
+	cfg.Ctx = j.ctx
+	cfg.WarmCache = s.warm
+	if len(j.req.Sweep) == 0 {
+		return s.runSingle(j, e, cfg)
+	}
+	return s.runSweep(j, e, cfg)
+}
+
+// runSingle executes a one-point job.
+func (s *Server) runSingle(j *job, e exp.Experiment, cfg sim.Config) error {
+	j.setTotal(1)
+	p, err := exp.Resolve(e, j.req.Set)
+	if err != nil {
+		return err
+	}
+	key, err := PointKey(s.build, e, cfg, p)
+	if err != nil {
+		return err
+	}
+	env, hit, err := s.store.Lookup(key)
+	if err != nil {
+		return err
+	}
+	var out *exp.RunOutput
+	if hit {
+		runCfg, err := exp.ApplyConfig(cfg, p)
+		if err != nil {
+			return err
+		}
+		out = &exp.RunOutput{Experiment: e, Params: p, Config: runCfg,
+			Result: exp.RawResult{Report: env.Text, Payload: env.Results}}
+	} else {
+		out, err = exp.Run(e, cfg, j.req.Set)
+		if err != nil {
+			return err
+		}
+		raw, err := out.Result.JSON()
+		if err != nil {
+			return err
+		}
+		env = resultEnvelope{Text: out.Text(), Results: raw}
+		if err := s.store.Save(key, env); err != nil {
+			return err
+		}
+		s.simulated.Add(1)
+	}
+	manifest, err := out.Manifest()
+	if err != nil {
+		return err
+	}
+	data, err := manifest.Encode()
+	if err != nil {
+		return err
+	}
+	j.addPoint(PointResult{Index: 0, Params: p, Text: env.Text, Results: env.Results, Cached: hit})
+	j.setArtifacts(data, []byte(out.Text()))
+	return nil
+}
+
+// runSweep executes a sweep job (the whole grid, or the shard named by
+// req.Indices): cached points are restored from the store, the rest run
+// through the plan with per-point persistence and progress.
+func (s *Server) runSweep(j *job, e exp.Experiment, cfg sim.Config) error {
+	pl, err := exp.PlanSweep(e, cfg, j.req.Set, j.req.Sweep)
+	if err != nil {
+		return err
+	}
+	indices := j.req.Indices
+	if len(indices) == 0 {
+		indices = make([]int, len(pl.Points))
+		for i := range indices {
+			indices[i] = i
+		}
+	} else if err := pl.CheckIndices(indices); err != nil {
+		return err
+	}
+	j.setTotal(len(indices))
+
+	keys := make(map[int]string, len(indices))
+	results := make([]exp.Result, len(pl.Points))
+	var missing []int
+	for _, i := range indices {
+		key, err := PointKey(s.build, e, cfg, pl.Points[i])
+		if err != nil {
+			return err
+		}
+		keys[i] = key
+		env, hit, err := s.store.Lookup(key)
+		if err != nil {
+			return err
+		}
+		if !hit {
+			missing = append(missing, i)
+			continue
+		}
+		results[i] = exp.RawResult{Report: env.Text, Payload: env.Results}
+		j.addPoint(PointResult{Index: i, Params: pl.Points[i], Text: env.Text, Results: env.Results, Cached: true})
+	}
+
+	if len(missing) > 0 {
+		var hookMu sync.Mutex
+		var hookErr error
+		if _, err := pl.Run(cfg, missing, func(i int, r exp.SweepRun) {
+			raw, err := r.Result.JSON()
+			if err == nil {
+				err = s.store.Save(keys[i], resultEnvelope{Text: r.Result.Text(), Results: raw})
+			}
+			if err != nil {
+				hookMu.Lock()
+				if hookErr == nil {
+					hookErr = err
+				}
+				hookMu.Unlock()
+				return
+			}
+			s.simulated.Add(1)
+			results[i] = r.Result
+			j.addPoint(PointResult{Index: i, Params: r.Params, Text: r.Result.Text(), Results: raw, Cached: false})
+		}); err != nil {
+			return err
+		}
+		if hookErr != nil {
+			return hookErr
+		}
+	}
+
+	if len(j.req.Indices) > 0 {
+		// A shard has no full-grid report; its results travel via /points.
+		return nil
+	}
+	out, err := pl.Output(results)
+	if err != nil {
+		return err
+	}
+	manifest, err := out.Manifest()
+	if err != nil {
+		return err
+	}
+	data, err := manifest.Encode()
+	if err != nil {
+		return err
+	}
+	j.setArtifacts(data, []byte(out.Text()))
+	return nil
+}
+
+// statusz assembles the /statusz payload.
+func (s *Server) statusz() Statusz {
+	st := Statusz{
+		Build:           s.build,
+		Mode:            "worker",
+		Jobs:            map[string]int{},
+		SimulatedPoints: s.simulated.Load(),
+		ResultStore:     s.store.Stats(),
+		Workers:         s.opts.Workers,
+	}
+	if len(s.opts.Workers) > 0 {
+		st.Mode = "coordinator"
+	}
+	if s.warm != nil {
+		hits, misses := s.warm.Stats()
+		st.WarmCache = &CacheStats{Hits: hits, Misses: misses}
+	}
+	s.mu.Lock()
+	for _, id := range s.order {
+		st.Jobs[s.jobs[id].status().State]++
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		var infos []ExperimentInfo
+		for _, name := range exp.Names() {
+			e, _ := exp.Lookup(name)
+			infos = append(infos, ExperimentInfo{
+				Name:     e.Name(),
+				Aliases:  exp.Aliases(e.Name()),
+				Describe: e.Describe(),
+				Params:   exp.AllParams(e),
+			})
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		st, err := s.Submit(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		ids := append([]string(nil), s.order...)
+		s.mu.Unlock()
+		statuses := make([]JobStatus, 0, len(ids))
+		for _, id := range ids {
+			if j, ok := s.lookup(id); ok {
+				statuses = append(statuses, j.status())
+			}
+		}
+		writeJSON(w, http.StatusOK, statuses)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		writeJSON(w, http.StatusOK, j.status())
+	}))
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		j.tryCancel()
+		writeJSON(w, http.StatusOK, j.status())
+	}))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/manifest", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		manifest, _ := j.artifacts()
+		if manifest == nil {
+			writeError(w, http.StatusConflict, fmt.Errorf("job %s has no manifest (state %s)", j.id, j.status().State))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(manifest)
+	}))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/text", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		_, text := j.artifacts()
+		if text == nil {
+			writeError(w, http.StatusConflict, fmt.Errorf("job %s has no report (state %s)", j.id, j.status().State))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(text)
+	}))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/points", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		writeJSON(w, http.StatusOK, j.pointsSnapshot())
+	}))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		_ = j.stream(r.Context(), func(ev Event) error {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	}))
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.statusz())
+	})
+	return mux
+}
+
+// withJob resolves the {id} path value.
+func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *job)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.lookup(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		h(w, r, j)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

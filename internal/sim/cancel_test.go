@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A cancelled context stops the sequential task loop at the next boundary
+// and surfaces the context error instead of a silent nil.
+func TestRunTasksCancelSequential(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{Parallelism: 1, Ctx: ctx}
+	var ran int
+	err := cfg.RunTasks(10, func(i int) error {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunTasks after cancel: got err %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("tasks run after cancel at i=2: got %d, want 3", ran)
+	}
+}
+
+// Cancellation mid-flight skips every task that has not started, returns
+// promptly even when many tasks are queued behind slow ones, and reports
+// the context error.
+func TestRunTasksCancelParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{Parallelism: 4, Ctx: ctx}
+	var started atomic.Int32
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- cfg.RunTasks(64, func(i int) error {
+			started.Add(1)
+			<-release // hold the first wave until the test cancels
+			return nil
+		})
+	}()
+	for started.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunTasks after cancel: got err %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunTasks did not return promptly after cancellation")
+	}
+	// Only the in-flight wave ran; the other 60 tasks were skipped.
+	if n := started.Load(); n > 8 {
+		t.Fatalf("tasks started after cancellation: %d, want at most the in-flight wave", n)
+	}
+}
+
+// A task error still wins over a concurrent cancellation, preserving the
+// historical lowest-indexed-error contract.
+func TestRunTasksErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{Parallelism: 1, Ctx: ctx}
+	boom := errors.New("boom")
+	err := cfg.RunTasks(4, func(i int) error {
+		if i == 1 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got err %v, want the task error", err)
+	}
+}

@@ -37,7 +37,11 @@ func (c Config) parallelism() int {
 // exactly like the historical sequential loops. Once any task fails, tasks
 // that have not started yet are skipped (experiments are minutes long; there
 // is no point finishing a doomed run), and the lowest-indexed error that was
-// recorded is returned. It is exported because the exp sweep layer fans
+// recorded is returned. When c.Ctx is cancelled, tasks that have not started
+// are likewise skipped and Ctx.Err() is returned (task errors win if both
+// happened): the harness nests RunTasks fan-outs (sweep points over design
+// points over workloads), so one cancelled context aborts every level at its
+// next task boundary. It is exported because the exp sweep layer fans
 // parameter grids out through the same pool, with the same determinism
 // contract: tasks write results into their own index, never append.
 func (c Config) RunTasks(n int, task func(i int) error) error {
@@ -47,6 +51,9 @@ func (c Config) RunTasks(n int, task func(i int) error) error {
 	}
 	if p <= 1 {
 		for i := 0; i < n; i++ {
+			if err := c.cancelled(); err != nil {
+				return err
+			}
 			if err := task(i); err != nil {
 				return err
 			}
@@ -62,7 +69,7 @@ func (c Config) RunTasks(n int, task func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if failed.Load() {
+				if failed.Load() || c.cancelled() != nil {
 					continue
 				}
 				if err := task(i); err != nil {
@@ -82,7 +89,15 @@ func (c Config) RunTasks(n int, task func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return c.cancelled()
+}
+
+// cancelled returns the configured context's error, if any.
+func (c Config) cancelled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 // InnerConfig returns a copy of c whose Parallelism is one worker's share of

@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -85,6 +86,13 @@ type Config struct {
 	// nil at any Parallelism (warmcache.go documents the contract). The
 	// field is excluded from JSON so run manifests are unaffected.
 	WarmCache *warmstate.Cache `json:"-"`
+	// Ctx, when non-nil, cancels in-flight work: RunTasks checks it before
+	// dispatching each task, so an aborted run (an HTTP job whose client
+	// cancelled, a ^C) stops at the next design-point or grid-point
+	// boundary instead of simulating to completion. A cancelled run
+	// returns Ctx.Err(); it never produces a partial result. Excluded from
+	// JSON so run manifests are unaffected.
+	Ctx context.Context `json:"-"`
 }
 
 // DefaultConfig returns the configuration used by the benchmark harness: a

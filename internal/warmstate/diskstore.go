@@ -1,0 +1,176 @@
+package warmstate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// DiskStore is the persistent sibling of Cache: a content-addressed
+// blob store on disk, keyed by the same explicit Fingerprint strings, so
+// artifacts survive the process — the sweep service keys finished
+// experiment results by (build fingerprint, resolved config, resolved
+// params) and serves a repeated sweep point from disk instead of
+// re-simulating it.
+//
+// The same correctness discipline applies as for Cache: a key that omits
+// a result-affecting input silently serves stale data. Keys are built
+// through Fingerprint so every input is named at the call site, and each
+// entry stores its full key alongside the payload — a filename-hash
+// collision is detected on Get and treated as a miss, never served.
+//
+// Writes are atomic (temp file + rename in the store directory), so a
+// crashed or cancelled process can never leave a partial entry that a
+// later Get would read: an entry is either absent or complete.
+type DiskStore struct {
+	dir string
+
+	mu     sync.Mutex
+	hits   uint64
+	misses uint64
+}
+
+// diskEntry is the on-disk envelope of one entry.
+type diskEntry struct {
+	Key   string `json:"key"`
+	Value []byte `json:"value"`
+}
+
+// OpenDiskStore opens (creating if needed) a store rooted at dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("warmstate: disk store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("warmstate: opening disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// path maps a key to its entry file: an FNV-1a digest of the key. The key
+// itself is stored in the entry, so a digest collision degrades to a miss
+// (checked in Get), not to wrong data.
+func (s *DiskStore) path(key string) string {
+	h := NewHasher()
+	h.String(key)
+	return filepath.Join(s.dir, fmt.Sprintf("%016x.json", h.Sum()))
+}
+
+// Get returns the payload stored under key, if present. Unreadable or
+// mismatched entries (digest collisions, foreign files) are misses.
+func (s *DiskStore) Get(key string) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.count(false)
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("warmstate: reading disk store entry: %w", err)
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		s.count(false)
+		return nil, false, nil
+	}
+	s.count(true)
+	return e.Value, true, nil
+}
+
+// Put stores payload under key, atomically: the entry is written to a
+// temporary file in the store directory and renamed into place, so
+// concurrent readers and interrupted writers never observe a partial
+// entry.
+func (s *DiskStore) Put(key string, payload []byte) error {
+	data, err := json.Marshal(diskEntry{Key: key, Value: payload})
+	if err != nil {
+		return fmt.Errorf("warmstate: encoding disk store entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("warmstate: writing disk store entry: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("warmstate: writing disk store entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("warmstate: writing disk store entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("warmstate: committing disk store entry: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the Get hit/miss counters.
+func (s *DiskStore) Stats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+func (s *DiskStore) count(hit bool) {
+	s.mu.Lock()
+	if hit {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+}
+
+// Len counts the committed entries on disk.
+func (s *DiskStore) Len() (int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("warmstate: listing disk store: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Verify walks every committed entry and checks its integrity: the file
+// parses, carries a non-empty key, and sits at the path its key hashes
+// to. Leftover temp files from in-flight writes are ignored (they are
+// invisible to Get); anything else malformed is an error. A cancelled or
+// crashed run must leave the store Verify-clean — that is the "no partial
+// entries" contract the sweep service's cancellation test asserts.
+func (s *DiskStore) Verify() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("warmstate: listing disk store: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(s.dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("warmstate: verify: %w", err)
+		}
+		var e diskEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return fmt.Errorf("warmstate: verify: entry %s is not a committed envelope: %w", ent.Name(), err)
+		}
+		if e.Key == "" {
+			return fmt.Errorf("warmstate: verify: entry %s has an empty key", ent.Name())
+		}
+		if want := s.path(e.Key); want != path {
+			return fmt.Errorf("warmstate: verify: entry %s stores key %q which hashes to %s", ent.Name(), e.Key, filepath.Base(want))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package warmstate
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewFingerprint("result").Field("build", "abc").Field("params", "x=1").Key()
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("empty store Get = %v, %v", ok, err)
+	}
+	payload := []byte(`{"text":"report","results":{"v":1}}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after Put = %q, %v, %v", got, ok, err)
+	}
+	if hits, misses := s.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second store over the same directory sees the entry: persistence
+	// across processes is the point.
+	s2, err := OpenDiskStore(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s2.Get(key); err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
+	}
+
+	// Overwrite is last-writer-wins and stays committed.
+	if err := s.Put(key, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := s.Get(key); string(got) != `{"v":2}` {
+		t.Fatalf("overwritten entry = %q", got)
+	}
+}
+
+// An entry whose stored key does not match the requested one (a filename
+// collision, a hand-copied file) is a miss, never served as data.
+func TestDiskStoreKeyMismatchIsMiss(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("key-a", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a collision: move a's entry file to where key-b would live.
+	if err := os.Rename(s.path("key-a"), s.path("key-b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("key-b"); err != nil || ok {
+		t.Fatalf("mismatched entry served: %v, %v", ok, err)
+	}
+	// Verify catches the mis-placed entry.
+	if err := s.Verify(); err == nil || !strings.Contains(err.Error(), "hashes to") {
+		t.Fatalf("Verify missed the mis-placed entry: %v", err)
+	}
+}
+
+// Verify flags truncated (non-envelope) entries and ignores in-flight
+// temp files, which Get can never observe.
+func TestDiskStoreVerifyPartialEntries(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "put-123.tmp"), []byte(`{"key":"x","val`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("temp file failed Verify: %v", err)
+	}
+	if n, _ := s.Len(); n != 0 {
+		t.Fatalf("temp file counted as entry: Len = %d", n)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "0000000000000000.json"), []byte(`{"key":"x","val`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err == nil {
+		t.Fatal("Verify accepted a truncated entry")
+	}
+}
