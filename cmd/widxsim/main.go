@@ -1,12 +1,21 @@
 // Command widxsim runs one simulation configuration — the hash-join kernel,
-// a named DSS query, or a shared-memory multi-agent (CMP) contention run —
-// and prints the resulting report.
+// the workload zoo of pointer-chasing traversal structures, a named DSS
+// query, or a shared-memory multi-agent (CMP) contention run — and prints
+// the resulting report.
 //
 // Usage:
 //
 //	widxsim -kernel Large  [-scale 0.01] [-sample 20000] [-parallel N]
+//	widxsim -structure skiplist,btree,lsm [-scale 0.01] [-sample 20000] [-parallel N]
 //	widxsim -suite TPC-H -query q17 [-scale 0.01] [-sample 20000] [-parallel N]
-//	widxsim -agents 4xooo+4xwidx:4w [-kernel Medium] [-scale 0.1] [-sample 5000]
+//	widxsim -agents 4xooo+4xwidx:4w [-kernel Medium] [-structure btree] [-scale 0.1] [-sample 5000]
+//
+// -structure runs the workload zoo: each listed traversal structure (hashjoin,
+// skiplist, btree, lsm, bfs) is built into the simulated address space, its
+// generated Widx program's match stream is checked bit-identical to a software
+// reference, and walker scaling is reported against the OoO baseline. Combined
+// with -agents it instead selects the single structure every co-running
+// agent's partition is built as.
 //
 // -agents co-schedules the specified agents — "Nx" replicated widx[:Ww],
 // ooo, or inorder machines, joined with "+", each optionally carrying
@@ -46,6 +55,7 @@ import (
 	"widx/internal/join"
 	"widx/internal/profiling"
 	"widx/internal/sim"
+	"widx/internal/structures"
 	"widx/internal/warmstate"
 	"widx/internal/widx"
 	"widx/internal/workloads"
@@ -53,6 +63,7 @@ import (
 
 func main() {
 	kernel := flag.String("kernel", "", "hash-join kernel size class: Small, Medium or Large")
+	structure := flag.String("structure", "", "run the workload zoo over these traversal structures (comma-separated: hashjoin, skiplist, btree, lsm, bfs); with -agents, the single structure every partition is built as")
 	suite := flag.String("suite", "TPC-H", "benchmark suite: TPC-H or TPC-DS")
 	query := flag.String("query", "", "query name, e.g. q17")
 	agentsSpec := flag.String("agents", "", "co-run a multi-agent system on one shared hierarchy, e.g. 4xooo+4xwidx:4w")
@@ -102,11 +113,28 @@ func main() {
 				fail(err)
 			}
 		}
-		cmpExp, err := cfg.RunCMP(size, specs)
+		st := structures.HashJoin
+		if *structure != "" {
+			st, err = structures.ParseKind(*structure)
+			if err != nil {
+				fail(err)
+			}
+		}
+		cmpExp, err := cfg.RunCMPStructure(size, specs, st)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(cmpExp.Text())
+	case *structure != "":
+		kinds, err := structures.ParseKinds(*structure)
+		if err != nil {
+			fail(err)
+		}
+		zooExp, err := cfg.RunZoo(sim.ZooOptions{Structures: kinds})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(zooExp.Text())
 	case *kernel != "":
 		size, err := join.ParseSizeClass(*kernel)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"widx/internal/join"
 	"widx/internal/model"
 	"widx/internal/sim"
+	"widx/internal/structures"
 	"widx/internal/workloads"
 )
 
@@ -102,6 +103,7 @@ func init() {
 		[]ParamSpec{
 			{Key: "agents", Default: "4xwidx:4w", Help: "agent mix, e.g. 1xooo+2xwidx:4w:mshrs=5:ways=4"},
 			{Key: "size", Default: "Medium", Help: "kernel size class each partition is built at"},
+			{Key: "structure", Default: "hashjoin", Help: "traversal structure every partition is built as"},
 			{Key: "stagger", Default: "0", Help: "arrival stagger: co-running agent i starts at cycle i*stagger", Warm: WarmInvariant},
 		},
 		func(cfg sim.Config, p Params) (Result, error) {
@@ -113,6 +115,10 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			structure, err := structures.ParseKind(p.String("structure"))
+			if err != nil {
+				return nil, err
+			}
 			stagger, err := p.Int("stagger")
 			if err != nil {
 				return nil, err
@@ -121,8 +127,56 @@ func init() {
 				return nil, fmt.Errorf("exp: parameter stagger=%q: want a non-negative integer", p.String("stagger"))
 			}
 			cfg.Stagger = uint64(stagger)
-			return cfg.RunCMP(size, specs)
+			return cfg.RunCMPStructure(size, specs, structure)
 		}))
+
+	Register(NewExperiment("zoo",
+		"The workload zoo: the paper's hash-bucket walk next to skip-list,\n"+
+			"B+-tree point/range, LSM memtable+SSTable and BFS frontier-expansion\n"+
+			"traversals, each built into the simulated address space with a\n"+
+			"generated Widx program whose match stream is checked bit-identical\n"+
+			"to a software reference — per-structure geometry, walker scaling\n"+
+			"against the OoO baseline, and the match-stream fingerprint.",
+		[]ParamSpec{
+			{Key: "structure", Default: "hashjoin,skiplist,btree,lsm,bfs", Help: "comma-separated traversal structures to run"},
+			{Key: "walkers", Default: "", Help: "comma-separated Widx walker counts", Warm: WarmInvariant},
+			{Key: "span", Default: "1", Help: "B+-tree range-scan width (keys per probe)"},
+			{Key: "prefetch-dist", Default: "0", Help: "dispatcher prefetch distance into the probe-key column (keys ahead, 0 = off)", Warm: WarmInvariant},
+			{Key: "touch-walker", Default: "false", Help: "use the TOUCHing walker variant (non-blocking node prefetch ahead of the demand load)", Warm: WarmInvariant},
+		},
+		func(cfg sim.Config, p Params) (Result, error) {
+			cfg, err := applyWalkers(cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			kinds, err := structures.ParseKinds(p.String("structure"))
+			if err != nil {
+				return nil, err
+			}
+			span, err := p.Int("span")
+			if err != nil {
+				return nil, err
+			}
+			if span < 1 {
+				return nil, fmt.Errorf("exp: parameter span=%q: want a positive integer", p.String("span"))
+			}
+			dist, err := p.Int("prefetch-dist")
+			if err != nil {
+				return nil, err
+			}
+			if dist < 0 {
+				return nil, fmt.Errorf("exp: parameter prefetch-dist=%q: want a non-negative integer", p.String("prefetch-dist"))
+			}
+			touch, err := p.Bool("touch-walker")
+			if err != nil {
+				return nil, err
+			}
+			return cfg.RunZoo(sim.ZooOptions{
+				Structures: kinds,
+				Span:       span,
+				Prog:       structures.ProgramOptions{PrefetchDist: dist, TouchWalker: touch},
+			})
+		}), "structures")
 
 	Register(NewExperiment("ablation",
 		"The Figure 3 hashing-organization ablation: coupled hash+walk vs.\n"+

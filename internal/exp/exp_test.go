@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"widx/internal/sim"
+	"widx/internal/warmstate"
 )
 
 // quickConfig is a tiny configuration for registry tests.
@@ -30,7 +31,7 @@ func TestRegistryCompleteness(t *testing.T) {
 			t.Errorf("historical experiment name %q is not registered", name)
 		}
 	}
-	wantOrder := []string{"model", "breakdowns", "kernel", "queries", "walkerutil", "cmp", "ablation"}
+	wantOrder := []string{"model", "breakdowns", "kernel", "queries", "walkerutil", "cmp", "zoo", "ablation"}
 	names := Names()
 	if len(names) != len(wantOrder) {
 		t.Fatalf("registered %v, want %v", names, wantOrder)
@@ -53,6 +54,7 @@ func TestRegistryCompleteness(t *testing.T) {
 		"kernel":     {"fig8"},
 		"queries":    {"fig9", "fig10", "fig11"},
 		"walkerutil": {"fig5sim"},
+		"zoo":        {"structures"},
 	} {
 		p, _ := Lookup(primary)
 		for _, a := range aliases {
@@ -281,6 +283,7 @@ func TestManifestRoundTrip(t *testing.T) {
 		"walkerutil": {"max-walkers": "2", "size": "Small"},
 		"cmp":        {"agents": "2xwidx:2w", "size": "Small"},
 		"ablation":   {"walkers": "2"},
+		"zoo":        {"structure": "skiplist,bfs", "walkers": "1,2"},
 	}
 	for _, name := range Names() {
 		e, _ := Lookup(name)
@@ -333,5 +336,40 @@ func TestRunUnknownParamRejected(t *testing.T) {
 	e, _ := Lookup("model")
 	if _, err := Run(e, quickConfig(), map[string]string{"agents": "2xooo"}); err == nil {
 		t.Fatal("model accepted the cmp-only agents parameter")
+	}
+}
+
+// TestSweepStructureAxisDeterministic sweeps the zoo's structure axis —
+// every traversal structure as one grid point — and requires byte-identical
+// reports at parallelism 1 and 8, with and without the warm-state cache
+// (verify mode, so a structure leaking out of a cache key fails loudly).
+func TestSweepStructureAxisDeterministic(t *testing.T) {
+	e, _ := Lookup("zoo")
+	axes := []Axis{{Key: "structure", Values: []string{"hashjoin", "skiplist", "btree", "lsm", "bfs"}}}
+	run := func(parallel int, warm bool) string {
+		cfg := quickConfig()
+		cfg.SampleProbes = 400
+		cfg.Parallelism = parallel
+		if warm {
+			cfg.WarmCache = warmstate.New()
+			cfg.WarmCache.SetVerify(true)
+		}
+		out, err := RunSweep(e, cfg, map[string]string{"walkers": "1,2"}, axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Text()
+	}
+	seq := run(1, false)
+	if par := run(8, false); par != seq {
+		t.Fatalf("structure sweep is parallelism-dependent:\n%s\nvs\n%s", seq, par)
+	}
+	if warmed := run(8, true); warmed != seq {
+		t.Fatalf("warm cache changed the structure sweep:\n%s\nvs\n%s", seq, warmed)
+	}
+	for _, want := range []string{"structure=hashjoin", "structure=bfs", "fingerprint"} {
+		if !strings.Contains(seq, want) {
+			t.Fatalf("structure sweep report misses %q:\n%s", want, seq)
+		}
 	}
 }

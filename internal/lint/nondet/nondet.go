@@ -51,7 +51,7 @@ var Analyzer = &analysis.Analyzer{
 
 // pkgs restricts the analyzer to the deterministic core. Import paths match
 // exactly or by "path/..." subtree; override with -nondet.pkgs.
-var pkgs = "widx/internal/sim,widx/internal/mem,widx/internal/widx,widx/internal/system,widx/internal/cores,widx/internal/exp,widx/internal/warmstate"
+var pkgs = "widx/internal/sim,widx/internal/mem,widx/internal/widx,widx/internal/system,widx/internal/cores,widx/internal/exp,widx/internal/warmstate,widx/internal/structures"
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs,

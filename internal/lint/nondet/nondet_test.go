@@ -33,6 +33,15 @@ func TestNondetServeScope(t *testing.T) {
 	analysistest.Run(t, "testdata", nondet.Analyzer, "servejob")
 }
 
+// TestNondetStructuresScope covers the workload-zoo builders: a
+// structures-shaped package (randomized skip-list towers, LSM shadows, BFS
+// edges) is in scope, ambient draws are reported, and the seeded-generator
+// idiom the real package uses passes clean.
+func TestNondetStructuresScope(t *testing.T) {
+	setCorePkgs(t, "structzoo")
+	analysistest.Run(t, "testdata", nondet.Analyzer, "structzoo")
+}
+
 func TestNondetSkipsForeignPackages(t *testing.T) {
 	// With the default core list, the fixture package is out of scope and
 	// must produce no diagnostics; prove it by expecting the fixture's
@@ -49,6 +58,9 @@ func TestNondetSkipsForeignPackages(t *testing.T) {
 		}
 		if !nondetInCore("widx/internal/sim/inner") {
 			t.Error("subtree of a core package must match")
+		}
+		if !nondetInCore("widx/internal/structures") {
+			t.Error("the workload-zoo builders must be in the default core list")
 		}
 	}
 }

@@ -1,0 +1,49 @@
+// Package structzoo is the nondet fixture standing in for
+// internal/structures: a traversal-structure builder whose layouts (skip-list
+// tower heights, LSM shadow placement, BFS edge targets) are drawn from
+// randomness. Every draw must come from an explicitly seeded generator —
+// an ambient draw would make the built structure, and with it every match
+// fingerprint and golden test, differ run to run.
+package structzoo
+
+import (
+	"math/rand"
+	"time"
+)
+
+// --- report cases ---
+
+func badTowerHeights(n int) []int {
+	hs := make([]int, n)
+	for i := range hs {
+		h := 1
+		for rand.Intn(4) == 0 { // want `global rand.Intn draws from the ambient source`
+			h++
+		}
+		hs[i] = h
+	}
+	return hs
+}
+
+func badSlotShuffle(n int) []int {
+	return rand.Perm(n) // want `global rand.Perm draws from the ambient source`
+}
+
+func badBuildSeed() int64 {
+	return time.Now().UnixNano() // want `time.Now in the simulation core`
+}
+
+// --- accepted fixes ---
+
+// goodSeededBuild is the structures idiom: one generator per build,
+// seeded from the BuildConfig, so the layout is a pure function of it.
+func goodSeededBuild(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n)
+	for i := range order {
+		if rng.Intn(4) == 0 {
+			order[i] = -order[i]
+		}
+	}
+	return order
+}

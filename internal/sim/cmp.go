@@ -27,6 +27,7 @@ import (
 	"widx/internal/mem"
 	"widx/internal/program"
 	"widx/internal/stats"
+	"widx/internal/structures"
 	"widx/internal/system"
 	"widx/internal/vm"
 	"widx/internal/widx"
@@ -200,8 +201,11 @@ type CMPAgentResult struct {
 
 // CMPExperiment is the result of one contention run.
 type CMPExperiment struct {
-	Size   join.SizeClass
-	Agents []CMPAgentResult
+	Size join.SizeClass
+	// Structure is the traversal structure every partition is built as
+	// (the zero value is the historical partitioned hash join).
+	Structure structures.Kind
+	Agents    []CMPAgentResult
 	// SystemCycles spans the co-run start to the last agent finishing.
 	SystemCycles uint64
 	// SharedStats is the co-run shared level's counters (LLC, combined
@@ -227,23 +231,27 @@ type cmpRunner struct {
 }
 
 // cmpAgentWorkload is one agent's private partition of the CMP workload:
-// its hash table, its probe-key column and — per machine kind — the Widx
-// program bundle (pointing at a private result region) or the probe traces.
+// its structure's resident regions (for LLC warming), its probe-key column
+// and — per machine kind — the Widx program bundle (pointing at a private
+// result region) or the probe traces.
 type cmpAgentWorkload struct {
 	name    string
-	table   *hashidx.Table
+	regions [][2]uint64
 	keyBase uint64
 	keys    int
-	bundle  *program.Bundle
+	progs   *structures.Programs
 	traces  []hashidx.ProbeTrace
 }
 
 // buildCMPWorkload lays out one partition per agent in a single shared
-// address space (one partitioned process): every agent gets its own hash
-// table of the size class's scaled tuple count and its own probe stream
-// drawn from that partition. Allocation happens in spec order, so addresses
-// are fixed by the spec alone.
-func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec) (*vm.AddressSpace, []cmpAgentWorkload, error) {
+// address space (one partitioned process): every agent gets its own
+// traversal structure of the size class's scaled tuple count and its own
+// probe stream drawn from that partition. Allocation happens in spec order,
+// so addresses are fixed by the (spec, structure) pair alone. The hash-join
+// path is the historical partitioned-join build, byte for byte; the other
+// zoo structures build through structures.Build with the same per-agent
+// seeding.
+func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec, structure structures.Kind) (*vm.AddressSpace, []cmpAgentWorkload, error) {
 	buildN := size.Tuples(c.Scale)
 	perAgent := c.sampleCount(4 * buildN)
 	buckets := uint64(1)
@@ -255,6 +263,12 @@ func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec) (*vm
 	for i, spec := range specs {
 		w := &out[i]
 		w.name = fmt.Sprintf("%s.%d", spec, i)
+		if structure != structures.HashJoin {
+			if err := c.buildCMPStructurePartition(as, w, spec, structure, buildN, perAgent, i); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
 		w.keys = perAgent
 		rng := stats.NewRNG(2013 + 1000*uint64(i))
 		buildKeys := make([]uint64, buildN)
@@ -277,7 +291,7 @@ func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec) (*vm
 		if err != nil {
 			return nil, nil, err
 		}
-		w.table = tbl
+		w.regions = tbl.Regions()
 		probeKeys := make([]uint64, perAgent)
 		for j := range probeKeys {
 			probeKeys[j] = buildKeys[rng.Intn(buildN)]
@@ -288,9 +302,14 @@ func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec) (*vm
 		}
 		if spec.Kind == AgentWidx {
 			resultBase := as.AllocAligned(w.name+".results", uint64(perAgent)*8+64)
-			w.bundle, err = program.ForTable(tbl, resultBase)
+			bundle, err := program.ForTable(tbl, resultBase)
 			if err != nil {
 				return nil, nil, err
+			}
+			w.progs = &structures.Programs{
+				Dispatcher: bundle.Dispatcher,
+				Walker:     bundle.Walker,
+				Producer:   bundle.Producer,
 			}
 		} else {
 			w.traces = make([]hashidx.ProbeTrace, perAgent)
@@ -300,6 +319,45 @@ func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec) (*vm
 		}
 	}
 	return as, out, nil
+}
+
+// buildCMPStructurePartition builds one agent's partition as a zoo
+// structure, mirroring the hash-join path's per-agent seeding and
+// allocation order (structure, probe column, then the Widx result region).
+func (c Config) buildCMPStructurePartition(as *vm.AddressSpace, w *cmpAgentWorkload, spec CMPAgentSpec, structure structures.Kind, buildN, perAgent, agent int) error {
+	keys := buildN
+	if structure == structures.BFS {
+		// Vertices; the mean degree of 8 keeps the edge footprint comparable
+		// to the other partitions' resident sets.
+		keys /= 8
+		if keys < 128 {
+			keys = 128
+		}
+	}
+	inst, err := structures.Build(as, structures.BuildConfig{
+		Kind:   structure,
+		Keys:   keys,
+		Probes: perAgent,
+		Seed:   2013 + 1000*uint64(agent),
+		Name:   "cmp." + w.name,
+	})
+	if err != nil {
+		return err
+	}
+	w.regions = inst.Regions()
+	w.keyBase = inst.ProbeKeyBase()
+	w.keys = inst.ProbeCount()
+	matches, traces := inst.Reference()
+	if spec.Kind == AgentWidx {
+		resultBase := as.AllocAligned(w.name+".results", uint64(len(matches))*8+64)
+		w.progs, err = inst.Programs(resultBase, structures.ProgramOptions{})
+		if err != nil {
+			return err
+		}
+	} else {
+		w.traces = traces
+	}
+	return nil
 }
 
 // warmPartition installs the agent's partition into the shared LLC (and its
@@ -325,7 +383,7 @@ type blockCursor struct {
 }
 
 func newBlockCursor(hier *mem.Hierarchy, w *cmpAgentWorkload) *blockCursor {
-	c := &blockCursor{regions: w.table.Regions(), block: uint64(hier.Config().L1BlockBytes)}
+	c := &blockCursor{regions: w.regions, block: uint64(hier.Config().L1BlockBytes)}
 	if len(c.regions) > 0 {
 		c.addr = c.regions[0][0]
 	}
@@ -401,7 +459,7 @@ func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w
 			walkers = 4
 		}
 		acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: queueDepth},
-			hier, as, w.bundle.Dispatcher, w.bundle.Walker, w.bundle.Producer)
+			hier, as, w.progs.Dispatcher, w.progs.Walker, w.progs.Producer)
 		if err != nil {
 			return nil, err
 		}
@@ -451,14 +509,22 @@ func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w
 // (partitioned hash join), so the co-run's aggregate working set is K
 // partitions against one LLC.
 func (c Config) RunCMP(size join.SizeClass, specs []CMPAgentSpec) (*CMPExperiment, error) {
-	return c.runCMP(size, specs, true)
+	return c.runCMP(size, specs, structures.HashJoin, true)
+}
+
+// RunCMPStructure is RunCMP with every partition built as the given zoo
+// structure: the same co-scheduling, warming and contention metrics, but
+// the streams traverse skip lists, B+-trees, LSM levels or BFS frontiers
+// instead of hash-bucket chains.
+func (c Config) RunCMPStructure(size join.SizeClass, specs []CMPAgentSpec, structure structures.Kind) (*CMPExperiment, error) {
+	return c.runCMP(size, specs, structure, true)
 }
 
 // runCMP is RunCMP with the warming policy explicit: interleavedWarm selects
 // round-robin block-interleaved warming (the production policy); false warms
 // whole partitions in agent order, kept only so tests can quantify the
 // start-state asymmetry the interleaved policy removes.
-func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWarm bool) (*CMPExperiment, error) {
+func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, structure structures.Kind, interleavedWarm bool) (*CMPExperiment, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -476,12 +542,12 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, interleavedWar
 		}
 	}
 	k := len(specs)
-	as, workloads, workloadKey, err := c.cmpWorkload(size, specs)
+	as, workloads, workloadKey, err := c.cmpWorkload(size, specs, structure)
 	if err != nil {
 		return nil, err
 	}
 
-	exp := &CMPExperiment{Size: size, Agents: make([]CMPAgentResult, k)}
+	exp := &CMPExperiment{Size: size, Structure: structure, Agents: make([]CMPAgentResult, k)}
 
 	// Solo reference runs: each agent alone on a fresh, uncontended
 	// hierarchy with its own partition warmed and the same private spec

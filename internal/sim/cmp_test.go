@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"widx/internal/join"
+	"widx/internal/structures"
+	"widx/internal/warmstate"
 )
 
 // cmpQuickConfig returns a configuration small enough for unit tests but
@@ -183,11 +185,11 @@ func TestCMPWarmingInterleavedSymmetric(t *testing.T) {
 		}
 		return maxInf - minInf
 	}
-	interleaved, err := cfg.runCMP(join.Medium, specs, true)
+	interleaved, err := cfg.runCMP(join.Medium, specs, structures.HashJoin, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	agentOrder, err := cfg.runCMP(join.Medium, specs, false)
+	agentOrder, err := cfg.runCMP(join.Medium, specs, structures.HashJoin, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,5 +470,68 @@ func TestCMPRejectsOutOfRangeOverrides(t *testing.T) {
 		} else if !strings.Contains(err.Error(), "LLCWays") {
 			t.Fatalf("unexpected error for %s: %v", spec, err)
 		}
+	}
+}
+
+// TestCMPStructureWorkloads drives the co-run over every zoo structure: a
+// host core and a Widx agent each probing their own partition built as the
+// structure under test. Every structure must produce a complete contention
+// report, and the header must name the structure for every non-default kind
+// (the hash-join header stays historical — the exp golden pins it).
+func TestCMPStructureWorkloads(t *testing.T) {
+	cfg := cmpQuickConfig()
+	cfg.SampleProbes = 300
+	specs, _ := ParseAgents("ooo+widx:2w")
+	for _, kind := range structures.Kinds() {
+		exp, err := cfg.RunCMPStructure(join.Small, specs, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if exp.Structure != kind {
+			t.Fatalf("%v: experiment records structure %v", kind, exp.Structure)
+		}
+		if exp.SystemCycles == 0 {
+			t.Fatalf("%v: no system cycles", kind)
+		}
+		for i, a := range exp.Agents {
+			if a.Cycles == 0 || a.SoloCycles == 0 || a.Tuples == 0 {
+				t.Fatalf("%v agent %d: degenerate result %+v", kind, i, a)
+			}
+		}
+		named := strings.Contains(exp.Text(), kind.String())
+		if kind == structures.HashJoin && named {
+			t.Fatalf("hash-join CMP header must stay historical:\n%s", exp.Text())
+		}
+		if kind != structures.HashJoin && !named {
+			t.Fatalf("%v missing from the CMP header:\n%s", kind, exp.Text())
+		}
+	}
+}
+
+// TestCMPStructureDeterministic pins run-to-run determinism of a non-default
+// structure co-run, including through the warm-state cache in verify mode.
+func TestCMPStructureDeterministic(t *testing.T) {
+	cfg := cmpQuickConfig()
+	cfg.SampleProbes = 300
+	specs, _ := ParseAgents("inorder+widx:2w")
+	base, err := cfg.RunCMPStructure(join.Small, specs, structures.SkipList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cfg
+	warm.WarmCache = warmstate.New()
+	warm.WarmCache.SetVerify(true)
+	for pass := 0; pass < 2; pass++ {
+		exp, err := warm.RunCMPStructure(join.Small, specs, structures.SkipList)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if exp.Text() != base.Text() {
+			t.Fatalf("pass %d: warm cache changed the skip-list co-run\nbase:\n%s\nwarm:\n%s",
+				pass, base.Text(), exp.Text())
+		}
+	}
+	if hits, misses := warm.WarmCache.Stats(); hits == 0 || misses == 0 {
+		t.Fatalf("warm cache did not exercise both paths (hits %d, misses %d)", hits, misses)
 	}
 }

@@ -36,6 +36,9 @@ func (rows BreakdownRows) JSON() ([]byte, error) { return encodeJSON(rows) }
 // JSON encodes the hashing-organization ablation.
 func (a *AblationResult) JSON() ([]byte, error) { return encodeJSON(a) }
 
+// JSON encodes the workload-zoo cross-structure study.
+func (e *ZooExperiment) JSON() ([]byte, error) { return encodeJSON(e) }
+
 // modelFiguresJSON is the analytical model's JSON payload: the input
 // parameters plus every closed-form curve the text report prints.
 type modelFiguresJSON struct {

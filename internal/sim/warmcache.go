@@ -35,6 +35,7 @@ import (
 	"widx/internal/hashidx"
 	"widx/internal/join"
 	"widx/internal/mem"
+	"widx/internal/structures"
 	"widx/internal/vm"
 	"widx/internal/warmstate"
 	"widx/internal/workloads"
@@ -198,19 +199,21 @@ type cmpWorkloadArtifact struct {
 // the warm-state keys to chain on. Each RunCMP invocation receives one
 // private clone — solo runs and the co-run share it sequentially, exactly
 // like the historical single-image path.
-func (c Config) cmpWorkload(size join.SizeClass, specs []CMPAgentSpec) (*vm.AddressSpace, []cmpAgentWorkload, string, error) {
+func (c Config) cmpWorkload(size join.SizeClass, specs []CMPAgentSpec, structure structures.Kind) (*vm.AddressSpace, []cmpAgentWorkload, string, error) {
 	if c.WarmCache == nil {
-		as, ws, err := c.buildCMPWorkload(size, specs)
+		as, ws, err := c.buildCMPWorkload(size, specs, structure)
 		return as, ws, "", err
 	}
-	// The derived stream lengths plus the spec strings (which name the
-	// partition regions and select bundle vs. traces per agent) fully
-	// determine the image; scale and sample enter through the lengths.
+	// The derived stream lengths plus the structure and the spec strings
+	// (which name the partition regions and select bundle vs. traces per
+	// agent) fully determine the image; scale and sample enter through the
+	// lengths.
 	names := make([]string, len(specs))
 	for i, s := range specs {
 		names[i] = s.String()
 	}
 	f := warmstate.NewFingerprint("cmpwork").
+		Field("structure", structure).
 		Field("tuples", size.Tuples(c.Scale)).
 		Field("peragent", c.sampleCount(4*size.Tuples(c.Scale)))
 	for i, n := range names {
@@ -218,7 +221,7 @@ func (c Config) cmpWorkload(size join.SizeClass, specs []CMPAgentSpec) (*vm.Addr
 	}
 	key := warmKey(f)
 	art, err := warmstate.Get(c.WarmCache, key, func() (*cmpWorkloadArtifact, error) {
-		as, ws, err := c.buildCMPWorkload(size, specs)
+		as, ws, err := c.buildCMPWorkload(size, specs, structure)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,270 @@
+// The workload zoo: the cross-structure traversal study. Every structure in
+// internal/structures — hash join, skip list, B+-tree, LSM lookup, BFS
+// frontier expansion — runs through the same harness as the kernel study:
+// an OoO baseline replaying the software reference's dependent-load trace,
+// and Widx at every configured walker count executing the structure's
+// generated program bundle against the live image. The zoo is what makes
+// the paper's "walkers generalize beyond hash joins" claim measurable: one
+// accelerator configuration, five traversal shapes, the same
+// cycles-per-tuple and speedup metrics.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"widx/internal/cores"
+	"widx/internal/structures"
+	"widx/internal/vm"
+	"widx/internal/warmstate"
+	"widx/internal/widx"
+)
+
+// ZooOptions selects the structures and program variants of a zoo run.
+type ZooOptions struct {
+	// Structures lists the kinds to run, in report order. Empty runs the
+	// whole zoo in canonical order.
+	Structures []structures.Kind
+	// Span is the B+-tree range-probe span (0 or 1 = point probes).
+	Span int
+	// Prog selects the generated-program variant (dispatcher prefetch
+	// distance, touching walker). The match stream is variant-independent.
+	Prog structures.ProgramOptions
+}
+
+// ZooPoint is one (structure, walkers) design point.
+type ZooPoint struct {
+	Walkers int
+	// CyclesPerTuple is the Widx traversal cost at this point.
+	CyclesPerTuple float64
+	// Breakdown is the per-tuple Comp/Mem/TLB/Idle split.
+	Breakdown Breakdown
+	// Speedup is over the OoO baseline replaying the same structure.
+	Speedup float64
+	// Raw is the offload's timing detail; its Matches slice is dropped.
+	Raw *widx.OffloadResult
+}
+
+// ZooStructureResult is one structure's full design-point sweep.
+type ZooStructureResult struct {
+	Structure structures.Kind
+	Geometry  structures.Geometry
+	// Probes is the traversal-stream length and Matches the reference
+	// match-stream length; Fingerprint hashes the match stream (every Widx
+	// point was verified bit-identical against it).
+	Probes      int
+	Matches     int
+	Fingerprint uint64
+	// OoOCyclesPerTuple is the baseline cost on this structure.
+	OoOCyclesPerTuple float64
+	Points            []ZooPoint
+}
+
+// ZooExperiment is the cross-structure study result.
+type ZooExperiment struct {
+	Structures []ZooStructureResult
+}
+
+// Point returns the design point for a structure and walker count.
+func (e *ZooExperiment) Point(k structures.Kind, walkers int) (ZooPoint, bool) {
+	for _, s := range e.Structures {
+		if s.Structure != k {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Walkers == walkers {
+				return p, true
+			}
+		}
+	}
+	return ZooPoint{}, false
+}
+
+// zooKeys sizes a structure's resident element count from the scale knob —
+// the same proportionality the kernel study uses, floored so the smallest
+// scales still build multi-level structures.
+func (c Config) zooKeys() int {
+	n := int(c.Scale * (1 << 21))
+	if n < 512 {
+		n = 512
+	}
+	return n
+}
+
+// zooBuildConfig derives the deterministic build for one structure.
+func (c Config) zooBuildConfig(k structures.Kind, span int) structures.BuildConfig {
+	keys := c.zooKeys()
+	if k == structures.BFS {
+		// Vertices; the mean degree of 8 keeps the edge footprint (and the
+		// match stream, one match per edge) comparable to the other builds.
+		keys /= 8
+		if keys < 128 {
+			keys = 128
+		}
+	}
+	return structures.BuildConfig{
+		Kind:   k,
+		Keys:   keys,
+		Probes: c.sampleCount(4 * keys),
+		Span:   span,
+		Seed:   40961 + 101*uint64(k),
+		Name:   "zoo." + k.String(),
+	}
+}
+
+// zooArtifact is one memoized structure build: the master address-space
+// image and the instance (which is immutable and clone-independent — its
+// addresses are identical in every copy-on-write clone of the master).
+type zooArtifact struct {
+	mu   sync.Mutex
+	as   *vm.AddressSpace
+	inst structures.Instance
+}
+
+// zooPhase builds (or fetches from the warm cache) one structure workload
+// and returns a private copy-on-write clone of its image plus the shared
+// instance. The key names every build input; program options are absent
+// deliberately — they change the generated code, never the image or the
+// reference.
+func (c Config) zooPhase(cfg structures.BuildConfig) (*vm.AddressSpace, structures.Instance, error) {
+	build := func() (*zooArtifact, error) {
+		as := vm.New()
+		inst, err := structures.Build(as, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &zooArtifact{as: as, inst: inst}, nil
+	}
+	if c.WarmCache == nil {
+		art, err := build()
+		if err != nil {
+			return nil, nil, err
+		}
+		return art.as, art.inst, nil
+	}
+	key := warmKey(warmstate.NewFingerprint("zoo").
+		Field("structure", cfg.Kind).
+		Field("keys", cfg.Keys).
+		Field("probes", cfg.Probes).
+		Field("span", cfg.Span).
+		Field("seed", cfg.Seed))
+	art, err := warmstate.Get(c.WarmCache, key, build,
+		func(a *zooArtifact) uint64 { return a.as.ContentHash() })
+	if err != nil {
+		return nil, nil, err
+	}
+	// Clone under the artifact's lock: vm.AddressSpace.Clone mutates the
+	// parent's sharing bookkeeping.
+	art.mu.Lock()
+	as := art.as.Clone()
+	art.mu.Unlock()
+	return as, art.inst, nil
+}
+
+// runZooWidx executes one structure's probes on one Widx design point.
+func (c Config) runZooWidx(inst structures.Instance, as *vm.AddressSpace, resultBase uint64, walkers int, prog structures.ProgramOptions) (*widx.OffloadResult, error) {
+	progs, err := inst.Programs(resultBase, prog)
+	if err != nil {
+		return nil, err
+	}
+	sl := c.newSharedLevel()
+	hier := sl.NewAgent(c.widxSpec(sl.Topology(), "widx"))
+	acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: c.queueDepth(), Mode: widx.SharedDispatcher},
+		hier, as, progs.Dispatcher, progs.Walker, progs.Producer)
+	if err != nil {
+		return nil, err
+	}
+	return acc.Offload(widx.OffloadRequest{
+		KeyBase:  inst.ProbeKeyBase(),
+		KeyCount: uint64(inst.ProbeCount()),
+	})
+}
+
+// RunZoo runs the cross-structure study. Structures fan out across workers
+// (each builds or fetches its own image), design points within a structure
+// fan out in turn, and every Widx point's match stream is verified
+// bit-identical to the structure's software reference — a mismatch fails
+// the run rather than reporting timings for wrong results.
+func (c Config) RunZoo(opt ZooOptions) (*ZooExperiment, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	kinds := opt.Structures
+	if len(kinds) == 0 {
+		kinds = structures.Kinds()
+	}
+	perKind := make([]ZooStructureResult, len(kinds))
+	inner := c.InnerConfig(len(kinds))
+	if err := c.RunTasks(len(kinds), func(i int) error {
+		as, inst, err := c.zooPhase(c.zooBuildConfig(kinds[i], opt.Span))
+		if err != nil {
+			return err
+		}
+		refMatches, traces := inst.Reference()
+		refFP := structures.Fingerprint(refMatches)
+
+		// Result regions for every design point first, in walker order, then
+		// all clones — the sequential allocation order that keeps parallel
+		// runs byte-identical (see runner.go).
+		resultBases := make([]uint64, len(c.Walkers))
+		for j, w := range c.Walkers {
+			resultBases[j] = as.AllocAligned(fmt.Sprintf("zoo.results.w%d", w),
+				uint64(len(refMatches))*8+64)
+		}
+		spaces := make([]*vm.AddressSpace, len(c.Walkers))
+		for j := range spaces {
+			if inner.parallelism() <= 1 {
+				spaces[j] = as
+			} else {
+				spaces[j] = as.Clone()
+			}
+		}
+
+		var ooo cores.Result
+		points := make([]ZooPoint, len(c.Walkers))
+		if err := inner.RunTasks(1+len(c.Walkers), func(j int) error {
+			if j == 0 {
+				r, err := inner.runBaseline(&indexPhase{traces: traces}, oooConfig())
+				if err != nil {
+					return err
+				}
+				ooo = r
+				return nil
+			}
+			w := c.Walkers[j-1]
+			res, err := inner.runZooWidx(inst, spaces[j-1], resultBases[j-1], w, opt.Prog)
+			if err != nil {
+				return err
+			}
+			if got := structures.Fingerprint(res.Matches); got != refFP {
+				return fmt.Errorf("sim: %s walker output diverged from the software reference (%d matches fp %#x, want %d fp %#x)",
+					kinds[i], len(res.Matches), got, len(refMatches), refFP)
+			}
+			points[j-1] = ZooPoint{
+				Walkers:        w,
+				CyclesPerTuple: res.CyclesPerTuple(),
+				Breakdown:      scaleBreakdown(res.WalkerTotal, w, res.Tuples),
+				Raw:            rawDetail(res),
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		for j := range points {
+			points[j].Speedup = ooo.CyclesPerTuple() / points[j].CyclesPerTuple
+		}
+		perKind[i] = ZooStructureResult{
+			Structure:         kinds[i],
+			Geometry:          inst.Geometry(),
+			Probes:            inst.ProbeCount(),
+			Matches:           len(refMatches),
+			Fingerprint:       refFP,
+			OoOCyclesPerTuple: ooo.CyclesPerTuple(),
+			Points:            points,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return &ZooExperiment{Structures: perKind}, nil
+}

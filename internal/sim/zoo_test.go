@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+
+	"widx/internal/structures"
+	"widx/internal/warmstate"
+)
+
+// zooTestConfig is the small zoo configuration the determinism tests run.
+func zooTestConfig(parallelism int) Config {
+	cfg := QuickConfig()
+	cfg.Scale = 1.0 / 2048
+	cfg.SampleProbes = 600
+	cfg.Walkers = []int{1, 4}
+	cfg.Parallelism = parallelism
+	return cfg
+}
+
+func TestRunZooAllStructures(t *testing.T) {
+	exp, err := zooTestConfig(1).RunZoo(ZooOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := structures.Kinds()
+	if len(exp.Structures) != len(kinds) {
+		t.Fatalf("zoo ran %d structures, want %d", len(exp.Structures), len(kinds))
+	}
+	for i, s := range exp.Structures {
+		if s.Structure != kinds[i] {
+			t.Fatalf("structure %d is %v, want %v", i, s.Structure, kinds[i])
+		}
+		if s.Matches == 0 || s.Fingerprint == 0 {
+			t.Fatalf("%v: empty reference (matches %d, fp %#x)", s.Structure, s.Matches, s.Fingerprint)
+		}
+		if s.OoOCyclesPerTuple <= 0 {
+			t.Fatalf("%v: no baseline cost", s.Structure)
+		}
+		for _, p := range s.Points {
+			if p.CyclesPerTuple <= 0 || p.Speedup <= 0 {
+				t.Fatalf("%v at %d walkers: degenerate point %+v", s.Structure, p.Walkers, p)
+			}
+		}
+	}
+	if exp.Text() == "" {
+		t.Fatal("empty text report")
+	}
+	if data, err := exp.JSON(); err != nil || len(data) == 0 {
+		t.Fatalf("JSON encoding: %v (%d bytes)", err, len(data))
+	}
+}
+
+// TestParallelZooDeterminism asserts the sweep contract on the zoo: the
+// report is byte-identical at parallelism 1 and 8.
+func TestParallelZooDeterminism(t *testing.T) {
+	seqExp, err := zooTestConfig(1).RunZoo(ZooOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := seqExp.Text()
+	parExp, err := zooTestConfig(8).RunZoo(ZooOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par := parExp.Text(); par != seq {
+		t.Fatalf("parallelism changed the zoo report\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}
+
+// TestZooWarmCacheDeterminism asserts warm-cache transparency: a cache-off
+// run, a cold-cache run and a warm-hit rerun all render byte-identically,
+// with the cache in verify mode so a key that misses a warm-affecting knob
+// fails loudly.
+func TestZooWarmCacheDeterminism(t *testing.T) {
+	opt := ZooOptions{Span: 2, Prog: structures.ProgramOptions{TouchWalker: true}}
+	off := zooTestConfig(2)
+	off.WarmCache = nil
+	offExp, err := off.RunZoo(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := offExp.Text()
+
+	on := zooTestConfig(2)
+	on.WarmCache = warmstate.New()
+	on.WarmCache.SetVerify(true)
+	for pass := 0; pass < 2; pass++ {
+		exp, err := on.RunZoo(opt)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if got := exp.Text(); got != want {
+			t.Fatalf("pass %d: warm cache changed the zoo report\noff:\n%s\non:\n%s", pass, want, got)
+		}
+	}
+	if hits, misses := on.WarmCache.Stats(); hits == 0 || misses == 0 {
+		t.Fatalf("warm cache did not exercise both paths (hits %d, misses %d)", hits, misses)
+	}
+}
+
+// TestZooProgramVariantsKeepResults asserts the satellite contract: the
+// dispatcher-prefetch and touching-walker variants change only timing-side
+// behaviour — fingerprints, match counts and geometry stay identical.
+func TestZooProgramVariantsKeepResults(t *testing.T) {
+	base, err := zooTestConfig(4).RunZoo(ZooOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant, err := zooTestConfig(4).RunZoo(ZooOptions{
+		Prog: structures.ProgramOptions{PrefetchDist: 8, TouchWalker: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range base.Structures {
+		v := variant.Structures[i]
+		if s.Fingerprint != v.Fingerprint || s.Matches != v.Matches {
+			t.Fatalf("%v: program variant changed the functional output (%#x/%d vs %#x/%d)",
+				s.Structure, s.Fingerprint, s.Matches, v.Fingerprint, v.Matches)
+		}
+		if s.Geometry != v.Geometry {
+			t.Fatalf("%v: program variant changed the geometry", s.Structure)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// The hash join: the zoo's calibration point. It wraps internal/hashidx's
+// inline-layout bucket-chain index behind the structures.Instance interface,
+// so the zoo's cross-structure sweeps include the workload every existing
+// study measures, built and probed through exactly the same code paths as
+// the new structures. The generated non-touching programs are the canonical
+// internal/program bundle; the touching variant reorders the walker to load
+// each node's next pointer first and TOUCH it before comparing the current
+// node's key.
+package structures
+
+import (
+	"widx/internal/hashidx"
+	"widx/internal/isa"
+	"widx/internal/program"
+	"widx/internal/stats"
+	"widx/internal/vm"
+)
+
+const hashjoinPayloadTag = uint64(0x8A) << 40
+
+func hashjoinPayload(key uint64) uint64 { return key ^ hashjoinPayloadTag }
+
+// hashjoinInstance is the built hash-join workload.
+type hashjoinInstance struct {
+	baseInstance
+	table *hashidx.Table
+}
+
+func buildHashJoin(as *vm.AddressSpace, cfg BuildConfig) (*hashjoinInstance, error) {
+	rng := stats.NewRNG(cfg.Seed)
+	ks := genKeySet(rng, cfg.Keys)
+	payloads := make([]uint64, len(ks.keys))
+	for i, k := range ks.keys {
+		payloads[i] = hashjoinPayload(k)
+	}
+	// At least two buckets: the walker programs mask bucket indexes, and a
+	// single-bucket mask of zero is rejected by program.Spec.
+	buckets := uint64(2)
+	for buckets < uint64(len(ks.keys)) {
+		buckets <<= 1
+	}
+	tbl, err := hashidx.Build(as, hashidx.Config{
+		Layout:      hashidx.LayoutInline,
+		Hash:        hashidx.HashSimple,
+		BucketCount: buckets,
+		Name:        cfg.Name + ".index",
+	}, ks.keys, payloads)
+	if err != nil {
+		return nil, err
+	}
+	probes := ks.probeStream(rng, cfg.Probes)
+	probeBase := writeColumn(as, cfg.Name+".probes", probes)
+
+	inst := &hashjoinInstance{table: tbl}
+	inst.kind = HashJoin
+	inst.probeBase = probeBase
+	inst.probes = len(probes)
+	inst.regions = tbl.Regions()
+	inst.geom = Geometry{
+		NodeBytes:      hashidx.InlineNodeSize,
+		Fanout:         1,
+		Levels:         tbl.MaxChain(),
+		FootprintBytes: tbl.FootprintBytes(),
+		Locality:       "hashed bucket headers, short collision chains",
+	}
+	for i, p := range probes {
+		res := tbl.ProbeFrom(p, probeBase+uint64(i)*8)
+		// Keys are unique, so a hit is exactly one matching node.
+		if res.Found {
+			inst.matches = append(inst.matches, res.Payload)
+		}
+		inst.traces = append(inst.traces, res.Trace)
+	}
+	return inst, nil
+}
+
+// touchWalker is the inline-layout walker reordered for MLP: each
+// iteration loads the node's next pointer first and TOUCHes it (when
+// non-null) before the current node's key compare resolves, overlapping
+// the chain's next dependent miss with the current one. The emit order —
+// and so the match stream — is identical to the canonical walker's.
+func touchWalker() *isa.Program {
+	return isa.MustAssemble(`
+.unit walker
+.name walk_hashjoin_touch
+.in r1, r2
+.out r3
+loop:
+    ld   r6, [r1+16]   ; next pointer first
+    ble  r6, r0, cur   ; end of chain: nothing to touch
+    touch [r6]         ; prefetch the next node
+cur:
+    ld   r4, [r1]      ; current node's key (EmptyKey on an empty header)
+    cmp  r5, r4, r2
+    ble  r5, r0, step
+    ld   r3, [r1+8]
+    emit
+step:
+    add  r1, r6, #0
+    ble  r1, r0, done
+    ba   loop
+done:
+    halt
+`)
+}
+
+func (h *hashjoinInstance) Programs(resultBase uint64, opt ProgramOptions) (*Programs, error) {
+	spec := program.SpecForTable(h.table, resultBase)
+	d, err := program.Dispatcher(spec)
+	if err != nil {
+		return nil, err
+	}
+	var w *isa.Program
+	if opt.TouchWalker {
+		w = touchWalker()
+	} else {
+		if w, err = program.Walker(spec); err != nil {
+			return nil, err
+		}
+	}
+	return finishPrograms(d, w, resultBase, opt)
+}

@@ -1,0 +1,447 @@
+// Package structures is the workload zoo: pointer-chasing traversal
+// structures beyond the hash join, each buildable into a vm.AddressSpace
+// and probed three ways from the same image — by a software reference
+// traversal (the functional oracle), by the baseline cores replaying the
+// reference's dependent-load traces, and by Widx executing a generated
+// dispatcher/walker/producer program bundle against the live structure.
+//
+// The paper's thesis is that Widx walkers are programmable enough to cover
+// dependent-pointer index traversal generally, not just hash-bucket chains;
+// this package makes that claim measurable. Every implementation follows
+// the hashidx cross-check discipline: the generated walker program must
+// produce a match stream bit-identical to the software reference (the sim
+// layer enforces this on every run, and golden tests pin the fingerprints).
+//
+// The zoo's four structures beyond the hash join sit at deliberately
+// different node-size / fanout / locality points:
+//
+//   - skip list: tall towers of thin pointers, one dependent load per
+//     level step, near-zero spatial locality (nodes are placement-shuffled)
+//   - B+-tree: fat 128-byte nodes, fanout 8, two cache blocks of spatial
+//     locality per descent step, plus range probes that walk leaf chains
+//   - LSM lookup: a skip-list memtable in front of per-level SSTable fence
+//     binary searches and 128-byte block scans — a mixed-locality pipeline
+//     with early exit on the newest hit
+//   - BFS frontier expansion: CSR rowptr/edge/property arrays — sequential
+//     edge scans fanning out into random property gathers
+//
+// Programs use the internal/program register conventions (dispatcher
+// r1 -> r2,r3; walker r1,r2 -> r3; producer r1 with the r20 cursor), so the
+// bundles drop into internal/widx and the cycle-interleaved scheduler
+// unchanged.
+package structures
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"widx/internal/hashidx"
+	"widx/internal/isa"
+	"widx/internal/program"
+	"widx/internal/stats"
+	"widx/internal/vm"
+)
+
+// Kind identifies one traversal structure of the zoo.
+type Kind uint8
+
+const (
+	// HashJoin is the paper's hash-join bucket-chain walk (internal/hashidx,
+	// inline layout) — the zoo's calibration point.
+	HashJoin Kind = iota
+	// SkipList is a tower-descent skip-list lookup.
+	SkipList
+	// BTree is a B+-tree descent with point and range probes.
+	BTree
+	// LSM is an LSM lookup: skip-list memtable, then per-level SSTable
+	// fence binary search and block scan, newest hit wins.
+	LSM
+	// BFS is graph BFS frontier expansion over a CSR adjacency.
+	BFS
+
+	numKinds
+)
+
+// Kinds lists every structure in canonical (sweep-axis) order.
+func Kinds() []Kind { return []Kind{HashJoin, SkipList, BTree, LSM, BFS} }
+
+// String names the kind; the names are the sweep-axis values.
+func (k Kind) String() string {
+	switch k {
+	case HashJoin:
+		return "hashjoin"
+	case SkipList:
+		return "skiplist"
+	case BTree:
+		return "btree"
+	case LSM:
+		return "lsm"
+	case BFS:
+		return "bfs"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// MarshalText encodes the kind by name, so JSON manifests and the serve
+// catalog carry "skiplist" rather than opaque enum values.
+func (k Kind) MarshalText() ([]byte, error) {
+	if k >= numKinds {
+		return nil, fmt.Errorf("structures: unknown kind %d", uint8(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText decodes a kind name, so manifests round-trip (the WarmClass
+// lesson: a JSON-surfaced enum without UnmarshalText breaks the first
+// client that decodes what it encoded).
+func (k *Kind) UnmarshalText(text []byte) error {
+	parsed, err := ParseKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// ParseKind resolves a structure name (case-insensitive).
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "hashjoin", "hash", "hj":
+		return HashJoin, nil
+	case "skiplist", "skip":
+		return SkipList, nil
+	case "btree", "b+tree", "bplustree":
+		return BTree, nil
+	case "lsm":
+		return LSM, nil
+	case "bfs", "graph":
+		return BFS, nil
+	}
+	return 0, fmt.Errorf("structures: unknown structure %q (want hashjoin, skiplist, btree, lsm or bfs)", s)
+}
+
+// ParseKinds resolves a comma-separated structure list.
+func ParseKinds(s string) ([]Kind, error) {
+	var out []Kind
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		k, err := ParseKind(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("structures: no structures in %q", s)
+	}
+	return out, nil
+}
+
+// BuildConfig sizes one structure build.
+type BuildConfig struct {
+	// Kind selects the structure.
+	Kind Kind
+	// Keys is the resident element count (vertices for BFS).
+	Keys int
+	// Probes is the probe-stream length.
+	Probes int
+	// Span is the B+-tree range-probe span: the number of consecutive key
+	// values each probe covers (1 = point probe; other structures ignore it).
+	Span int
+	// Seed drives every random choice of the build and the probe stream.
+	Seed uint64
+	// Name prefixes the structure's region names; it must be unique within
+	// the address space (CMP co-runs build one partition per agent).
+	Name string
+}
+
+func (cfg BuildConfig) validate() error {
+	if cfg.Keys <= 0 {
+		return fmt.Errorf("structures: need a positive key count")
+	}
+	if cfg.Probes <= 0 {
+		return fmt.Errorf("structures: need a positive probe count")
+	}
+	if cfg.Span < 0 {
+		return fmt.Errorf("structures: negative range span")
+	}
+	if cfg.Name == "" {
+		return fmt.Errorf("structures: BuildConfig needs a region-name prefix")
+	}
+	return nil
+}
+
+// Geometry summarizes the structure's traversal shape — the node-size /
+// fanout / locality point it occupies in the zoo.
+type Geometry struct {
+	// NodeBytes is the traversal node stride.
+	NodeBytes int `json:"node_bytes"`
+	// Fanout is the branching factor per traversal step (chain targets per
+	// bucket, tree fanout, average degree).
+	Fanout int `json:"fanout"`
+	// Levels is the dependent-step depth of a typical probe.
+	Levels int `json:"levels"`
+	// FootprintBytes is the resident structure size (probe column excluded).
+	FootprintBytes uint64 `json:"footprint_bytes"`
+	// Locality is a one-phrase access-pattern description for reports.
+	Locality string `json:"locality"`
+}
+
+// ProgramOptions are the program-generation knobs; they never change the
+// match stream, only the memory-level parallelism of the generated code.
+type ProgramOptions struct {
+	// PrefetchDist makes the dispatcher TOUCH the probe-key column this
+	// many keys ahead of the key it is about to load (0 = no prefetch).
+	PrefetchDist int
+	// TouchWalker selects the walker variant that TOUCHes the next node
+	// before comparing the current one — the MLP argument probed from the
+	// walker side.
+	TouchWalker bool
+}
+
+func (o ProgramOptions) validate() error {
+	if o.PrefetchDist < 0 {
+		return fmt.Errorf("structures: negative prefetch distance")
+	}
+	return nil
+}
+
+// Programs is one offload's generated unit-program bundle.
+type Programs struct {
+	Dispatcher *isa.Program
+	Walker     *isa.Program
+	Producer   *isa.Program
+}
+
+// Instance is one built structure, immutable after Build: the probe stream
+// it emits, the software reference results, and the program generator. All
+// methods are safe for concurrent use.
+type Instance interface {
+	// Kind returns the structure kind.
+	Kind() Kind
+	// ProbeKeyBase is the address of the probe-key column (8-byte stride).
+	ProbeKeyBase() uint64
+	// ProbeCount is the probe-stream length.
+	ProbeCount() int
+	// Geometry describes the traversal shape.
+	Geometry() Geometry
+	// Regions lists the structure's resident [start, end) address ranges
+	// (probe column excluded), for LLC warming.
+	Regions() [][2]uint64
+	// Reference returns the software reference traversal's flattened match
+	// stream (probe order, a probe's matches in traversal order) and the
+	// per-probe dependent-load traces for baseline-core replay. Callers
+	// must not mutate either slice.
+	Reference() (matches []uint64, traces []hashidx.ProbeTrace)
+	// Programs generates the Widx bundle targeting resultBase. The match
+	// stream the bundle produces is identical for every option setting.
+	Programs(resultBase uint64, opt ProgramOptions) (*Programs, error)
+}
+
+// Build constructs the structure into the address space and precomputes its
+// reference results.
+func Build(as *vm.AddressSpace, cfg BuildConfig) (Instance, error) {
+	if as == nil {
+		return nil, fmt.Errorf("structures: nil address space")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Span == 0 {
+		cfg.Span = 1
+	}
+	switch cfg.Kind {
+	case HashJoin:
+		return buildHashJoin(as, cfg)
+	case SkipList:
+		return buildSkipList(as, cfg)
+	case BTree:
+		return buildBTree(as, cfg)
+	case LSM:
+		return buildLSM(as, cfg)
+	case BFS:
+		return buildBFS(as, cfg)
+	default:
+		return nil, fmt.Errorf("structures: unknown kind %d", uint8(cfg.Kind))
+	}
+}
+
+// Fingerprint hashes a match stream (FNV-1a over the 8-byte little-endian
+// payloads, the golden-test encoding used across the repository).
+func Fingerprint(matches []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, m := range matches {
+		for i := range buf {
+			buf[i] = byte(m >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// baseInstance carries the fields every structure shares; concrete types
+// embed it and add Programs.
+type baseInstance struct {
+	kind      Kind
+	probeBase uint64
+	probes    int
+	geom      Geometry
+	regions   [][2]uint64
+	matches   []uint64
+	traces    []hashidx.ProbeTrace
+}
+
+func (b *baseInstance) Kind() Kind           { return b.kind }
+func (b *baseInstance) ProbeKeyBase() uint64 { return b.probeBase }
+func (b *baseInstance) ProbeCount() int      { return b.probes }
+func (b *baseInstance) Geometry() Geometry   { return b.geom }
+func (b *baseInstance) Regions() [][2]uint64 { return b.regions }
+func (b *baseInstance) Reference() ([]uint64, []hashidx.ProbeTrace) {
+	return b.matches, b.traces
+}
+
+// regionSpan sums the regions' sizes for the geometry footprint.
+func regionSpan(regions [][2]uint64) uint64 {
+	var total uint64
+	for _, r := range regions {
+		total += r[1] - r[0]
+	}
+	return total
+}
+
+// keySet holds a deterministic set of unique, nonzero keys below 2^32 —
+// small enough that every signed walker comparison (BLE has no unsigned
+// form) is safe, including the probe-1 strict-less-than rewrite.
+type keySet struct {
+	keys []uint64
+	seen map[uint64]bool
+}
+
+// genKeySet draws n unique keys.
+func genKeySet(rng *stats.RNG, n int) *keySet {
+	ks := &keySet{keys: make([]uint64, n), seen: make(map[uint64]bool, n)}
+	for i := range ks.keys {
+		for {
+			k := uint64(rng.Uint32())
+			if k != 0 && !ks.seen[k] {
+				ks.keys[i], ks.seen[k] = k, true
+				break
+			}
+		}
+	}
+	return ks
+}
+
+// sorted returns the keys in ascending order (a fresh slice).
+func (ks *keySet) sorted() []uint64 {
+	out := append([]uint64(nil), ks.keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// probeStream draws n probes: ~90% present keys, ~10% misses (nonzero keys
+// outside the set), so walkers exercise both the hit and miss paths.
+func (ks *keySet) probeStream(rng *stats.RNG, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		if rng.Intn(10) == 0 {
+			for {
+				k := uint64(rng.Uint32())
+				if k != 0 && !ks.seen[k] {
+					out[i] = k
+					break
+				}
+			}
+		} else {
+			out[i] = ks.keys[rng.Intn(len(ks.keys))]
+		}
+	}
+	return out
+}
+
+// writeColumn allocates a named 8-byte-stride column and writes the values.
+func writeColumn(as *vm.AddressSpace, name string, vals []uint64) uint64 {
+	base := as.AllocAligned(name, uint64(len(vals))*8)
+	for i, v := range vals {
+		as.Write64(base+uint64(i)*8, v)
+	}
+	return base
+}
+
+// producerProgram is the canonical output producer (store the match, advance
+// the persistent r20 cursor), shared by every structure.
+func producerProgram(resultBase uint64) (*isa.Program, error) {
+	p := &isa.Program{
+		Name:      "produce",
+		Kind:      isa.Producer,
+		InputRegs: []isa.Reg{program.RegMatch},
+		ConstRegs: map[isa.Reg]uint64{program.RegCursor: resultBase},
+		Code: []isa.Instruction{
+			{Op: isa.ST, SrcA: program.RegCursor, SrcB: program.RegMatch},
+			{Op: isa.ADD, Dst: program.RegCursor, SrcA: program.RegCursor, UseImm: true, Imm: 8},
+			{Op: isa.HALT},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// constTargetDispatcher loads the probe key and emits a fixed traversal
+// entry point (skip-list head, tree root, memtable head) — the dispatcher
+// of every structure whose walk starts at one address.
+func constTargetDispatcher(name string, target uint64) *isa.Program {
+	return isa.MustAssemble(fmt.Sprintf(`
+.unit dispatcher
+.name %s
+.in r1
+.out r2, r3
+.const r21, %d
+    ld   r3, [r1]       ; probe key
+    add  r2, r21, #0    ; traversal entry point
+    emit
+    halt
+`, name, target))
+}
+
+// withKeyPrefetch prepends a TOUCH of the probe-key column dist keys ahead
+// of the key about to be loaded. Prepending at pc 0 shifts every relative
+// branch uniformly, so the program needs no offset fixups; past the end of
+// the column the touch prefetches dead bytes harmlessly.
+func withKeyPrefetch(p *isa.Program, dist int) (*isa.Program, error) {
+	if dist <= 0 {
+		return p, nil
+	}
+	cp := p.Clone()
+	cp.Code = append([]isa.Instruction{
+		{Op: isa.TOUCH, SrcA: program.RegKeyAddr, Imm: int64(dist) * 8},
+	}, cp.Code...)
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// finishPrograms applies the dispatcher prefetch option and bundles the
+// three validated programs.
+func finishPrograms(d, w *isa.Program, resultBase uint64, opt ProgramOptions) (*Programs, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	d, err := withKeyPrefetch(d, opt.PrefetchDist)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := producerProgram(resultBase)
+	if err != nil {
+		return nil, err
+	}
+	return &Programs{Dispatcher: d, Walker: w, Producer: pr}, nil
+}

@@ -1,0 +1,216 @@
+package structures
+
+import (
+	"testing"
+
+	"widx/internal/mem"
+	"widx/internal/vm"
+	"widx/internal/widx"
+)
+
+// testConfig is the shared small build used across the cross-check tests:
+// big enough for multi-level towers, a two-level B+-tree and three LSM
+// levels, small enough to keep the suite fast.
+func testConfig(k Kind) BuildConfig {
+	cfg := BuildConfig{Kind: k, Keys: 600, Probes: 400, Seed: 7717, Name: "test." + k.String()}
+	if k == BTree {
+		cfg.Span = 3 // exercise the leaf-chain range scan
+	}
+	if k == BFS {
+		cfg.Keys = 120 // vertices; mean degree 8 keeps the match stream bounded
+		cfg.Probes = 200
+	}
+	return cfg
+}
+
+// buildTest builds one instance plus its result region and hierarchy.
+func buildTest(t *testing.T, cfg BuildConfig) (Instance, *vm.AddressSpace, uint64) {
+	t.Helper()
+	as := vm.New()
+	inst, err := Build(as, cfg)
+	if err != nil {
+		t.Fatalf("Build(%v): %v", cfg.Kind, err)
+	}
+	matches, traces := inst.Reference()
+	if len(traces) != inst.ProbeCount() {
+		t.Fatalf("%v: %d traces for %d probes", cfg.Kind, len(traces), inst.ProbeCount())
+	}
+	if len(matches) == 0 {
+		t.Fatalf("%v: reference found no matches; the cross-check would be vacuous", cfg.Kind)
+	}
+	resultBase := as.AllocAligned(cfg.Name+".results", uint64(len(matches))*8+64)
+	return inst, as, resultBase
+}
+
+// runWidx executes the instance's generated bundle on a fresh accelerator
+// and returns the offload result.
+func runWidx(t *testing.T, inst Instance, as *vm.AddressSpace, resultBase uint64, opt ProgramOptions) *widx.OffloadResult {
+	t.Helper()
+	progs, err := inst.Programs(resultBase, opt)
+	if err != nil {
+		t.Fatalf("%v: Programs: %v", inst.Kind(), err)
+	}
+	hier := mem.NewHierarchy(mem.DefaultConfig())
+	acc, err := widx.New(widx.DefaultConfig(), hier, as, progs.Dispatcher, progs.Walker, progs.Producer)
+	if err != nil {
+		t.Fatalf("%v: widx.New: %v", inst.Kind(), err)
+	}
+	res, err := acc.Offload(widx.OffloadRequest{KeyBase: inst.ProbeKeyBase(), KeyCount: uint64(inst.ProbeCount())})
+	if err != nil {
+		t.Fatalf("%v: Offload: %v", inst.Kind(), err)
+	}
+	return res
+}
+
+// checkMatches asserts the walker's match stream equals the reference
+// bit for bit, in order — the zoo's core contract.
+func checkMatches(t *testing.T, kind Kind, got, want []uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%v: walker emitted %d matches, reference has %d", kind, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%v: match %d = %#x, reference %#x", kind, i, got[i], want[i])
+		}
+	}
+}
+
+func TestWalkerMatchesReference(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			inst, as, resultBase := buildTest(t, testConfig(k))
+			want, _ := inst.Reference()
+			res := runWidx(t, inst, as, resultBase, ProgramOptions{})
+			checkMatches(t, k, res.Matches, want)
+			// The producer must have stored the same stream to the result
+			// region (the functional output the host core consumes).
+			for i, m := range want {
+				if got := as.Read64(resultBase + uint64(i)*8); got != m {
+					t.Fatalf("%v: result region word %d = %#x, want %#x", k, i, got, m)
+				}
+			}
+		})
+	}
+}
+
+func TestTouchWalkerSameMatchesMorePrefetches(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			inst, as, resultBase := buildTest(t, testConfig(k))
+			want, _ := inst.Reference()
+			res := runWidx(t, inst, as, resultBase, ProgramOptions{TouchWalker: true})
+			checkMatches(t, k, res.Matches, want)
+			if res.MemStats.Prefetches == 0 {
+				t.Fatalf("%v: touching walker issued no prefetches", k)
+			}
+		})
+	}
+}
+
+func TestDispatcherPrefetchSameMatches(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			inst, as, resultBase := buildTest(t, testConfig(k))
+			want, _ := inst.Reference()
+			res := runWidx(t, inst, as, resultBase, ProgramOptions{PrefetchDist: 4})
+			checkMatches(t, k, res.Matches, want)
+			if res.MemStats.Prefetches == 0 {
+				t.Fatalf("%v: prefetching dispatcher issued no prefetches", k)
+			}
+		})
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	for _, k := range Kinds() {
+		cfg := testConfig(k)
+		a, _, _ := buildTest(t, cfg)
+		b, _, _ := buildTest(t, cfg)
+		am, _ := a.Reference()
+		bm, _ := b.Reference()
+		if Fingerprint(am) != Fingerprint(bm) {
+			t.Fatalf("%v: two builds from the same config disagree", k)
+		}
+		if a.Geometry() != b.Geometry() {
+			t.Fatalf("%v: geometry not deterministic: %+v vs %+v", k, a.Geometry(), b.Geometry())
+		}
+	}
+}
+
+func TestGeometryAndRegions(t *testing.T) {
+	for _, k := range Kinds() {
+		inst, as, _ := buildTest(t, testConfig(k))
+		g := inst.Geometry()
+		if g.NodeBytes <= 0 || g.Fanout <= 0 || g.Levels <= 0 || g.FootprintBytes == 0 || g.Locality == "" {
+			t.Fatalf("%v: degenerate geometry %+v", k, g)
+		}
+		regions := inst.Regions()
+		if len(regions) == 0 {
+			t.Fatalf("%v: no warmable regions", k)
+		}
+		var span uint64
+		for _, r := range regions {
+			if r[1] <= r[0] {
+				t.Fatalf("%v: empty region %v", k, r)
+			}
+			span += r[1] - r[0]
+		}
+		if span != g.FootprintBytes {
+			t.Fatalf("%v: footprint %d != region span %d", k, g.FootprintBytes, span)
+		}
+		// Regions must not cover the probe column: warming the structure
+		// should not pre-install the input stream.
+		probeEnd := inst.ProbeKeyBase() + uint64(inst.ProbeCount())*8
+		for _, r := range regions {
+			if r[0] < probeEnd && inst.ProbeKeyBase() < r[1] {
+				t.Fatalf("%v: region %v overlaps the probe column", k, r)
+			}
+		}
+		_ = as
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	as := vm.New()
+	bad := []BuildConfig{
+		{Kind: SkipList, Keys: 0, Probes: 10, Name: "x"},
+		{Kind: SkipList, Keys: 10, Probes: 0, Name: "x"},
+		{Kind: SkipList, Keys: 10, Probes: 10, Name: ""},
+		{Kind: BTree, Keys: 10, Probes: 10, Span: -1, Name: "x"},
+		{Kind: Kind(99), Keys: 10, Probes: 10, Name: "x"},
+	}
+	for _, cfg := range bad {
+		if _, err := Build(as, cfg); err == nil {
+			t.Fatalf("Build accepted invalid config %+v", cfg)
+		}
+	}
+	if _, err := Build(nil, testConfig(SkipList)); err == nil {
+		t.Fatal("Build accepted a nil address space")
+	}
+}
+
+// Golden reference fingerprints for the shared test build. These pin the
+// functional output of every structure: a build-path change that alters
+// what any walker produces must show up here as a deliberate diff.
+var goldenFingerprints = map[Kind]uint64{
+	HashJoin: 0xf238837bc65b86c5,
+	SkipList: 0xf58b5233cd6da582,
+	BTree:    0x5486e5a9fcf27cce,
+	LSM:      0xfdb0976b27af852a,
+	BFS:      0xc9b75b447f7ecb12,
+}
+
+func TestGoldenFingerprints(t *testing.T) {
+	for _, k := range Kinds() {
+		inst, _, _ := buildTest(t, testConfig(k))
+		matches, _ := inst.Reference()
+		got := Fingerprint(matches)
+		if want := goldenFingerprints[k]; got != want {
+			t.Errorf("%v: reference fingerprint %#016x, golden %#016x (update deliberately if the build changed)", k, got, want)
+		}
+	}
+}
