@@ -20,6 +20,7 @@ import (
 	"widx/internal/exp"
 	"widx/internal/join"
 	"widx/internal/model"
+	"widx/internal/sampling"
 	"widx/internal/sim"
 	"widx/internal/warmstate"
 	"widx/internal/workloads"
@@ -382,6 +383,95 @@ func BenchmarkWarmCacheSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_warmcache.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSampledSweep measures what sampled simulation buys on its
+// intended shape — a full-detail kernel run versus the same run with only
+// short detailed windows on the timing model and functional fast-forward
+// between them — requiring the sampled run's match-stream fingerprint to
+// verify and its plan not to degrade, and writing the full-vs-sampled
+// trajectory to BENCH_sampling.json. Sequential, like the warm-cache
+// benchmark: the ratio isolates the timing work sampling skips.
+func BenchmarkSampledSweep(b *testing.B) {
+	e, ok := exp.Lookup("kernel")
+	if !ok {
+		b.Fatal("kernel experiment not registered")
+	}
+	cfg := benchConfig(b)
+	cfg.Scale = 1.0 / 16
+	cfg.SampleProbes = 20000
+	cfg.Parallelism = 1
+	if testing.Short() {
+		cfg.Scale = 1.0 / 64
+		cfg.SampleProbes = 8000
+	}
+	set := map[string]string{"sizes": "Medium"}
+	sampledSet := map[string]string{"sizes": "Medium",
+		"sample-windows": "16", "sample-warmup": "64", "sample-period": "64"}
+	run := func(set map[string]string) (*exp.RunOutput, time.Duration) {
+		start := time.Now()
+		out, err := exp.Run(e, cfg, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return out, time.Since(start)
+	}
+	fullBest := time.Duration(1<<63 - 1)
+	sampledBest := fullBest
+	var report *sampling.Report
+	for i := 0; i < b.N; i++ {
+		_, full := run(set)
+		sampled, sampledTime := run(sampledSet)
+		r, ok := sampled.Result.(sim.SamplingReporter)
+		if !ok || r.SamplingReport() == nil {
+			b.Fatal("sampled run carries no sampling report")
+		}
+		report = r.SamplingReport()
+		if report.Degraded {
+			b.Fatal("sampled run degraded to full detail; stream too short for the plan")
+		}
+		if !report.FingerprintVerified {
+			b.Fatal("sampled run's match stream was not fingerprint-verified")
+		}
+		if full < fullBest {
+			fullBest = full
+		}
+		if sampledTime < sampledBest {
+			sampledBest = sampledTime
+		}
+	}
+	speedup := float64(fullBest) / float64(sampledBest)
+	detailFraction := float64(report.MeasuredProbes) / float64(report.TotalProbes)
+	b.ReportMetric(speedup, "full/sampled-x")
+	b.ReportMetric(100*detailFraction, "measured-%")
+	payload := struct {
+		Run            string  `json:"run"`
+		Windows        int     `json:"windows"`
+		Warmup         uint64  `json:"warmup"`
+		Period         uint64  `json:"period"`
+		TotalProbes    uint64  `json:"total_probes"`
+		MeasuredProbes uint64  `json:"measured_probes"`
+		FullNS         int64   `json:"full_ns"`
+		SampledNS      int64   `json:"sampled_ns"`
+		Speedup        float64 `json:"speedup"`
+	}{
+		Run:            "kernel sizes=Medium",
+		Windows:        report.Windows,
+		Warmup:         report.Warmup,
+		Period:         report.Period,
+		TotalProbes:    report.TotalProbes,
+		MeasuredProbes: report.MeasuredProbes,
+		FullNS:         fullBest.Nanoseconds(),
+		SampledNS:      sampledBest.Nanoseconds(),
+		Speedup:        speedup,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sampling.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

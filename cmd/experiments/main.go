@@ -9,8 +9,10 @@
 //	experiments [-run all|name] [-set k=v]... [-sweep k=v1,v2,...]...
 //	            [-json] [-out dir]
 //	            [-scale 0.015] [-sample 20000] [-parallel N] [-strict-order]
+//	            [-sampling] [-sample-windows N] [-sample-warmup N] [-sample-period N]
+//	            [-sampling-verify]
 //	            [-agents 4xooo+4xwidx:4w]
-//	            [-warm-cache=false] [-warm-cache-verify]
+//	            [-warm-cache=false] [-warm-cache-verify] [-warm-store DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // -run accepts the canonical experiment names and their historical aliases
@@ -24,11 +26,22 @@
 // deterministic result placement — the report is byte-identical at any
 // -parallel level.
 //
+// -sampling turns on systematic sampled simulation (internal/sampling):
+// only -sample-windows detailed windows of -sample-warmup unmeasured plus
+// -sample-period measured probes run on the timing model, the spans between
+// them fast-forward functionally, and headline metrics carry 95% confidence
+// intervals in a `sampling` manifest block. The functional output stays
+// bit-identical to a full run (fingerprint-checked). -sampling-verify
+// additionally re-runs each experiment as its full-detail reference and
+// asserts every estimate's interval covers the reference value.
+//
 // The warm-state cache (-warm-cache, default on) shares built tables and
 // warmed hierarchies across runs and grid points that differ only in
 // warm-invariant (timing) knobs; results are byte-identical either way.
 // -warm-cache-verify rebuilds on every hit and cross-checks content hashes
-// (slow; debugs parameter classification). -cpuprofile/-memprofile write
+// (slow; debugs parameter classification). -warm-store DIR persists warm
+// snapshots (fast-forward checkpoints, CMP warm-ups) under DIR so later
+// processes restore instead of re-warming. -cpuprofile/-memprofile write
 // pprof profiles of the invocation.
 //
 // -json prints the run's reproducibility manifest (resolved config + params
@@ -99,8 +112,14 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points and sweep runs (1 = sequential)")
 	strictOrder := flag.Bool("strict-order", false, "assert that memory accesses reach the hierarchy in monotonic cycle order (debug)")
 	agentsSpec := flag.String("agents", "", "agent mix for the cmp experiment (shorthand for -set agents=...)")
+	samplingOn := flag.Bool("sampling", false, "systematic sampled simulation: detailed windows + functional fast-forward, 95% CIs in the manifest")
+	sampleWindows := flag.Int("sample-windows", 30, "detailed windows per design point (with -sampling)")
+	sampleWarmup := flag.Int("sample-warmup", 64, "detailed-but-unmeasured probes per window")
+	samplePeriod := flag.Int("sample-period", 256, "measured probes per window")
+	samplingVerify := flag.Bool("sampling-verify", false, "re-run each experiment as a full-detail reference and assert the sampled intervals cover it (implies -sampling)")
 	warmCache := flag.Bool("warm-cache", true, "share built workloads and warmed hierarchies across runs that differ only in timing knobs (results are byte-identical either way)")
 	warmVerify := flag.Bool("warm-cache-verify", false, "rebuild on every warm-cache hit and cross-check content hashes (slow; debugs key classification)")
+	warmStore := flag.String("warm-store", "", "persist warm-state snapshots (fast-forward checkpoints, CMP warm-ups) under this directory across processes")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -129,9 +148,33 @@ func main() {
 	cfg.SampleProbes = *sample
 	cfg.Parallelism = *parallel
 	cfg.StrictMemOrder = *strictOrder
+	if *sampleWarmup < 0 {
+		fail(fmt.Errorf("-sample-warmup must be non-negative"))
+	}
+	if *samplePeriod <= 0 {
+		fail(fmt.Errorf("-sample-period must be positive"))
+	}
+	cfg.SampleWarmup = uint64(*sampleWarmup)
+	cfg.SamplePeriod = uint64(*samplePeriod)
+	if *samplingVerify {
+		*samplingOn = true
+	}
+	if *samplingOn {
+		cfg.SampleWindows = *sampleWindows
+	}
 	if *warmCache || *warmVerify {
 		cfg.WarmCache = warmstate.New()
 		cfg.WarmCache.SetVerify(*warmVerify)
+	}
+	if *warmStore != "" {
+		if cfg.WarmCache == nil {
+			fail(fmt.Errorf("-warm-store needs -warm-cache"))
+		}
+		store, err := warmstate.OpenDiskStore(*warmStore)
+		if err != nil {
+			fail(err)
+		}
+		cfg.WarmStore = store
 	}
 	if *agentsSpec != "" {
 		set["agents"] = *agentsSpec
@@ -146,12 +189,21 @@ func main() {
 		}
 		for _, name := range exp.Names() {
 			e, _ := exp.Lookup(name)
-			out, err := exp.Run(e, cfg, knownSubset(e, set))
+			sub := knownSubset(e, set)
+			out, err := exp.Run(e, cfg, sub)
 			if err != nil {
 				fail(err)
 			}
 			if err := emit(out, false, *outDir); err != nil {
 				fail(err)
+			}
+			// Under -run all, only the experiments that actually produced a
+			// sampled estimate are verified; the analytic studies carry none.
+			if r, ok := out.Result.(sim.SamplingReporter); *samplingVerify && ok && r.SamplingReport() != nil {
+				if err := exp.VerifySampled(e, cfg, sub, out.Result); err != nil {
+					fail(err)
+				}
+				fmt.Fprintf(os.Stderr, "experiments: %s: sampled estimates verified against the full-detail reference\n", name)
 			}
 		}
 		return
@@ -165,6 +217,9 @@ func main() {
 	var out *exp.RunOutput
 	var err error
 	if len(axes) > 0 {
+		if *samplingVerify {
+			fail(fmt.Errorf("-sampling-verify verifies a single run; drop -sweep"))
+		}
 		out, err = exp.RunSweep(e, cfg, set, axes)
 	} else {
 		out, err = exp.Run(e, cfg, set)
@@ -174,6 +229,12 @@ func main() {
 	}
 	if err := emit(out, *jsonOut, *outDir); err != nil {
 		fail(err)
+	}
+	if *samplingVerify && len(axes) == 0 {
+		if err := exp.VerifySampled(e, cfg, set, out.Result); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s: sampled estimates verified against the full-detail reference\n", e.Name())
 	}
 }
 

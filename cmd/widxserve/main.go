@@ -20,7 +20,15 @@
 //	widxserve -addr http://h1:8090 -list
 //	widxserve -addr http://h1:8090 -run cmp -set agents=1xooo+4xwidx:4w \
 //	          -sweep llc-ways=0,8,4,2 -scale 0.125 -sample 2000 [-json]
+//	widxserve -addr http://h1:8090 -run kernel -sampling -sample-windows 30
 //	widxserve -addr http://h1:8090 -status j000001 | -cancel j000001 | -statusz
+//
+// -sampling asks the server for systematic sampled simulation (detailed
+// windows + functional fast-forward; internal/sampling): the manifest
+// gains a `sampling` block with 95% confidence intervals, sampled points
+// key separately in the result store, and /statusz counts them. The
+// daemon-side -warm-store persists fast-forward checkpoints and CMP
+// warm-ups across restarts.
 //
 // A client -run submits, streams progress to stderr, and prints the
 // finished report (or, with -json, the widx-experiment-manifest/v1) to
@@ -80,6 +88,7 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated worker base URLs (coordinator mode)")
 	warmCache := flag.Bool("warm-cache", true, "share warm state across the daemon's jobs (results are byte-identical either way)")
 	warmVerify := flag.Bool("warm-cache-verify", false, "rebuild on every warm-cache hit and cross-check content hashes (slow)")
+	warmStore := flag.String("warm-store", "", "persist warm-state snapshots (fast-forward checkpoints, CMP warm-ups) under this directory across daemon restarts")
 
 	// Client flags.
 	addr := flag.String("addr", "", "widxserve base URL to talk to (client mode)")
@@ -92,6 +101,10 @@ func main() {
 	scale := flag.Float64("scale", 0, "workload scale (0 = server default, which matches the CLI default)")
 	sample := flag.Int("sample", -1, "probes simulated in detail (-1 = server default; 0 = all)")
 	strictOrder := flag.Bool("strict-order", false, "assert monotonic memory order (debug)")
+	samplingOn := flag.Bool("sampling", false, "systematic sampled simulation: detailed windows + functional fast-forward, 95% CIs in the manifest")
+	sampleWindows := flag.Int("sample-windows", 30, "detailed windows per design point (with -sampling)")
+	sampleWarmup := flag.Int("sample-warmup", -1, "detailed-but-unmeasured probes per window (-1 = server default)")
+	samplePeriod := flag.Int("sample-period", 0, "measured probes per window (0 = server default)")
 	quiet := flag.Bool("quiet", false, "suppress the per-point progress lines on stderr")
 	list := flag.Bool("list", false, "list the server's registered experiments")
 	statusz := flag.Bool("statusz", false, "print the server counters")
@@ -111,12 +124,13 @@ func main() {
 			ws = strings.Split(*workers, ",")
 		}
 		daemon(*listen, serve.Options{
-			StoreDir:   *store,
-			Workers:    ws,
-			WarmCache:  *warmCache,
-			WarmVerify: *warmVerify,
-			Parallel:   *parallel,
-			Logf:       log.Printf,
+			StoreDir:     *store,
+			Workers:      ws,
+			WarmCache:    *warmCache,
+			WarmVerify:   *warmVerify,
+			WarmStoreDir: *warmStore,
+			Parallel:     *parallel,
+			Logf:         log.Printf,
 		})
 	case *addr != "":
 		cfg := serve.ConfigSpec{Scale: *scale, Parallel: *parallel, StrictOrder: *strictOrder}
@@ -124,6 +138,14 @@ func main() {
 			s := *sample
 			cfg.Sample = &s
 		}
+		if *samplingOn {
+			cfg.SampleWindows = *sampleWindows
+		}
+		if *sampleWarmup >= 0 {
+			w := *sampleWarmup
+			cfg.SampleWarmup = &w
+		}
+		cfg.SamplePeriod = *samplePeriod
 		client(*addr, clientArgs{
 			run: *run, set: set, axes: axes, cfg: cfg, json: *jsonOut, quiet: *quiet,
 			list: *list, statusz: *statusz, status: *status, cancel: *cancel,
@@ -202,6 +224,7 @@ func client(addr string, a clientArgs) {
 		fmt.Printf("build:            %s\n", sz.Build)
 		fmt.Printf("mode:             %s\n", sz.Mode)
 		fmt.Printf("simulated points: %d\n", sz.SimulatedPoints)
+		fmt.Printf("sampled points:   %d\n", sz.SampledPoints)
 		if sz.ResultStore != nil {
 			fmt.Printf("result store:     %d entries, %d hits, %d misses\n",
 				sz.ResultStore.Entries, sz.ResultStore.Hits, sz.ResultStore.Misses)

@@ -31,6 +31,13 @@
 // -parallel fans the independent design points out to N worker goroutines
 // (default: all CPUs) without changing any reported number.
 //
+// -sampling turns on systematic sampled simulation (internal/sampling):
+// only -sample-windows detailed windows of -sample-warmup unmeasured plus
+// -sample-period measured probes run on the timing model, the spans
+// between them fast-forward functionally, and the report gains a "Sampled
+// estimates" section with 95% confidence intervals. The functional output
+// stays bit-identical to a full run (fingerprint-checked).
+//
 // -breakdown-json PATH additionally dumps the per-walker cycle breakdowns
 // and the MSHR-occupancy histograms of every Widx design point as JSON for
 // offline plotting ("-" writes to stdout), using the same JSON encoding as
@@ -73,6 +80,10 @@ func main() {
 	llcWays := flag.Int("llc-ways", 0, "LLC allocation ways per Widx agent; host cores keep the full LLC (0 = unpartitioned)")
 	stagger := flag.Uint64("stagger", 0, "arrival stagger for -agents co-runs: agent i starts at cycle i*stagger")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent design points (1 = sequential)")
+	samplingOn := flag.Bool("sampling", false, "systematic sampled simulation: detailed windows + functional fast-forward, 95% CIs in the report")
+	sampleWindows := flag.Int("sample-windows", 30, "detailed windows per design point (with -sampling)")
+	sampleWarmup := flag.Int("sample-warmup", 64, "detailed-but-unmeasured probes per window")
+	samplePeriod := flag.Int("sample-period", 256, "measured probes per window")
 	breakdownJSON := flag.String("breakdown-json", "", "dump per-walker cycle breakdowns and MSHR-occupancy histograms as JSON to this file (\"-\" = stdout)")
 	strictOrder := flag.Bool("strict-order", false, "assert that memory accesses reach the hierarchy in monotonic cycle order (debug)")
 	warmCache := flag.Bool("warm-cache", true, "share built workloads and warmed hierarchies across runs that differ only in timing knobs (results are byte-identical either way)")
@@ -95,6 +106,17 @@ func main() {
 	cfg.Stagger = *stagger
 	cfg.Parallelism = *parallel
 	cfg.StrictMemOrder = *strictOrder
+	if *sampleWarmup < 0 {
+		fail(fmt.Errorf("-sample-warmup must be non-negative"))
+	}
+	if *samplePeriod <= 0 {
+		fail(fmt.Errorf("-sample-period must be positive"))
+	}
+	cfg.SampleWarmup = uint64(*sampleWarmup)
+	cfg.SamplePeriod = uint64(*samplePeriod)
+	if *samplingOn {
+		cfg.SampleWindows = *sampleWindows
+	}
 	if *warmCache || *warmVerify {
 		cfg.WarmCache = warmstate.New()
 		cfg.WarmCache.SetVerify(*warmVerify)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"widx/internal/sampling"
 	"widx/internal/sim"
 )
 
@@ -27,7 +28,12 @@ type Manifest struct {
 	Params     map[string]string `json:"params"`
 	Config     sim.Config        `json:"config"`
 	Sweep      []Axis            `json:"sweep,omitempty"`
-	Results    json.RawMessage   `json:"results"`
+	// Sampling is the sampled-simulation estimate block (plan, 95%
+	// confidence intervals, fingerprint verification), lifted from the
+	// result when the run was sampled; absent otherwise, so unsampled
+	// manifests are byte-identical to pre-sampling ones.
+	Sampling *sampling.Report `json:"sampling,omitempty"`
+	Results  json.RawMessage  `json:"results"`
 }
 
 // Encode serializes the manifest (indented, newline-terminated).
@@ -67,14 +73,18 @@ func (o *RunOutput) Manifest() (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: encoding %s results: %w", o.Experiment.Name(), err)
 	}
-	return &Manifest{
+	m := &Manifest{
 		Schema:     ManifestSchema,
 		Experiment: o.Experiment.Name(),
 		Params:     o.Params,
 		Config:     o.Config,
 		Sweep:      o.Axes,
 		Results:    raw,
-	}, nil
+	}
+	if r, ok := o.Result.(sim.SamplingReporter); ok {
+		m.Sampling = r.SamplingReport()
+	}
+	return m, nil
 }
 
 // Run resolves the parameter overrides, applies the common config

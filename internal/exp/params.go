@@ -130,6 +130,12 @@ func CommonParams() []ParamSpec {
 	return []ParamSpec{
 		{Key: "scale", Default: "", Help: "workload scale relative to the paper's setup"},
 		{Key: "sample", Default: "", Help: "probes simulated in detail per design (0 = all)"},
+		// The sampled-simulation knobs are timing-side: window placement
+		// changes what is measured, never what is built or warmed — the
+		// fast-forward checkpoints carry their own span-end keyed entries.
+		{Key: "sample-windows", Default: "", Help: "systematic sampling windows (0 = full detail)", Warm: WarmInvariant},
+		{Key: "sample-warmup", Default: "", Help: "detailed unmeasured probes per window", Warm: WarmInvariant},
+		{Key: "sample-period", Default: "", Help: "measured probes per window", Warm: WarmInvariant},
 		{Key: "mshrs", Default: "", Help: "per-agent MSHR count (and the fill-buffer default)", Warm: WarmInvariant},
 		{Key: "fill-buffers", Default: "", Help: "shared fill-buffer count (default: track mshrs)", Warm: WarmInvariant},
 		{Key: "llc-ways", Default: "", Help: "LLC allocation ways per Widx agent (0 = unpartitioned)"},
@@ -208,6 +214,35 @@ func ApplyConfig(cfg sim.Config, p Params) (sim.Config, error) {
 			return cfg, err
 		}
 		cfg.SampleProbes = n
+	}
+	if v := p["sample-windows"]; v != "" {
+		n, err := p.Int("sample-windows")
+		if err != nil {
+			return cfg, err
+		}
+		cfg.SampleWindows = n
+	}
+	if v := p["sample-warmup"]; v != "" {
+		n, err := p.Int("sample-warmup")
+		if err != nil {
+			return cfg, err
+		}
+		if n < 0 {
+			return cfg, fmt.Errorf("exp: parameter sample-warmup=%q: want a non-negative integer", v)
+		}
+		cfg.SampleWarmup = uint64(n)
+	}
+	if v := p["sample-period"]; v != "" {
+		n, err := p.Int("sample-period")
+		if err != nil {
+			return cfg, err
+		}
+		// 0 would fail sim.Config.Validate whenever windows are on; reject it
+		// here so the error names the parameter.
+		if n <= 0 {
+			return cfg, fmt.Errorf("exp: parameter sample-period=%q: want a positive integer", v)
+		}
+		cfg.SamplePeriod = uint64(n)
 	}
 	if v := p["mshrs"]; v != "" {
 		n, err := p.Int("mshrs")

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"widx/internal/sim"
+)
+
+// sampledRunConfig is the registry-level analogue of the sim package's
+// sampled test configuration: a stream long enough for six windows with a
+// generous warmup (the knob that shrinks fast-forward bias).
+func sampledRunConfig() sim.Config {
+	cfg := sim.QuickConfig()
+	cfg.Scale = 1.0 / 8
+	cfg.SampleProbes = 2000
+	cfg.Walkers = []int{2}
+	return cfg
+}
+
+func sampledSet() map[string]string {
+	return map[string]string{
+		"sizes":          "Small",
+		"sample-windows": "6",
+		"sample-warmup":  "192",
+		"sample-period":  "64",
+	}
+}
+
+// TestSampledParamsAndManifest exercises the registry path end to end: the
+// sample-* parameters reach sim.Config, the run's estimate block is lifted
+// into the top-level manifest `sampling` field, and VerifySampled — the
+// -sampling-verify mode — accepts the run against its full-detail
+// reference.
+func TestSampledParamsAndManifest(t *testing.T) {
+	e, ok := Lookup("kernel")
+	if !ok {
+		t.Fatal("kernel experiment not registered")
+	}
+	out, err := Run(e, sampledRunConfig(), sampledSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Config.SampleWindows != 6 || out.Config.SampleWarmup != 192 || out.Config.SamplePeriod != 64 {
+		t.Fatalf("sample-* parameters did not reach the config: %+v", out.Config)
+	}
+	m, err := out.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sampling == nil {
+		t.Fatal("sampled run's manifest carries no sampling block")
+	}
+	if !m.Sampling.FingerprintVerified {
+		t.Error("manifest sampling block not fingerprint-verified")
+	}
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), `"sampling"`) || !strings.Contains(string(enc), `"fingerprint_verified": true`) {
+		t.Errorf("encoded manifest misses the sampling block:\n%s", enc)
+	}
+	if err := VerifySampled(e, sampledRunConfig(), sampledSet(), out.Result); err != nil {
+		t.Errorf("sampling-verify rejected a healthy sampled run: %v", err)
+	}
+}
+
+// TestUnsampledManifestOmitsSampling pins the compatibility edge: with the
+// sample-* parameters at their inherit defaults and sampling off, the
+// manifest must not mention sampling, and VerifySampled must refuse the
+// run rather than verify vacuously.
+func TestUnsampledManifestOmitsSampling(t *testing.T) {
+	e, _ := Lookup("kernel")
+	set := map[string]string{"sizes": "Small"}
+	out, err := Run(e, quickConfig(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := out.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sampling != nil {
+		t.Fatal("unsampled manifest carries a sampling block")
+	}
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), `"sampling"`) {
+		t.Errorf("unsampled manifest mentions sampling:\n%s", enc)
+	}
+	if err := VerifySampled(e, quickConfig(), set, out.Result); err == nil {
+		t.Error("VerifySampled accepted an unsampled run")
+	}
+}

@@ -14,7 +14,7 @@ import (
 func TestWarmInvariantClassification(t *testing.T) {
 	e, _ := Lookup("cmp")
 	got := strings.Join(WarmInvariantKeys(e), ",")
-	if got != "mshrs,fill-buffers,queue-depth,stagger" {
+	if got != "sample-windows,sample-warmup,sample-period,mshrs,fill-buffers,queue-depth,stagger" {
 		t.Fatalf("cmp warm-invariant keys = %q", got)
 	}
 	// Workload-shaping knobs must stay warm-affecting.

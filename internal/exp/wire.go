@@ -1,6 +1,10 @@
 package exp
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"widx/internal/sampling"
+)
 
 // RawResult is a Result restored from its wire encoding: the text report
 // and JSON payload an executed Result produced elsewhere — in another
@@ -23,3 +27,23 @@ func (r RawResult) Text() string { return r.Report }
 func (r RawResult) JSON() ([]byte, error) {
 	return append([]byte(nil), r.Payload...), nil
 }
+
+// SamplingReport implements sim.SamplingReporter by recovering the
+// sampling block embedded in the stored payload, so a manifest assembled
+// from a wire-restored result carries the same top-level `sampling` block
+// as one assembled from the original. The report re-marshals from the
+// decoded struct, which is byte-stable: Go's float encoding round-trips.
+func (r RawResult) SamplingReport() *sampling.Report {
+	var probe struct {
+		Sampling *sampling.Report `json:"sampling"`
+	}
+	if err := json.Unmarshal(r.Payload, &probe); err != nil {
+		return nil
+	}
+	return probe.Sampling
+}
+
+// SampledMetricValues implements sim.SamplingReporter. A wire-restored
+// result carries stored estimates, never a full-detail verification
+// reference, so it offers no metric values to verify against.
+func (r RawResult) SampledMetricValues() map[string]float64 { return nil }

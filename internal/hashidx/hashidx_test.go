@@ -353,3 +353,56 @@ func TestPropertyProbeBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestProbeMatchesMirrorsWalkerEmission cross-checks the per-probe
+// reference match stream against Probe's functional result: match counts
+// agree, the inline layout reports payloads, and the indirect layout
+// reports the raw base-column references the walker program emits (whose
+// row-id conversion must equal Probe's Payload).
+func TestProbeMatchesMirrorsWalkerEmission(t *testing.T) {
+	t.Run("inline", func(t *testing.T) {
+		tbl, keys := buildTable(t, LayoutInline, HashRobust, 500, 64)
+		for i, k := range keys {
+			ms := tbl.ProbeMatches(k)
+			r := tbl.Probe(k)
+			if len(ms) != r.Matches {
+				t.Fatalf("key %d: %d matches, Probe says %d", i, len(ms), r.Matches)
+			}
+			if r.Found && ms[0] != r.Payload {
+				t.Fatalf("key %d: first match %d, Probe payload %d", i, ms[0], r.Payload)
+			}
+		}
+		if got := tbl.ProbeMatches(0xDEAD); got != nil {
+			t.Fatalf("absent key matched %v", got)
+		}
+	})
+	t.Run("inline duplicates", func(t *testing.T) {
+		as := vm.New()
+		keys := []uint64{7, 7, 7, 9}
+		tbl, err := Build(as, Config{Layout: LayoutInline, Hash: HashRobust, BucketCount: 4, Name: "dup"}, keys, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tbl.ProbeMatches(7); len(got) != 3 {
+			t.Fatalf("duplicate key matched %v, want 3 payloads", got)
+		}
+	})
+	t.Run("indirect", func(t *testing.T) {
+		tbl, keys := buildTable(t, LayoutIndirect, HashRobust, 500, 64)
+		for i, k := range keys {
+			ms := tbl.ProbeMatches(k)
+			r := tbl.Probe(k)
+			if len(ms) != r.Matches {
+				t.Fatalf("key %d: %d matches, Probe says %d", i, len(ms), r.Matches)
+			}
+			if r.Found {
+				if rowid := (ms[0] - tbl.KeyColumnBase()) / 8; rowid != r.Payload {
+					t.Fatalf("key %d: ref %#x -> rowid %d, Probe payload %d", i, ms[0], rowid, r.Payload)
+				}
+			}
+		}
+		if got := tbl.ProbeMatches(0xDEAD); got != nil {
+			t.Fatalf("absent key matched %v", got)
+		}
+	})
+}

@@ -7,6 +7,15 @@
 // os.Getenv in internal/{sim,mem,widx,system,cores,exp} silently breaks
 // that: the run still passes its own tests but two executions stop agreeing.
 //
+// internal/sampling is in the core list for the same reason with a sharper
+// edge: its window placement decides *which* probes are measured, so an
+// ambient draw there (randomized window offsets are the textbook SMARTS
+// variant) would not just perturb a number — it would change the measured
+// sample itself between two runs of the same manifest. Placement must stay
+// a pure function of the plan (end-anchored windows), and any future
+// randomized-offset mode must draw from a seed recorded in the manifest.
+// The samplewin fixture under testdata/src pins this.
+//
 // Flagged inside the configured core packages (non-test files only; test
 // files legitimately measure wall-clock overhead budgets):
 //
@@ -51,7 +60,7 @@ var Analyzer = &analysis.Analyzer{
 
 // pkgs restricts the analyzer to the deterministic core. Import paths match
 // exactly or by "path/..." subtree; override with -nondet.pkgs.
-var pkgs = "widx/internal/sim,widx/internal/mem,widx/internal/widx,widx/internal/system,widx/internal/cores,widx/internal/exp,widx/internal/warmstate,widx/internal/structures"
+var pkgs = "widx/internal/sim,widx/internal/mem,widx/internal/widx,widx/internal/system,widx/internal/cores,widx/internal/exp,widx/internal/warmstate,widx/internal/structures,widx/internal/sampling"
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs,

@@ -42,6 +42,15 @@ func TestNondetStructuresScope(t *testing.T) {
 	analysistest.Run(t, "testdata", nondet.Analyzer, "structzoo")
 }
 
+// TestNondetSamplingScope covers the sampled-simulation planner: a
+// sampling-shaped package (window placement, estimator) is in scope,
+// ambient draws and wall-clock are reported, and both the end-anchored
+// placement and the seeded randomized-offset idiom pass clean.
+func TestNondetSamplingScope(t *testing.T) {
+	setCorePkgs(t, "samplewin")
+	analysistest.Run(t, "testdata", nondet.Analyzer, "samplewin")
+}
+
 func TestNondetSkipsForeignPackages(t *testing.T) {
 	// With the default core list, the fixture package is out of scope and
 	// must produce no diagnostics; prove it by expecting the fixture's
@@ -61,6 +70,12 @@ func TestNondetSkipsForeignPackages(t *testing.T) {
 		}
 		if !nondetInCore("widx/internal/structures") {
 			t.Error("the workload-zoo builders must be in the default core list")
+		}
+		if !nondetInCore("widx/internal/sampling") {
+			t.Error("the sampled-simulation planner must be in the default core list")
+		}
+		if !nondetInCore("widx/internal/sampling/stats") {
+			t.Error("the estimator subtree must be in the default core list")
 		}
 	}
 }

@@ -1,0 +1,59 @@
+// Package samplewin is the nondet fixture standing in for
+// internal/sampling: a sampled-simulation planner whose window placement
+// decides which probes are measured in detail. An ambient draw here is
+// worse than a perturbed number — it changes the measured sample itself
+// between two runs of the same manifest, so estimates stop being
+// reproducible even though every simulated probe still is.
+package samplewin
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+)
+
+// --- report cases ---
+
+// badRandomOffsets is the textbook SMARTS variant done wrong: randomized
+// window offsets from the ambient source.
+func badRandomOffsets(probes, windows, span int) []int {
+	starts := make([]int, windows)
+	for i := range starts {
+		starts[i] = rand.Intn(probes - span) // want `global rand.Intn draws from the ambient source`
+	}
+	return starts
+}
+
+func badEstimateStamp() int64 {
+	return time.Now().Unix() // want `time.Now in the simulation core`
+}
+
+func badWindowCountFromEnv() int {
+	n, _ := strconv.Atoi(os.Getenv("SAMPLE_WINDOWS")) // want `os.Getenv in the simulation core`
+	return n
+}
+
+// --- accepted fixes ---
+
+// goodEndAnchored is the real package's placement: a pure function of the
+// plan, each window anchored to the end of its equal slice of the stream.
+func goodEndAnchored(probes, windows, span int) []int {
+	starts := make([]int, windows)
+	for j := range starts {
+		end := (j + 1) * probes / windows
+		starts[j] = end - span
+	}
+	return starts
+}
+
+// goodSeededOffsets is the accepted randomized-offset spelling, if it is
+// ever added: an explicit seed that would be recorded in the manifest.
+func goodSeededOffsets(seed int64, probes, windows, span int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	starts := make([]int, windows)
+	for i := range starts {
+		starts[i] = rng.Intn(probes - span)
+	}
+	return starts
+}

@@ -11,12 +11,17 @@ type Cache struct {
 	blockBits uint
 	setMask   uint64
 
-	// tags[set][way] holds the block address (not just the tag) for clarity;
-	// valid[set][way] marks occupancy and lru[set][way] holds a per-set
-	// sequence number (larger = more recently used).
-	tags  [][]uint64
-	valid [][]bool
-	lru   [][]uint64
+	// tags holds the block address (not just the tag) for clarity, with
+	// bit 0 — always zero in a block address — repurposed as the valid
+	// bit, so probe loops touch one word per way instead of a tag plus a
+	// separate validity byte. lru holds a per-set sequence number (larger
+	// = more recently used). Both are set-major 1D arrays indexed
+	// set*ways+way: one contiguous allocation per field keeps a set's
+	// ways together and removes the double indirection a [][]slice pays
+	// on every probe — these loops dominate the fast-forward warming path
+	// of sampled simulation.
+	tags  []uint64
+	lru   []uint64
 	clock uint64
 
 	hits      uint64
@@ -28,7 +33,9 @@ type Cache struct {
 // size (all in bytes). It panics on a geometry that does not divide evenly;
 // Config.Validate catches this earlier for user-supplied configurations.
 func NewCache(name string, sizeBytes, assoc, blockBytes int) *Cache {
-	if sizeBytes <= 0 || assoc <= 0 || blockBytes <= 0 {
+	// Blocks must be at least two bytes so block addresses keep bit 0
+	// clear, which the tag storage repurposes as the valid bit.
+	if sizeBytes <= 0 || assoc <= 0 || blockBytes <= 1 {
 		panic("mem: invalid cache geometry")
 	}
 	if sizeBytes%(assoc*blockBytes) != 0 {
@@ -42,23 +49,22 @@ func NewCache(name string, sizeBytes, assoc, blockBytes int) *Cache {
 	for 1<<blockBits < blockBytes {
 		blockBits++
 	}
-	c := &Cache{
+	return &Cache{
 		name:      name,
 		sets:      sets,
 		ways:      assoc,
 		blockBits: blockBits,
 		setMask:   uint64(sets - 1),
-		tags:      make([][]uint64, sets),
-		valid:     make([][]bool, sets),
-		lru:       make([][]uint64, sets),
+		tags:      make([]uint64, sets*assoc),
+		lru:       make([]uint64, sets*assoc),
 	}
-	for s := 0; s < sets; s++ {
-		c.tags[s] = make([]uint64, assoc)
-		c.valid[s] = make([]bool, assoc)
-		c.lru[s] = make([]uint64, assoc)
-	}
-	return c
 }
+
+// tagValid marks a tag word as occupied. Block addresses keep their low
+// blockBits clear (blockBits >= 1 always, since blocks are at least two
+// bytes), so bit 0 is free to carry validity and the zero value is an
+// invalid entry.
+const tagValid uint64 = 1
 
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.sets }
@@ -81,12 +87,13 @@ func (c *Cache) block(addr uint64) uint64 {
 // Lookup does not allocate on a miss — call Insert for that — so callers can
 // model no-allocate operations (e.g. prefetch probes that get dropped).
 func (c *Cache) Lookup(addr uint64) bool {
-	set := c.setIndex(addr)
-	blk := c.block(addr)
+	base := c.setIndex(addr) * c.ways
+	want := c.block(addr) | tagValid
 	c.clock++
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == blk {
-			c.lru[set][w] = c.clock
+	tags := c.tags[base : base+c.ways]
+	for w := range tags {
+		if tags[w] == want {
+			c.lru[base+w] = c.clock
 			c.hits++
 			return true
 		}
@@ -98,10 +105,10 @@ func (c *Cache) Lookup(addr uint64) bool {
 // Contains reports whether the block containing addr is present without
 // updating LRU state or counters (used by tests and diagnostics).
 func (c *Cache) Contains(addr uint64) bool {
-	set := c.setIndex(addr)
-	blk := c.block(addr)
+	base := c.setIndex(addr) * c.ways
+	want := c.block(addr) | tagValid
 	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == blk {
+		if c.tags[base+w] == want {
 			return true
 		}
 	}
@@ -123,44 +130,47 @@ func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
 // partitions restrict allocation, not residency, exactly like hardware
 // way-masking, so lookups still hit partition-external ways.
 func (c *Cache) InsertWays(addr uint64, mask uint64) (evicted uint64, didEvict bool) {
-	set := c.setIndex(addr)
-	blk := c.block(addr)
+	base := c.setIndex(addr) * c.ways
+	want := c.block(addr) | tagValid
 	c.clock++
-	// Already present (any way): refresh LRU only.
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == blk {
-			c.lru[set][w] = c.clock
-			return 0, false
+	tags := c.tags[base : base+c.ways]
+	lru := c.lru[base : base+c.ways]
+	// One pass finds all three candidates: a resident way (any way — hits
+	// are partition-blind), the first free partition way, and the LRU
+	// partition way. The victim only matters when no partition way is free,
+	// in which case every partition way is valid, so tracking the minimum
+	// over valid ways only is equivalent to the full scan.
+	free, victim := -1, -1
+	for w := range tags {
+		inMask := mask == 0 || mask&(1<<uint(w)) != 0
+		if tags[w]&tagValid != 0 {
+			// Already present (any way): refresh LRU only.
+			if tags[w] == want {
+				lru[w] = c.clock
+				return 0, false
+			}
+			if inMask && (victim < 0 || lru[w] < lru[victim]) {
+				victim = w
+			}
+		} else if inMask && free < 0 {
+			free = w
 		}
 	}
-	allowed := func(w int) bool { return mask == 0 || mask&(1<<uint(w)) != 0 }
 	// Free way inside the partition?
-	for w := 0; w < c.ways; w++ {
-		if !c.valid[set][w] && allowed(w) {
-			c.valid[set][w] = true
-			c.tags[set][w] = blk
-			c.lru[set][w] = c.clock
-			return 0, false
-		}
+	if free >= 0 {
+		tags[free] = want
+		lru[free] = c.clock
+		return 0, false
 	}
 	// Evict the LRU way of the partition.
-	victim := -1
-	for w := 0; w < c.ways; w++ {
-		if !allowed(w) {
-			continue
-		}
-		if victim < 0 || c.lru[set][w] < c.lru[set][victim] {
-			victim = w
-		}
-	}
 	if victim < 0 {
 		// An all-zero partition cannot happen through the topology API
 		// (AgentSpec.llcWayMask yields 0 = all ways instead); guard anyway.
 		return 0, false
 	}
-	evicted = c.tags[set][victim]
-	c.tags[set][victim] = blk
-	c.lru[set][victim] = c.clock
+	evicted = tags[victim] &^ tagValid
+	tags[victim] = want
+	lru[victim] = c.clock
 	c.evictions++
 	return evicted, true
 }
@@ -168,24 +178,26 @@ func (c *Cache) InsertWays(addr uint64, mask uint64) (evicted uint64, didEvict b
 // Invalidate removes the block containing addr if present, returning whether
 // it was present. Used by tests and by workload warm-up control.
 func (c *Cache) Invalidate(addr uint64) bool {
-	set := c.setIndex(addr)
-	blk := c.block(addr)
+	base := c.setIndex(addr) * c.ways
+	want := c.block(addr) | tagValid
 	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == blk {
-			c.valid[set][w] = false
+		if c.tags[base+w] == want {
+			// Clearing the valid bit leaves the block address behind,
+			// exactly the stale tag an invalidated way has always kept.
+			c.tags[base+w] &^= tagValid
 			return true
 		}
 	}
 	return false
 }
 
-// Reset clears all cache content and counters.
+// Reset clears all cache content and counters. Stale block addresses stay
+// behind in the tag words (with the valid bit cleared), matching what an
+// invalidated way keeps.
 func (c *Cache) Reset() {
-	for s := 0; s < c.sets; s++ {
-		for w := 0; w < c.ways; w++ {
-			c.valid[s][w] = false
-			c.lru[s][w] = 0
-		}
+	for i := range c.tags {
+		c.tags[i] &^= tagValid
+		c.lru[i] = 0
 	}
 	c.clock, c.hits, c.misses, c.evictions = 0, 0, 0, 0
 }

@@ -29,10 +29,14 @@ import (
 type CacheState struct {
 	sets, ways int
 	blockBits  uint
-	tags       [][]uint64
-	valid      [][]bool
-	lru        [][]uint64
-	clock      uint64
+	// Set-major 1D arrays (set*ways+way), mirroring Cache's storage. The
+	// snapshot keeps validity separate from the tag words — the external
+	// format (hash and codec) predates the cache packing its valid bit
+	// into bit 0 of the tag, and splitting here keeps those bytes stable.
+	tags  []uint64
+	valid []bool
+	lru   []uint64
+	clock uint64
 }
 
 // CaptureState snapshots the cache's content.
@@ -41,15 +45,14 @@ func (c *Cache) CaptureState() *CacheState {
 		sets:      c.sets,
 		ways:      c.ways,
 		blockBits: c.blockBits,
-		tags:      make([][]uint64, c.sets),
-		valid:     make([][]bool, c.sets),
-		lru:       make([][]uint64, c.sets),
+		tags:      make([]uint64, len(c.tags)),
+		valid:     make([]bool, len(c.tags)),
+		lru:       append([]uint64(nil), c.lru...),
 		clock:     c.clock,
 	}
-	for s := 0; s < c.sets; s++ {
-		st.tags[s] = append([]uint64(nil), c.tags[s]...)
-		st.valid[s] = append([]bool(nil), c.valid[s]...)
-		st.lru[s] = append([]uint64(nil), c.lru[s]...)
+	for i, t := range c.tags {
+		st.tags[i] = t &^ tagValid
+		st.valid[i] = t&tagValid != 0
 	}
 	return st
 }
@@ -63,11 +66,13 @@ func (c *Cache) RestoreState(st *CacheState) {
 		panic(fmt.Sprintf("mem: restoring %s: geometry %d sets x %d ways (block 2^%d) does not match snapshot %d x %d (2^%d)",
 			c.name, c.sets, c.ways, c.blockBits, st.sets, st.ways, st.blockBits))
 	}
-	for s := 0; s < c.sets; s++ {
-		copy(c.tags[s], st.tags[s])
-		copy(c.valid[s], st.valid[s])
-		copy(c.lru[s], st.lru[s])
+	for i, t := range st.tags {
+		if st.valid[i] {
+			t |= tagValid
+		}
+		c.tags[i] = t
 	}
+	copy(c.lru, st.lru)
 	c.clock = st.clock
 	c.hits, c.misses, c.evictions = 0, 0, 0
 }
@@ -78,12 +83,11 @@ func (st *CacheState) hashInto(h *warmstate.Hasher) {
 	h.Word(uint64(st.ways))
 	h.Word(uint64(st.blockBits))
 	h.Word(st.clock)
-	for s := 0; s < st.sets; s++ {
-		for w := 0; w < st.ways; w++ {
-			h.Bool(st.valid[s][w])
-			h.Word(st.tags[s][w])
-			h.Word(st.lru[s][w])
-		}
+	// Set-major iteration order matches the historical [][]-layout digest.
+	for i := range st.tags {
+		h.Bool(st.valid[i])
+		h.Word(st.tags[i])
+		h.Word(st.lru[i])
 	}
 }
 

@@ -1,0 +1,159 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"widx/internal/sampling/stats"
+)
+
+// Metric is one estimated headline quantity: its name (stable across the
+// sampled run and the full run it estimates, so the two can be compared by
+// name) and its 95% confidence estimate.
+type Metric struct {
+	Name string `json:"name"`
+	stats.Estimate
+}
+
+// Report is the `sampling` block of a manifest: the plan the run executed
+// and the confidence estimates of its headline metrics. A nil report means
+// sampling was off, and the manifest field is omitted so unsampled
+// manifests stay byte-identical to pre-sampling ones.
+type Report struct {
+	// Windows, Warmup and Period echo the executed plan.
+	Windows int    `json:"windows"`
+	Warmup  uint64 `json:"warmup"`
+	Period  uint64 `json:"period"`
+	// TotalProbes and MeasuredProbes size the sample: the full stream
+	// length and the portion measured in detail.
+	TotalProbes    uint64 `json:"total_probes"`
+	MeasuredProbes uint64 `json:"measured_probes"`
+	// Degraded reports the stream was too short for the requested windows
+	// and the run fell back to full detailed simulation.
+	Degraded bool `json:"degraded,omitempty"`
+	// FingerprintVerified reports that the combined match stream —
+	// reference matches across fast-forward spans, simulated matches
+	// across detailed spans — fingerprint-matched the full software
+	// reference. A mismatch is a hard run error, so a report that exists
+	// always carries true for design points that have a match stream;
+	// false means the run had none to check (baseline-only runs).
+	FingerprintVerified bool `json:"fingerprint_verified"`
+	// Metrics are the per-design-point estimates, in report order.
+	Metrics []Metric `json:"metrics"`
+}
+
+// NewReport seeds a report from an executed plan.
+func NewReport(p Plan) *Report {
+	return &Report{
+		Windows:        p.Windows,
+		Warmup:         p.Warmup,
+		Period:         p.Period,
+		TotalProbes:    p.Probes,
+		MeasuredProbes: p.MeasuredProbes(),
+		Degraded:       p.Degraded,
+	}
+}
+
+// Add appends one metric estimated from its per-window observations.
+func (r *Report) Add(name string, windows []float64) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Estimate: stats.Estimate95(windows)})
+}
+
+// Metric returns the named metric.
+func (r *Report) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Merge appends another report's metrics under a name prefix, keeping the
+// plan header of r. It is how a suite-level report aggregates per-query
+// reports; the parts must come from runs of the same plan shape.
+func (r *Report) Merge(prefix string, o *Report) {
+	if o == nil {
+		return
+	}
+	r.FingerprintVerified = r.FingerprintVerified || o.FingerprintVerified
+	for _, m := range o.Metrics {
+		m.Name = prefix + m.Name
+		r.Metrics = append(r.Metrics, m)
+	}
+}
+
+// verifyGuardBand widens the Verify acceptance beyond the confidence
+// interval by a small relative margin. The interval models sampling
+// variance only; functional fast-forward leaves a residual systematic bias
+// (warm state installed by reference traversal instead of true detailed
+// history) that detailed warmup shrinks but cannot erase, and with very
+// stable windows the interval can be narrower than that bias. The guard
+// band covers it: a full-run value passes when it lies inside the interval
+// or within this fraction of the estimate.
+const verifyGuardBand = 0.02
+
+// Verify checks every reported metric that has a full-run counterpart in
+// `full` (keyed by metric name) against its confidence interval — widened
+// by verifyGuardBand — and returns an error naming each metric whose
+// full-run value falls outside. It is the -sampling-verify contract: the
+// sampled estimate must cover the value the full-detail run computes. At
+// least one metric must match by name, otherwise the verification would be
+// vacuous.
+func (r *Report) Verify(full map[string]float64) error {
+	if r == nil {
+		return fmt.Errorf("sampling: no sampling report to verify")
+	}
+	checked := 0
+	var failures []string
+	for _, m := range r.Metrics {
+		v, ok := full[m.Name]
+		if !ok {
+			continue
+		}
+		checked++
+		guard := verifyGuardBand * math.Abs(m.Mean)
+		if !m.Contains(v) && !(v >= m.Low-guard && v <= m.High+guard) {
+			failures = append(failures, fmt.Sprintf("%s: full-run value %.6g outside the sampled 95%% CI [%.6g, %.6g] (mean %.6g)",
+				m.Name, v, m.Low, m.High, m.Mean))
+		}
+	}
+	if checked == 0 {
+		names := make([]string, 0, len(full))
+		for k := range full {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("sampling: verify matched no metrics by name (report has %d, full run offered %v)", len(r.Metrics), names)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("sampling: %d of %d verified metrics outside their confidence intervals:\n  %s",
+			len(failures), checked, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// Text renders the report as the "Sampled estimates" section of a text
+// report: the plan header plus one line per metric.
+func (r *Report) Text() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sampled estimates (95%% CI, Student-t): %d windows x %d measured (+%d warmup) of %d probes",
+		r.Windows, r.Period, r.Warmup, r.TotalProbes)
+	if r.Degraded {
+		b.WriteString(" — DEGRADED to full detailed simulation (stream too short)")
+	}
+	b.WriteString("\n")
+	if r.FingerprintVerified {
+		b.WriteString("match-stream fingerprint verified against the software reference\n")
+	}
+	for _, m := range r.Metrics {
+		fmt.Fprintf(&b, "  %-44s %12.4f ± %.4f  [%12.4f, %12.4f]  (±%.2f%%)\n",
+			m.Name, m.Mean, m.HalfWidth, m.Low, m.High, 100*m.RelativeHalfWidth())
+	}
+	return b.String()
+}

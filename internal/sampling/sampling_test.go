@@ -1,0 +1,195 @@
+package sampling
+
+import (
+	"testing"
+)
+
+// checkPlan validates structural invariants shared by every plan.
+func checkPlan(t *testing.T, p Plan) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	measured := 0
+	for i, s := range p.Spans {
+		switch s.Kind {
+		case Measure:
+			if s.Window != measured {
+				t.Errorf("span %d: measure window %d, want %d (window ordinals must be dense)", i, s.Window, measured)
+			}
+			measured++
+		case Warmup:
+			if s.Window != measured {
+				t.Errorf("span %d: warmup window %d, want %d (warmup precedes its measure span)", i, s.Window, measured)
+			}
+		case FastForward:
+			if s.Window != -1 {
+				t.Errorf("span %d: fast-forward carries window %d, want -1", i, s.Window)
+			}
+		}
+	}
+	if measured != p.Windows {
+		t.Errorf("plan has %d measure spans, header says %d windows", measured, p.Windows)
+	}
+}
+
+func TestNewPlanSystematic(t *testing.T) {
+	p := NewPlan(1000, 4, 10, 40)
+	checkPlan(t, p)
+	if p.Degraded || !p.Sampled() {
+		t.Fatalf("plan should sample: %+v", p)
+	}
+	if got, want := p.MeasuredProbes(), uint64(160); got != want {
+		t.Errorf("measured probes = %d, want %d", got, want)
+	}
+	if got, want := p.DetailedProbes(), uint64(200); got != want {
+		t.Errorf("detailed probes = %d, want %d", got, want)
+	}
+	// Windows anchor at stride ends floor((j+1)*N/W) = 250, 500, 750, 1000,
+	// so warmups start 50 probes earlier — and the plan opens fast-forward.
+	if p.Spans[0].Kind != FastForward || p.Spans[0].Start != 0 {
+		t.Errorf("plan must open with a fast-forward span, got %+v", p.Spans[0])
+	}
+	var starts []uint64
+	for _, s := range p.Spans {
+		if s.Kind == Warmup {
+			starts = append(starts, s.Start)
+		}
+	}
+	want := []uint64{200, 450, 700, 950}
+	if len(starts) != len(want) {
+		t.Fatalf("warmup spans at %v, want %v", starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Errorf("window %d starts at %d, want %d", i, starts[i], want[i])
+		}
+	}
+}
+
+func TestNewPlanZeroWarmup(t *testing.T) {
+	p := NewPlan(100, 2, 0, 10)
+	checkPlan(t, p)
+	for _, s := range p.Spans {
+		if s.Kind == Warmup {
+			t.Fatalf("zero-warmup plan has a warmup span: %+v", s)
+		}
+	}
+}
+
+func TestNewPlanDegradesWhenTooShort(t *testing.T) {
+	cases := []struct {
+		name           string
+		probes         uint64
+		windows        int
+		warmup, period uint64
+	}{
+		{"windows exceed probes", 10, 20, 0, 1},
+		{"window overflows its stride", 100, 10, 2, 9},
+		{"windows exceed the stream", 100, 4, 10, 40},
+		{"zero period", 100, 4, 10, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := NewPlan(c.probes, c.windows, c.warmup, c.period)
+			checkPlan(t, p)
+			if !p.Degraded {
+				t.Fatalf("plan should degrade: %+v", p)
+			}
+			if p.Sampled() {
+				t.Error("degraded plan must not fast-forward")
+			}
+			if p.Windows != 1 || len(p.Spans) != 1 || p.Spans[0].Kind != Measure || p.Spans[0].Len() != c.probes {
+				t.Errorf("degraded plan must be one full measure span, got %+v", p.Spans)
+			}
+		})
+	}
+}
+
+func TestNewPlanExactFill(t *testing.T) {
+	// Windows exactly as long as their strides: every probe is detailed, no
+	// fast-forward spans, but the stream still splits into measured windows.
+	p := NewPlan(100, 10, 2, 8)
+	checkPlan(t, p)
+	if p.Degraded {
+		t.Fatalf("exact-fill plan must not degrade: %+v", p)
+	}
+	if p.Sampled() {
+		t.Error("exact-fill plan has no fast-forward spans")
+	}
+	if got, want := p.DetailedProbes(), uint64(100); got != want {
+		t.Errorf("detailed probes = %d, want %d", got, want)
+	}
+}
+
+func TestNewPlanWindowsOff(t *testing.T) {
+	p := NewPlan(500, 0, 10, 40)
+	checkPlan(t, p)
+	if p.Degraded || p.Sampled() || p.Windows != 1 {
+		t.Fatalf("windows=0 must be a plain full plan, got %+v", p)
+	}
+}
+
+func TestPlanRunOrder(t *testing.T) {
+	p := NewPlan(1000, 3, 5, 20)
+	checkPlan(t, p)
+	var cursor uint64
+	var windows int
+	err := p.Run(
+		func(s Span) error {
+			if s.Kind != FastForward || s.Start != cursor {
+				t.Fatalf("ff span out of order: %+v at cursor %d", s, cursor)
+			}
+			cursor = s.End
+			return nil
+		},
+		func(s Span) error {
+			if s.Kind == FastForward || s.Start != cursor {
+				t.Fatalf("detailed span out of order: %+v at cursor %d", s, cursor)
+			}
+			if s.Kind == Measure {
+				windows++
+			}
+			cursor = s.End
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != p.Probes || windows != 3 {
+		t.Fatalf("run covered [0, %d) with %d windows, want [0, %d) with 3", cursor, windows, p.Probes)
+	}
+}
+
+func TestReportVerify(t *testing.T) {
+	r := NewReport(NewPlan(1000, 4, 10, 40))
+	r.Add("a cycles-per-tuple", []float64{10, 12, 11, 13})
+	r.Add("b speedup", []float64{2, 2, 2, 2})
+	if err := r.Verify(map[string]float64{"a cycles-per-tuple": 11.5, "b speedup": 2}); err != nil {
+		t.Fatalf("in-interval values must verify: %v", err)
+	}
+	if err := r.Verify(map[string]float64{"a cycles-per-tuple": 50}); err == nil {
+		t.Fatal("out-of-interval value must fail verification")
+	}
+	if err := r.Verify(map[string]float64{"unknown": 1}); err == nil {
+		t.Fatal("verification with no matching metric must fail (vacuous)")
+	}
+	var nilReport *Report
+	if err := nilReport.Verify(map[string]float64{"a": 1}); err == nil {
+		t.Fatal("nil report must fail verification")
+	}
+}
+
+func TestReportMerge(t *testing.T) {
+	base := NewReport(NewPlan(1000, 2, 0, 10))
+	q := NewReport(NewPlan(1000, 2, 0, 10))
+	q.FingerprintVerified = true
+	q.Add("cycles-per-tuple", []float64{3, 5})
+	base.Merge("q19: ", q)
+	if !base.FingerprintVerified {
+		t.Error("merge must propagate fingerprint verification")
+	}
+	if m, ok := base.Metric("q19: cycles-per-tuple"); !ok || m.Mean != 4 {
+		t.Errorf("merged metric missing or wrong: %+v ok=%v", m, ok)
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEstimateKnownSeries(t *testing.T) {
+	// xs = {2, 4, 6}: mean 4, sample variance 4, stderr sqrt(4/3),
+	// t(df=2, 95%) = 4.303.
+	e := Estimate95([]float64{2, 4, 6})
+	if !almost(e.Mean, 4) {
+		t.Errorf("mean = %v, want 4", e.Mean)
+	}
+	wantSE := math.Sqrt(4.0 / 3.0)
+	if !almost(e.StdErr, wantSE) {
+		t.Errorf("stderr = %v, want %v", e.StdErr, wantSE)
+	}
+	wantHW := 4.303 * wantSE
+	if !almost(e.HalfWidth, wantHW) {
+		t.Errorf("half-width = %v, want %v", e.HalfWidth, wantHW)
+	}
+	if !almost(e.Low, 4-wantHW) || !almost(e.High, 4+wantHW) {
+		t.Errorf("interval = [%v, %v], want [%v, %v]", e.Low, e.High, 4-wantHW, 4+wantHW)
+	}
+	if e.Windows != 3 {
+		t.Errorf("windows = %d, want 3", e.Windows)
+	}
+	if !e.Contains(4) || !e.Contains(4-wantHW) || e.Contains(4+wantHW+1) {
+		t.Error("Contains disagrees with the interval bounds")
+	}
+}
+
+func TestEstimateSingleWindow(t *testing.T) {
+	// One window: a point estimate with a zero-width interval. The value
+	// itself must still be contained (the -sampling-verify degenerate case).
+	e := Estimate95([]float64{7.25})
+	if !almost(e.Mean, 7.25) || e.StdErr != 0 || e.HalfWidth != 0 {
+		t.Errorf("single window: got %+v, want zero-width interval at 7.25", e)
+	}
+	if !e.Contains(7.25) {
+		t.Error("zero-width interval must contain its own mean")
+	}
+	if e.Contains(7.26) {
+		t.Error("zero-width interval must reject a different value")
+	}
+}
+
+func TestEstimateZeroVariance(t *testing.T) {
+	// Identical windows: no observed dispersion, zero-width interval.
+	e := Estimate95([]float64{3, 3, 3, 3})
+	if !almost(e.Mean, 3) || e.StdErr != 0 || e.HalfWidth != 0 {
+		t.Errorf("zero variance: got %+v, want zero-width interval at 3", e)
+	}
+	if !e.Contains(3) {
+		t.Error("zero-variance interval must contain the common value")
+	}
+	if e.RelativeHalfWidth() != 0 {
+		t.Errorf("relative half-width = %v, want 0", e.RelativeHalfWidth())
+	}
+}
+
+func TestEstimateEmpty(t *testing.T) {
+	e := Estimate95(nil)
+	if e.Windows != 0 || e.Mean != 0 {
+		t.Errorf("empty series: got %+v, want zero estimate", e)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {10, 2.228}, {30, 2.042},
+		// Untabulated dfs round down to the next smaller entry
+		// (conservative: a wider interval).
+		{31, 2.042}, {39, 2.042}, {40, 2.021}, {59, 2.021},
+		{60, 2.000}, {119, 2.000}, {120, 1.960}, {10000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Errorf("TCritical95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Error("df=0 must be unusable (infinite critical value)")
+	}
+	// Monotone non-increasing over the tabulated range.
+	for df := 2; df <= 200; df++ {
+		if TCritical95(df) > TCritical95(df-1) {
+			t.Fatalf("TCritical95 not monotone at df=%d", df)
+		}
+	}
+}

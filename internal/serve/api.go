@@ -17,7 +17,7 @@
 //	GET    /api/v1/jobs/{id}/manifest  the finished widx-experiment-manifest/v1 (byte-identical to the CLI's -json)
 //	GET    /api/v1/jobs/{id}/text      the finished text report (byte-identical to the CLI's stdout)
 //	GET    /api/v1/jobs/{id}/points    index-tagged per-point results (what a coordinator merges)
-//	GET    /statusz                    server counters: result store, warm cache, simulated points
+//	GET    /statusz                    server counters: result store, warm cache, simulated/sampled points
 //
 // # Determinism boundary
 //
@@ -65,6 +65,15 @@ type ConfigSpec struct {
 	// Sample caps probes simulated in detail (CLI -sample). Pointer
 	// because 0 ("all probes") is a meaningful pin; nil = default 20000.
 	Sample *int `json:"sample,omitempty"`
+	// SampleWindows turns on systematic sampled simulation: the number of
+	// detailed windows per design point (CLI -sampling/-sample-windows;
+	// 0 = off, matching the CLI without -sampling).
+	SampleWindows int `json:"sample_windows,omitempty"`
+	// SampleWarmup is the detailed-but-unmeasured probes per window.
+	// Pointer because 0 ("no warmup") is a meaningful pin; nil = default 64.
+	SampleWarmup *int `json:"sample_warmup,omitempty"`
+	// SamplePeriod is the measured probes per window (0 = default 256).
+	SamplePeriod int `json:"sample_period,omitempty"`
 	// Parallel is the worker-pool width (CLI -parallel; 0 = NumCPU).
 	Parallel int `json:"parallel,omitempty"`
 	// StrictOrder enables the monotonic memory-order debug assertion
@@ -160,8 +169,12 @@ type Statusz struct {
 	// SimulatedPoints counts grid points this process actually simulated
 	// (cache hits and coordinator-forwarded points excluded) — the "zero
 	// re-simulations" assertion of the CI serve-smoke job reads this.
-	SimulatedPoints uint64      `json:"simulated_points"`
-	ResultStore     *StoreStats `json:"result_store,omitempty"`
-	WarmCache       *CacheStats `json:"warm_cache,omitempty"`
-	Workers         []string    `json:"workers,omitempty"`
+	SimulatedPoints uint64 `json:"simulated_points"`
+	// SampledPoints counts the simulated points that ran under systematic
+	// sampling (their results carry a sampling report); cache hits are
+	// excluded like they are from SimulatedPoints.
+	SampledPoints uint64      `json:"sampled_points"`
+	ResultStore   *StoreStats `json:"result_store,omitempty"`
+	WarmCache     *CacheStats `json:"warm_cache,omitempty"`
+	Workers       []string    `json:"workers,omitempty"`
 }

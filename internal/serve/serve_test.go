@@ -399,6 +399,92 @@ func TestManifestsMatchDirectRun(t *testing.T) {
 	}
 }
 
+// TestSampledRequestDistinctAndCounted: a request pinning the sampling
+// knobs yields a manifest with the sampling block, byte-identical to the
+// direct sampled run; the same experiment unsampled keys separately in
+// the result store (no false hit); /statusz counts sampled points; and a
+// resubmission is a cache hit whose manifest — sampling block recovered
+// from the stored payload — is byte-identical to the cold one.
+func TestSampledRequestDistinctAndCounted(t *testing.T) {
+	ctx := testCtx(t)
+	_, url := startServer(t, serve.Options{StoreDir: t.TempDir(), WarmCache: true})
+	c := serve.NewClient(url)
+
+	warm := 16
+	spec := tinySpec()
+	spec.SampleWindows = 3
+	spec.SampleWarmup = &warm
+	spec.SamplePeriod = 32
+	set := map[string]string{"sizes": "Small"}
+	req := serve.SubmitRequest{Experiment: "kernel", Set: set, Config: spec}
+
+	st := submitAndWait(t, c, req)
+	if st.State != serve.JobDone || st.Cached != 0 {
+		t.Fatalf("sampled job = %+v", st)
+	}
+	manifest, err := c.Manifest(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(manifest, []byte(`"sampling"`)) {
+		t.Errorf("sampled manifest carries no sampling block:\n%s", manifest)
+	}
+
+	cfg := localConfig()
+	cfg.SampleWindows = 3
+	cfg.SampleWarmup = 16
+	cfg.SamplePeriod = 32
+	e, _ := exp.Lookup("kernel")
+	local, err := exp.Run(e, cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := local.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lm.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(manifest, want) {
+		t.Errorf("served sampled manifest differs from the direct run\n--- served ---\n%s\n--- direct ---\n%s", manifest, want)
+	}
+
+	// The unsampled request must simulate: the resolved config is part of
+	// the store key, so sampled and unsampled results never collide.
+	st2 := submitAndWait(t, c, serve.SubmitRequest{Experiment: "kernel", Set: set, Config: tinySpec()})
+	if st2.State != serve.JobDone || st2.Cached != 0 {
+		t.Fatalf("unsampled job after sampled one = %+v, want a fresh simulation", st2)
+	}
+	sz, err := c.Statusz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.SimulatedPoints != 2 || sz.SampledPoints != 1 {
+		t.Errorf("statusz = %d simulated / %d sampled, want 2 / 1", sz.SimulatedPoints, sz.SampledPoints)
+	}
+
+	st3 := submitAndWait(t, c, req)
+	if st3.State != serve.JobDone || st3.Cached != 1 {
+		t.Fatalf("resubmitted sampled job = %+v, want 1 cached point", st3)
+	}
+	manifest3, err := c.Manifest(ctx, st3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(manifest3, manifest) {
+		t.Errorf("cache-served sampled manifest differs from the simulated one\n--- cached ---\n%s\n--- cold ---\n%s", manifest3, manifest)
+	}
+	sz, err = c.Statusz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.SimulatedPoints != 2 || sz.SampledPoints != 1 {
+		t.Errorf("after cache hit: statusz = %d simulated / %d sampled, want still 2 / 1", sz.SimulatedPoints, sz.SampledPoints)
+	}
+}
+
 // TestExperimentsCatalogRoundTrip: the catalog endpoint decodes on the
 // client side and preserves every registered experiment's parameter
 // specs — including the warm classification, which marshals by name and

@@ -30,6 +30,10 @@ type Options struct {
 	// daemon); WarmVerify enables its content-hash rebuild checks.
 	WarmCache  bool
 	WarmVerify bool
+	// WarmStoreDir persists warm-state snapshots (fast-forward
+	// checkpoints, CMP warm-ups) under this directory, so a restarted
+	// daemon restores them instead of re-warming. Requires WarmCache.
+	WarmStoreDir string
 	// Parallel is the default sim worker-pool width for requests that do
 	// not pin one (0 = NumCPU), mirroring the CLI's -parallel default.
 	Parallel int
@@ -44,10 +48,11 @@ type Options struct {
 // out internally through the sim worker pool) and serves their status,
 // progress streams and finished artifacts over HTTP.
 type Server struct {
-	opts  Options
-	build string
-	store *ResultStore
-	warm  *warmstate.Cache
+	opts      Options
+	build     string
+	store     *ResultStore
+	warm      *warmstate.Cache
+	warmStore *warmstate.DiskStore
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -58,6 +63,7 @@ type Server struct {
 	queue     chan *job
 	idle      sync.WaitGroup // executor's in-flight job
 	simulated atomic.Uint64
+	sampled   atomic.Uint64
 }
 
 // New builds a Server and starts its executor.
@@ -80,6 +86,16 @@ func New(opts Options) (*Server, error) {
 	if opts.WarmCache || opts.WarmVerify {
 		s.warm = warmstate.New()
 		s.warm.SetVerify(opts.WarmVerify)
+	}
+	if opts.WarmStoreDir != "" {
+		if s.warm == nil {
+			return nil, fmt.Errorf("serve: WarmStoreDir needs WarmCache")
+		}
+		ws, err := warmstate.OpenDiskStore(opts.WarmStoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.warmStore = ws
 	}
 	s.idle.Add(1)
 	go s.executor()
@@ -127,6 +143,15 @@ func (s *Server) config(spec ConfigSpec) sim.Config {
 	if spec.Sample != nil {
 		cfg.SampleProbes = *spec.Sample
 	}
+	if spec.SampleWindows != 0 {
+		cfg.SampleWindows = spec.SampleWindows
+	}
+	if spec.SampleWarmup != nil {
+		cfg.SampleWarmup = uint64(*spec.SampleWarmup)
+	}
+	if spec.SamplePeriod != 0 {
+		cfg.SamplePeriod = uint64(spec.SamplePeriod)
+	}
 	switch {
 	case spec.Parallel != 0:
 		cfg.Parallelism = spec.Parallel
@@ -145,6 +170,17 @@ func (s *Server) validate(req SubmitRequest) error {
 	e, ok := exp.Lookup(req.Experiment)
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", req.Experiment)
+	}
+	// The sampling knobs convert to unsigned config fields; reject
+	// negatives here rather than let the conversion wrap.
+	if req.Config.SampleWindows < 0 {
+		return fmt.Errorf("sample_windows must be non-negative (0 = sampling off)")
+	}
+	if req.Config.SampleWarmup != nil && *req.Config.SampleWarmup < 0 {
+		return fmt.Errorf("sample_warmup must be non-negative")
+	}
+	if req.Config.SamplePeriod < 0 {
+		return fmt.Errorf("sample_period must be non-negative (0 = server default)")
 	}
 	if len(req.Sweep) == 0 {
 		if len(req.Indices) > 0 {
@@ -270,6 +306,7 @@ func (s *Server) runLocal(j *job) error {
 	cfg := s.config(j.req.Config)
 	cfg.Ctx = j.ctx
 	cfg.WarmCache = s.warm
+	cfg.WarmStore = s.warmStore
 	if len(j.req.Sweep) == 0 {
 		return s.runSingle(j, e, cfg)
 	}
@@ -313,6 +350,7 @@ func (s *Server) runSingle(j *job, e exp.Experiment, cfg sim.Config) error {
 			return err
 		}
 		s.simulated.Add(1)
+		s.countSampled(out.Result)
 	}
 	manifest, err := out.Manifest()
 	if err != nil {
@@ -384,6 +422,7 @@ func (s *Server) runSweep(j *job, e exp.Experiment, cfg sim.Config) error {
 				return
 			}
 			s.simulated.Add(1)
+			s.countSampled(r.Result)
 			results[i] = r.Result
 			j.addPoint(PointResult{Index: i, Params: r.Params, Text: r.Result.Text(), Results: raw, Cached: false})
 		}); err != nil {
@@ -414,6 +453,14 @@ func (s *Server) runSweep(j *job, e exp.Experiment, cfg sim.Config) error {
 	return nil
 }
 
+// countSampled bumps the sampled-point counter when a freshly simulated
+// result ran under systematic sampling (it carries a sampling report).
+func (s *Server) countSampled(r exp.Result) {
+	if sr, ok := r.(sim.SamplingReporter); ok && sr.SamplingReport() != nil {
+		s.sampled.Add(1)
+	}
+}
+
 // statusz assembles the /statusz payload.
 func (s *Server) statusz() Statusz {
 	st := Statusz{
@@ -421,6 +468,7 @@ func (s *Server) statusz() Statusz {
 		Mode:            "worker",
 		Jobs:            map[string]int{},
 		SimulatedPoints: s.simulated.Load(),
+		SampledPoints:   s.sampled.Load(),
 		ResultStore:     s.store.Stats(),
 		Workers:         s.opts.Workers,
 	}

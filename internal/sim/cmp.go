@@ -26,6 +26,7 @@ import (
 	"widx/internal/join"
 	"widx/internal/mem"
 	"widx/internal/program"
+	"widx/internal/sampling"
 	"widx/internal/stats"
 	"widx/internal/structures"
 	"widx/internal/system"
@@ -222,18 +223,43 @@ type CMPExperiment struct {
 	// maximum any single agent reached alone.
 	BandwidthUtilization     float64
 	SoloBandwidthUtilization float64
+	// Sampling carries per-agent solo/co-run/slowdown confidence estimates
+	// when the run was sampled; nil otherwise.
+	Sampling *sampling.Report `json:"sampling,omitempty"`
+}
+
+// SamplingReport implements SamplingReporter.
+func (e *CMPExperiment) SamplingReport() *sampling.Report { return e.Sampling }
+
+// SampledMetricValues returns the experiment's full-run values under the
+// sampled estimator's metric names, for -sampling-verify interval checks.
+func (e *CMPExperiment) SampledMetricValues() map[string]float64 {
+	m := make(map[string]float64)
+	for _, a := range e.Agents {
+		m[sampledMetricName(a.Name+" solo", metricCPT)] = a.SoloCyclesPerTuple
+		m[sampledMetricName(a.Name+" co", metricCPT)] = a.CyclesPerTuple
+		m[a.Name+" slowdown"] = a.Slowdown
+	}
+	return m
 }
 
 // cmpRunner couples one agent's schedulable engine with its finisher.
+// matches returns a Widx agent's emitted match stream once finish has run;
+// it is nil for host cores (trace replay emits no matches).
 type cmpRunner struct {
-	agent  system.Agent
-	finish func() (cycles uint64, stats mem.Stats, err error)
+	agent   system.Agent
+	finish  func() (cycles uint64, stats mem.Stats, err error)
+	matches func() []uint64
 }
 
 // cmpAgentWorkload is one agent's private partition of the CMP workload:
-// its structure's resident regions (for LLC warming), its probe-key column
-// and — per machine kind — the Widx program bundle (pointing at a private
-// result region) or the probe traces.
+// its structure's resident regions (for LLC warming), its probe-key column,
+// the software reference's probe traces and match stream, and — for Widx
+// agents — the program bundle pointing at a private result region. Traces
+// are built for every agent kind (host cores replay them; sampled runs warm
+// fast-forward spans from them), and the matches/bounds pair carries the
+// reference output Widx agents fast-forward through and fingerprint-verify
+// against.
 type cmpAgentWorkload struct {
 	name    string
 	regions [][2]uint64
@@ -241,6 +267,18 @@ type cmpAgentWorkload struct {
 	keys    int
 	progs   *structures.Programs
 	traces  []hashidx.ProbeTrace
+	matches []uint64
+	bounds  []int
+}
+
+// span returns the workload restricted to probes [sp.Start, sp.End): the
+// key column and trace slice a span-sized runner consumes.
+func (w *cmpAgentWorkload) span(sp sampling.Span) *cmpAgentWorkload {
+	sw := *w
+	sw.keyBase = w.keyBase + sp.Start*8
+	sw.keys = int(sp.Len())
+	sw.traces = w.traces[sp.Start:sp.End]
+	return &sw
 }
 
 // buildCMPWorkload lays out one partition per agent in a single shared
@@ -300,6 +338,13 @@ func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec, stru
 		for j, k := range probeKeys {
 			as.Write64(w.keyBase+uint64(j)*8, k)
 		}
+		w.traces = make([]hashidx.ProbeTrace, perAgent)
+		w.bounds = make([]int, perAgent)
+		for j, k := range probeKeys {
+			w.traces[j] = tbl.ProbeFrom(k, w.keyBase+uint64(j)*8).Trace
+			w.matches = append(w.matches, tbl.ProbeMatches(k)...)
+			w.bounds[j] = len(w.matches)
+		}
 		if spec.Kind == AgentWidx {
 			resultBase := as.AllocAligned(w.name+".results", uint64(perAgent)*8+64)
 			bundle, err := program.ForTable(tbl, resultBase)
@@ -310,11 +355,6 @@ func (c Config) buildCMPWorkload(size join.SizeClass, specs []CMPAgentSpec, stru
 				Dispatcher: bundle.Dispatcher,
 				Walker:     bundle.Walker,
 				Producer:   bundle.Producer,
-			}
-		} else {
-			w.traces = make([]hashidx.ProbeTrace, perAgent)
-			for j, k := range probeKeys {
-				w.traces[j] = tbl.ProbeFrom(k, w.keyBase+uint64(j)*8).Trace
 			}
 		}
 	}
@@ -348,14 +388,15 @@ func (c Config) buildCMPStructurePartition(as *vm.AddressSpace, w *cmpAgentWorkl
 	w.keyBase = inst.ProbeKeyBase()
 	w.keys = inst.ProbeCount()
 	matches, traces := inst.Reference()
+	w.traces = traces
+	w.matches = matches
+	w.bounds = inst.MatchBounds()
 	if spec.Kind == AgentWidx {
 		resultBase := as.AllocAligned(w.name+".results", uint64(len(matches))*8+64)
 		w.progs, err = inst.Programs(resultBase, structures.ProgramOptions{})
 		if err != nil {
 			return err
 		}
-	} else {
-		w.traces = traces
 	}
 	return nil
 }
@@ -467,13 +508,24 @@ func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w
 		if err != nil {
 			return nil, err
 		}
-		return &cmpRunner{agent: o, finish: func() (uint64, mem.Stats, error) {
-			res, err := o.Result()
-			if err != nil {
-				return 0, mem.Stats{}, err
-			}
-			return res.TotalCycles, res.MemStats, nil
-		}}, nil
+		var res *widx.OffloadResult
+		return &cmpRunner{
+			agent: o,
+			finish: func() (uint64, mem.Stats, error) {
+				r, err := o.Result()
+				if err != nil {
+					return 0, mem.Stats{}, err
+				}
+				res = r
+				return r.TotalCycles, r.MemStats, nil
+			},
+			matches: func() []uint64 {
+				if res == nil {
+					return nil
+				}
+				return res.Matches
+			},
+		}, nil
 
 	case AgentOoO, AgentInOrder:
 		cfg := cores.OoOConfig()
@@ -499,6 +551,63 @@ func newCMPRunner(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w
 	default:
 		return nil, fmt.Errorf("sim: unknown agent kind %v", spec.Kind)
 	}
+}
+
+// runCMPSoloSampled executes one agent's stream alone through the plan on
+// its already partition-warmed hierarchy: fast-forward spans warm from the
+// reference traces (a Widx agent's reference matches join its output
+// stream), detailed spans run a span-sized engine resuming at the cycle the
+// previous span ended. The returned cycle and memory aggregates cover the
+// measured spans only; Widx output is fingerprint-verified against the full
+// reference before returning.
+func (c Config) runCMPSoloSampled(hier *mem.Hierarchy, spec CMPAgentSpec, as *vm.AddressSpace, w *cmpAgentWorkload, plan sampling.Plan) (uint64, mem.Stats, []windowSample, error) {
+	var cycles, cursor uint64
+	var memStats mem.Stats
+	var wins []windowSample
+	var stream []uint64
+	detailed := func(sp sampling.Span) error {
+		run, err := newCMPRunner(hier, spec, as, w.span(sp), c.queueDepth(), cursor)
+		if err != nil {
+			return err
+		}
+		if err := system.Run(run.agent); err != nil {
+			return err
+		}
+		cyc, st, err := run.finish()
+		if err != nil {
+			return err
+		}
+		cursor += cyc
+		if run.matches != nil {
+			stream = append(stream, run.matches()...)
+		}
+		if sp.Kind != sampling.Measure {
+			return nil
+		}
+		cycles += cyc
+		memStats = memStats.Add(st)
+		wins = append(wins, windowSample{cycles: cyc, tuples: sp.Len(), mshr: st.MeanMSHROccupancy()})
+		return nil
+	}
+	ff := func(sp sampling.Span) error {
+		if w.progs != nil {
+			stream = append(stream, matchSegment(w.matches, w.bounds, sp.Start, sp.End)...)
+		}
+		ffWarm(hier, w.traces[sp.Start:sp.End])
+		return nil
+	}
+	if c.SampleFullDetail {
+		ff = detailed
+	}
+	if err := plan.Run(ff, detailed); err != nil {
+		return 0, mem.Stats{}, nil, err
+	}
+	if w.progs != nil {
+		if err := verifySampledStream(w.name+" solo", stream, w.matches); err != nil {
+			return 0, mem.Stats{}, nil, err
+		}
+	}
+	return cycles, memStats, wins, nil
 }
 
 // RunCMP co-schedules one index-probe stream per agent on a single shared
@@ -549,6 +658,15 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, structure stru
 
 	exp := &CMPExperiment{Size: size, Structure: structure, Agents: make([]CMPAgentResult, k)}
 
+	// Every agent's partition carries the same probe-stream length, so one
+	// plan drives all of them and the co-run's rounds stay aligned.
+	var plan sampling.Plan
+	soloWins := make([][]windowSample, k)
+	coWins := make([][]windowSample, k)
+	if c.sampling() {
+		plan = c.samplePlan(workloads[0].keys)
+	}
+
 	// Solo reference runs: each agent alone on a fresh, uncontended
 	// hierarchy with its own partition warmed and the same private spec
 	// (MSHRs, way partition) it will co-run with, so the slowdown isolates
@@ -561,25 +679,38 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, structure stru
 		if err := c.warmCMPSolo(hier, workloadKey, &workloads[i], i); err != nil {
 			return nil, err
 		}
-		run, err := newCMPRunner(hier, spec, as, &workloads[i], c.queueDepth(), 0)
-		if err != nil {
-			return nil, err
-		}
-		if err := system.Run(run.agent); err != nil {
-			return nil, err
-		}
-		cycles, stats, err := run.finish()
-		if err != nil {
-			return nil, err
-		}
 		a := &exp.Agents[i]
 		a.Name = workloads[i].name
 		a.Spec = spec
 		a.Tuples = uint64(workloads[i].keys)
+		var cycles uint64
+		var memStats mem.Stats
+		if c.sampling() {
+			var wins []windowSample
+			cycles, memStats, wins, err = c.runCMPSoloSampled(hier, spec, as, &workloads[i], plan)
+			if err != nil {
+				return nil, err
+			}
+			soloWins[i] = wins
+			// Per-tuple figures cover the measured probes only.
+			a.Tuples = plan.MeasuredProbes()
+		} else {
+			run, err := newCMPRunner(hier, spec, as, &workloads[i], c.queueDepth(), 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := system.Run(run.agent); err != nil {
+				return nil, err
+			}
+			cycles, memStats, err = run.finish()
+			if err != nil {
+				return nil, err
+			}
+		}
 		a.SoloCycles = cycles
 		a.SoloCyclesPerTuple = float64(cycles) / float64(a.Tuples)
-		a.SoloMemStats = stats
-		if u := c.Mem.MemBandwidthUtilization(stats.MemBlocks, cycles); u > exp.SoloBandwidthUtilization {
+		a.SoloMemStats = memStats
+		if u := c.Mem.MemBandwidthUtilization(memStats.MemBlocks, cycles); u > exp.SoloBandwidthUtilization {
 			exp.SoloBandwidthUtilization = u
 		}
 	}
@@ -599,39 +730,128 @@ func (c Config) runCMP(size join.SizeClass, specs []CMPAgentSpec, structure stru
 	if err := c.warmCMPCoRun(sl, hiers, workloadKey, workloads, interleavedWarm); err != nil {
 		return nil, err
 	}
-	for i, spec := range specs {
-		runs[i], err = newCMPRunner(hiers[i], spec, as, &workloads[i], c.queueDepth(), uint64(i)*c.Stagger)
-		if err != nil {
+	if c.sampling() {
+		// Sampled co-run: the plan advances in lockstep rounds. A
+		// fast-forward round warms every agent's trace span functionally; a
+		// detailed round schedules all agents together (re-staggered by
+		// arrival) from the cycle the previous round ended, and measured
+		// rounds contribute one window observation per agent.
+		streams := make([][]uint64, k)
+		var cursor uint64
+		detailed := func(sp sampling.Span) error {
+			spanRuns := make([]*cmpRunner, k)
+			spanAgents := make([]system.Agent, k)
+			for i, spec := range specs {
+				r, err := newCMPRunner(hiers[i], spec, as, workloads[i].span(sp), c.queueDepth(), cursor+uint64(i)*c.Stagger)
+				if err != nil {
+					return err
+				}
+				spanRuns[i], spanAgents[i] = r, r.agent
+			}
+			if err := system.Run(spanAgents...); err != nil {
+				return err
+			}
+			var roundMax uint64
+			for i, r := range spanRuns {
+				cyc, st, err := r.finish()
+				if err != nil {
+					return err
+				}
+				if r.matches != nil {
+					streams[i] = append(streams[i], r.matches()...)
+				}
+				if end := uint64(i)*c.Stagger + cyc; end > roundMax {
+					roundMax = end
+				}
+				if sp.Kind == sampling.Measure {
+					a := &exp.Agents[i]
+					a.Cycles += cyc
+					a.MemStats = a.MemStats.Add(st)
+					coWins[i] = append(coWins[i], windowSample{cycles: cyc, tuples: sp.Len(), mshr: st.MeanMSHROccupancy()})
+				}
+			}
+			cursor += roundMax
+			return nil
+		}
+		ff := func(sp sampling.Span) error {
+			for i := range workloads {
+				if workloads[i].progs != nil {
+					streams[i] = append(streams[i], matchSegment(workloads[i].matches, workloads[i].bounds, sp.Start, sp.End)...)
+				}
+				ffWarm(hiers[i], workloads[i].traces[sp.Start:sp.End])
+			}
+			return nil
+		}
+		if c.SampleFullDetail {
+			ff = detailed
+		}
+		if err := plan.Run(ff, detailed); err != nil {
 			return nil, err
 		}
-		agents[i] = runs[i].agent
-	}
-	if err := system.Run(agents...); err != nil {
-		return nil, err
-	}
+		for i := range workloads {
+			if workloads[i].progs == nil {
+				continue
+			}
+			if err := verifySampledStream(workloads[i].name, streams[i], workloads[i].matches); err != nil {
+				return nil, err
+			}
+		}
+		exp.SystemCycles = cursor
+		var coMisses, soloMisses uint64
+		rep := sampling.NewReport(plan)
+		for i := range exp.Agents {
+			a := &exp.Agents[i]
+			a.CyclesPerTuple = float64(a.Cycles) / float64(a.Tuples)
+			a.Slowdown = ratio(float64(a.Cycles), float64(a.SoloCycles))
+			a.LLCMissInflation = ratio(float64(a.MemStats.LLCMisses), float64(a.SoloMemStats.LLCMisses))
+			coMisses += a.MemStats.LLCMisses
+			soloMisses += a.SoloMemStats.LLCMisses
+			if workloads[i].progs != nil {
+				rep.FingerprintVerified = true
+			}
+			rep.Add(sampledMetricName(a.Name+" solo", metricCPT), cptSeries(soloWins[i]))
+			rep.Add(sampledMetricName(a.Name+" co", metricCPT), cptSeries(coWins[i]))
+			// Window j's slowdown is the co-run/solo cycle ratio of aligned
+			// windows.
+			rep.Add(a.Name+" slowdown", speedupSeries(coWins[i], soloWins[i]))
+		}
+		exp.LLCMissInflation = ratio(float64(coMisses), float64(soloMisses))
+		exp.Sampling = rep
+	} else {
+		for i, spec := range specs {
+			runs[i], err = newCMPRunner(hiers[i], spec, as, &workloads[i], c.queueDepth(), uint64(i)*c.Stagger)
+			if err != nil {
+				return nil, err
+			}
+			agents[i] = runs[i].agent
+		}
+		if err := system.Run(agents...); err != nil {
+			return nil, err
+		}
 
-	var coMisses, soloMisses uint64
-	for i, run := range runs {
-		cycles, stats, err := run.finish()
-		if err != nil {
-			return nil, err
+		var coMisses, soloMisses uint64
+		for i, run := range runs {
+			cycles, stats, err := run.finish()
+			if err != nil {
+				return nil, err
+			}
+			a := &exp.Agents[i]
+			a.Cycles = cycles
+			a.CyclesPerTuple = float64(cycles) / float64(a.Tuples)
+			a.MemStats = stats
+			a.Slowdown = ratio(float64(cycles), float64(a.SoloCycles))
+			a.LLCMissInflation = ratio(float64(stats.LLCMisses), float64(a.SoloMemStats.LLCMisses))
+			coMisses += stats.LLCMisses
+			soloMisses += a.SoloMemStats.LLCMisses
+			// The system drains when the last agent finishes; under a
+			// staggered arrival an agent's span is offset by its start cycle.
+			if end := uint64(i)*c.Stagger + cycles; end > exp.SystemCycles {
+				exp.SystemCycles = end
+			}
 		}
-		a := &exp.Agents[i]
-		a.Cycles = cycles
-		a.CyclesPerTuple = float64(cycles) / float64(a.Tuples)
-		a.MemStats = stats
-		a.Slowdown = ratio(float64(cycles), float64(a.SoloCycles))
-		a.LLCMissInflation = ratio(float64(stats.LLCMisses), float64(a.SoloMemStats.LLCMisses))
-		coMisses += stats.LLCMisses
-		soloMisses += a.SoloMemStats.LLCMisses
-		// The system drains when the last agent finishes; under a staggered
-		// arrival an agent's span is offset by its start cycle.
-		if end := uint64(i)*c.Stagger + cycles; end > exp.SystemCycles {
-			exp.SystemCycles = end
-		}
+		exp.LLCMissInflation = ratio(float64(coMisses), float64(soloMisses))
 	}
 	exp.SharedStats = sl.Stats()
-	exp.LLCMissInflation = ratio(float64(coMisses), float64(soloMisses))
 	exp.MSHRSaturationShare = exp.SharedStats.MSHRSaturationShare(c.fillBuffers())
 	exp.BandwidthUtilization = c.Mem.MemBandwidthUtilization(exp.SharedStats.MemBlocks, exp.SystemCycles)
 	return exp, nil

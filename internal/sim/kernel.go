@@ -5,6 +5,7 @@ import (
 
 	"widx/internal/cores"
 	"widx/internal/join"
+	"widx/internal/sampling"
 	"widx/internal/stats"
 	"widx/internal/widx"
 )
@@ -48,6 +49,10 @@ type KernelExperiment struct {
 	GeoMeanSpeedup1W float64
 	// GeoMeanSpeedup4W is the four-walker speedup over OoO.
 	GeoMeanSpeedup4W float64
+	// Sampling carries the per-window confidence estimates when the run was
+	// sampled (Config.SampleWindows > 0); nil otherwise, so unsampled JSON
+	// reports are byte-identical to earlier revisions.
+	Sampling *sampling.Report `json:"sampling,omitempty"`
 }
 
 // Normalized returns a point's cycles-per-tuple breakdown normalized to the
@@ -67,8 +72,9 @@ func (e *KernelExperiment) Normalized(p KernelPoint) Breakdown {
 // kernelSizeResult holds one size class's design-point results, collected by
 // the parallel runner and aggregated in size order afterwards.
 type kernelSizeResult struct {
-	oooCPT float64
-	points []KernelPoint
+	oooCPT   float64
+	points   []KernelPoint
+	sampling *sampling.Report
 }
 
 // RunKernel runs the hash-join kernel experiment for the given size classes
@@ -94,13 +100,21 @@ func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
 			return err
 		}
 
-		baseRes, widxRes, err := inner.runPhase(ph,
+		baseRes, widxRes, ps, err := inner.runPhase(ph,
 			[]cores.Config{oooConfig()}, c.walkerPoints(0))
 		if err != nil {
 			return err
 		}
 		ooo := baseRes[0]
 		perSize[i].oooCPT = ooo.CyclesPerTuple()
+		if ps != nil {
+			rep := ps.report()
+			rep.Add(sampledMetricName(fmt.Sprintf("%s/ooo", size), metricCPT), cptSeries(ps.baseWins[0]))
+			for j, w := range c.Walkers {
+				addSampledPoint(rep, fmt.Sprintf("%s/%dw", size, w), ps.baseWins[0], ps.widxWins[j])
+			}
+			perSize[i].sampling = rep
+		}
 		for j, w := range c.Walkers {
 			res := widxRes[j]
 			perSize[i].points = append(perSize[i].points, KernelPoint{
@@ -121,6 +135,13 @@ func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
 	var sp1, sp4 []float64
 	for i, size := range sizes {
 		exp.OoOCyclesPerTuple[size] = perSize[i].oooCPT
+		if rep := perSize[i].sampling; rep != nil {
+			if exp.Sampling == nil {
+				exp.Sampling = rep
+			} else {
+				exp.Sampling.Merge("", rep)
+			}
+		}
 		for _, point := range perSize[i].points {
 			exp.Points = append(exp.Points, point)
 			if size == sizes[0] && point.Walkers == c.Walkers[0] {
@@ -137,6 +158,27 @@ func (c Config) RunKernel(sizes []join.SizeClass) (*KernelExperiment, error) {
 	exp.GeoMeanSpeedup1W = stats.GeoMean(sp1)
 	exp.GeoMeanSpeedup4W = stats.GeoMean(sp4)
 	return exp, nil
+}
+
+// SamplingReport implements SamplingReporter.
+func (e *KernelExperiment) SamplingReport() *sampling.Report { return e.Sampling }
+
+// SampledMetricValues returns the experiment's full-run values under the
+// sampled estimator's metric names, for -sampling-verify interval checks.
+func (e *KernelExperiment) SampledMetricValues() map[string]float64 {
+	m := make(map[string]float64)
+	for size, v := range e.OoOCyclesPerTuple {
+		m[sampledMetricName(fmt.Sprintf("%s/ooo", size), metricCPT)] = v
+	}
+	for _, p := range e.Points {
+		prefix := fmt.Sprintf("%s/%dw", p.Size, p.Walkers)
+		m[sampledMetricName(prefix, metricCPT)] = p.CyclesPerTuple
+		m[sampledMetricName(prefix, metricSpeedup)] = p.Speedup
+		if p.Raw != nil {
+			m[sampledMetricName(prefix, metricMSHR)] = p.Raw.MemStats.MeanMSHROccupancy()
+		}
+	}
+	return m
 }
 
 // Point returns the kernel point for a size class and walker count.

@@ -5,6 +5,7 @@ import (
 
 	"widx/internal/cores"
 	"widx/internal/energy"
+	"widx/internal/sampling"
 	"widx/internal/stats"
 	"widx/internal/widx"
 	"widx/internal/workloads"
@@ -40,6 +41,10 @@ type QueryResult struct {
 	// query using the paper's Figure 2a indexing share (Amdahl projection, as
 	// in Section 6.2).
 	QuerySpeedup4W float64
+
+	// Sampling carries the per-window confidence estimates when the run was
+	// sampled; nil otherwise.
+	Sampling *sampling.Report `json:"sampling,omitempty"`
 }
 
 // RunQuery executes one benchmark query end to end: the engine produces the
@@ -49,7 +54,7 @@ func (c Config) RunQuery(q workloads.QuerySpec) (*QueryResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	engRes, err := c.engineRun(q, true)
+	engRes, engKey, err := c.engineRunKeyed(q, true)
 	if err != nil {
 		return nil, fmt.Errorf("sim: query %s %s: %w", q.Suite, q.Name, err)
 	}
@@ -59,6 +64,7 @@ func (c Config) RunQuery(q workloads.QuerySpec) (*QueryResult, error) {
 		probeKeyBase: engRes.ProbeKeyBase,
 		probeCount:   engRes.ProbeCount,
 		traces:       engRes.Traces,
+		warmKey:      engKey,
 	}
 
 	res := &QueryResult{
@@ -73,13 +79,22 @@ func (c Config) RunQuery(q workloads.QuerySpec) (*QueryResult, error) {
 
 	// All design points — the two baselines and the walker sweep — replay the
 	// same phase on fresh hierarchies and fan out across workers.
-	baseRes, widxRes, err := c.runPhase(ph,
+	baseRes, widxRes, ps, err := c.runPhase(ph,
 		[]cores.Config{oooConfig(), inOrderConfig()}, c.walkerPoints(0))
 	if err != nil {
 		return nil, err
 	}
 	res.OoOCyclesPerTuple = baseRes[0].CyclesPerTuple()
 	res.InOrderCyclesPerTuple = baseRes[1].CyclesPerTuple()
+	if ps != nil {
+		rep := ps.report()
+		rep.Add(sampledMetricName("ooo", metricCPT), cptSeries(ps.baseWins[0]))
+		rep.Add(sampledMetricName("inorder", metricCPT), cptSeries(ps.baseWins[1]))
+		for i, w := range c.Walkers {
+			addSampledPoint(rep, fmt.Sprintf("%dw", w), ps.baseWins[0], ps.widxWins[i])
+		}
+		res.Sampling = rep
+	}
 
 	for i, w := range c.Walkers {
 		wres := widxRes[i]
@@ -93,6 +108,27 @@ func (c Config) RunQuery(q workloads.QuerySpec) (*QueryResult, error) {
 		res.QuerySpeedup4W = energy.QuerySpeedup(sp, q.Paper.Breakdown.Index)
 	}
 	return res, nil
+}
+
+// SamplingReport implements SamplingReporter.
+func (r *QueryResult) SamplingReport() *sampling.Report { return r.Sampling }
+
+// SampledMetricValues returns the query's full-run values under the sampled
+// estimator's metric names, for -sampling-verify interval checks.
+func (r *QueryResult) SampledMetricValues() map[string]float64 {
+	m := map[string]float64{
+		sampledMetricName("ooo", metricCPT):     r.OoOCyclesPerTuple,
+		sampledMetricName("inorder", metricCPT): r.InOrderCyclesPerTuple,
+	}
+	for w, cpt := range r.WidxCyclesPerTuple {
+		prefix := fmt.Sprintf("%dw", w)
+		m[sampledMetricName(prefix, metricCPT)] = cpt
+		m[sampledMetricName(prefix, metricSpeedup)] = r.IndexSpeedup[w]
+		if raw := r.WidxRaw[w]; raw != nil {
+			m[sampledMetricName(prefix, metricMSHR)] = raw.MemStats.MeanMSHROccupancy()
+		}
+	}
+	return m
 }
 
 // SuiteResult aggregates the simulated queries of Figures 9-11.
@@ -109,6 +145,10 @@ type SuiteResult struct {
 
 	// Energy is the Figure 11 comparison built from geometric-mean runtimes.
 	Energy energy.Figure11
+
+	// Sampling merges every query's per-window confidence estimates, each
+	// metric prefixed with its query name; nil when sampling was off.
+	Sampling *sampling.Report `json:"sampling,omitempty"`
 }
 
 // RunSimulatedQueries runs the twelve simulated queries (Figures 9 and 10)
@@ -146,6 +186,17 @@ func (c Config) runQuerySet(queries []workloads.QuerySpec) (*SuiteResult, error)
 
 	for _, qr := range results {
 		suite.Queries = append(suite.Queries, qr)
+		if qr.Sampling != nil {
+			if suite.Sampling == nil {
+				// Seed the suite report with the first query's plan header;
+				// metric names carry the per-query context instead.
+				hdr := *qr.Sampling
+				hdr.Metrics = nil
+				hdr.FingerprintVerified = false
+				suite.Sampling = &hdr
+			}
+			suite.Sampling.Merge(queryMetricPrefix(qr.Query), qr.Sampling)
+		}
 		for w, sp := range qr.IndexSpeedup {
 			speedups[w] = append(speedups[w], sp)
 		}
@@ -175,6 +226,28 @@ func (c Config) runQuerySet(queries []workloads.QuerySpec) (*SuiteResult, error)
 			stats.GeoMean(widx4Cycles)*1e6)
 	}
 	return suite, nil
+}
+
+// queryMetricPrefix names one query's metrics inside the suite-level
+// sampling report.
+func queryMetricPrefix(q workloads.QuerySpec) string {
+	return fmt.Sprintf("%s %s: ", q.Suite, q.Name)
+}
+
+// SamplingReport implements SamplingReporter.
+func (s *SuiteResult) SamplingReport() *sampling.Report { return s.Sampling }
+
+// SampledMetricValues returns every query's full-run values under the
+// suite report's prefixed metric names.
+func (s *SuiteResult) SampledMetricValues() map[string]float64 {
+	m := make(map[string]float64)
+	for _, qr := range s.Queries {
+		prefix := queryMetricPrefix(qr.Query)
+		for name, v := range qr.SampledMetricValues() {
+			m[prefix+name] = v
+		}
+	}
+	return m
 }
 
 // BreakdownRow is one query's Figure 2a row: the measured operator shares
@@ -248,7 +321,7 @@ func (c Config) RunHashingAblation(q workloads.QuerySpec, walkers int) (*Ablatio
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	engRes, err := c.engineRun(q, true)
+	engRes, engKey, err := c.engineRunKeyed(q, true)
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +331,7 @@ func (c Config) RunHashingAblation(q workloads.QuerySpec, walkers int) (*Ablatio
 		probeKeyBase: engRes.ProbeKeyBase,
 		probeCount:   engRes.ProbeCount,
 		traces:       engRes.Traces,
+		warmKey:      engKey,
 	}
 	out := &AblationResult{Query: fmt.Sprintf("%s %s", q.Suite, q.Name), Walkers: walkers}
 	// Fixed design-point order: the previous map iteration randomized the
@@ -268,7 +342,7 @@ func (c Config) RunHashingAblation(q workloads.QuerySpec, walkers int) (*Ablatio
 		{walkers, widx.PerWalkerHash},
 		{walkers, widx.SharedDispatcher},
 	}
-	_, widxRes, err := c.runPhase(ph, nil, points)
+	_, widxRes, _, err := c.runPhase(ph, nil, points)
 	if err != nil {
 		return nil, err
 	}

@@ -50,6 +50,9 @@ func (e *KernelExperiment) Text() string {
 	}
 	fmt.Fprintf(&b, "geomean speedup: 1 walker %.2fx, 4 walkers %.2fx (paper: ~1.04x and up to 4x on Large)\n",
 		e.GeoMeanSpeedup1W, e.GeoMeanSpeedup4W)
+	if e.Sampling != nil {
+		b.WriteString("\n" + e.Sampling.Text())
+	}
 	return b.String()
 }
 
@@ -80,6 +83,9 @@ func (e *CMPExperiment) Text() string {
 		100*e.MSHRSaturationShare, e.SharedStats.MSHRStallCycles)
 	fmt.Fprintf(&b, "off-chip bandwidth utilization: %.0f%% co-running (best single agent alone: %.0f%%)\n",
 		100*e.BandwidthUtilization, 100*e.SoloBandwidthUtilization)
+	if e.Sampling != nil {
+		b.WriteString("\n" + e.Sampling.Text())
+	}
 	return b.String()
 }
 
@@ -93,6 +99,9 @@ func (s *WalkerUtilizationSweep) Text() string {
 		fmt.Fprintf(&b, "%-8d %10.1f %11.0f%% %14.2f %11.0f%% %12d\n",
 			p.Walkers, p.CyclesPerTuple, 100*p.Utilization, p.MeanMSHROccupancy,
 			100*p.MSHRSaturationShare, p.MSHRStallCycles)
+	}
+	if s.Sampling != nil {
+		b.WriteString("\n" + s.Sampling.Text())
 	}
 	return b.String()
 }
@@ -161,9 +170,14 @@ func (s *SuiteResult) EnergyText() string {
 }
 
 // Text renders the full suite report: the Figure 9/10 tables followed by the
-// Figure 11 energy comparison, exactly as the historical CLI printed them.
+// Figure 11 energy comparison, exactly as the historical CLI printed them,
+// plus the sampled-estimate section when the run was sampled.
 func (s *SuiteResult) Text() string {
-	return s.QueriesText() + "\n" + s.EnergyText()
+	out := s.QueriesText() + "\n" + s.EnergyText()
+	if s.Sampling != nil {
+		out += "\n" + s.Sampling.Text()
+	}
+	return out
 }
 
 // Text renders Figure 2a (and Figure 2b for simulated queries).
@@ -290,6 +304,9 @@ func (e *ZooExperiment) Text() string {
 		fmt.Fprintf(&b, "%-10s %10.1f %10.1f %10.1f %10.1f %#18x\n",
 			s.Structure, p.Breakdown.Comp, p.Breakdown.Mem, p.Breakdown.TLB, p.Breakdown.Idle,
 			s.Fingerprint)
+	}
+	if e.Sampling != nil {
+		b.WriteString("\n" + e.Sampling.Text())
 	}
 	return b.String()
 }

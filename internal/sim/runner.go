@@ -129,8 +129,12 @@ type widxPoint struct {
 // for all Widx points are performed up front, in point order, on the phase's
 // own address space (the order a sequential runner would produce); each Widx
 // task then runs on a private clone when fanning out. Returned slices are
-// parallel to the input slices.
-func (c Config) runPhase(ph *indexPhase, baselines []cores.Config, points []widxPoint) ([]cores.Result, []*widx.OffloadResult, error) {
+// parallel to the input slices. With sampling enabled every design point
+// executes the same sampling.Plan through the sampled runners and the
+// per-window observations come back in phaseSampling (nil when sampling is
+// off); plan placement is a pure function of the stream, so parallel
+// sampled runs stay bit-identical to sequential ones.
+func (c Config) runPhase(ph *indexPhase, baselines []cores.Config, points []widxPoint) ([]cores.Result, []*widx.OffloadResult, *phaseSampling, error) {
 	resultBases := make([]uint64, len(points))
 	for i, p := range points {
 		resultBases[i] = ph.allocResultRegion(p.walkers, p.mode)
@@ -150,27 +154,67 @@ func (c Config) runPhase(ph *indexPhase, baselines []cores.Config, points []widx
 	baseRes := make([]cores.Result, len(baselines))
 	widxRes := make([]*widx.OffloadResult, len(points))
 
+	if !c.sampling() {
+		err := c.RunTasks(len(baselines)+len(points), func(i int) error {
+			if i < len(baselines) {
+				r, err := c.runBaseline(ph, baselines[i])
+				if err != nil {
+					return err
+				}
+				baseRes[i] = r
+				return nil
+			}
+			j := i - len(baselines)
+			r, err := c.runWidx(ph, spaces[j], resultBases[j], points[j].walkers, points[j].mode)
+			if err != nil {
+				return err
+			}
+			widxRes[j] = r
+			return nil
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return baseRes, widxRes, nil, nil
+	}
+
+	// Sampled execution: truncate the trace stream to the sample cap (the
+	// plan covers exactly the probes the full runners would simulate), place
+	// the plan, and compute the software-reference match stream once — it
+	// feeds every Widx point's fast-forward output and fingerprint check.
+	n := c.sampleCount(ph.probeCount)
+	ph.traces = ph.traces[:n]
+	plan := c.samplePlan(n)
+	refMatches, bounds := refStream(ph.index, ph.traces)
+	ps := &phaseSampling{
+		plan:     plan,
+		baseWins: make([][]windowSample, len(baselines)),
+		widxWins: make([][]windowSample, len(points)),
+	}
 	err := c.RunTasks(len(baselines)+len(points), func(i int) error {
 		if i < len(baselines) {
-			r, err := c.runBaseline(ph, baselines[i])
+			r, wins, err := c.runBaselineSampled(ph, baselines[i], plan)
 			if err != nil {
 				return err
 			}
 			baseRes[i] = r
+			ps.baseWins[i] = wins
 			return nil
 		}
 		j := i - len(baselines)
-		r, err := c.runWidx(ph, spaces[j], resultBases[j], points[j].walkers, points[j].mode)
+		r, wins, err := c.runWidxSampled(ph, spaces[j], resultBases[j], points[j].walkers, points[j].mode, plan, refMatches, bounds)
 		if err != nil {
 			return err
 		}
 		widxRes[j] = r
+		ps.widxWins[j] = wins
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return baseRes, widxRes, nil
+	ps.verified = len(points) > 0
+	return baseRes, widxRes, ps, nil
 }
 
 // walkerPoints returns the configured walker sweep as phase design points.

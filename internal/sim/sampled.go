@@ -1,0 +1,350 @@
+// Sampled execution: the SMARTS-style detailed-window runners. When
+// Config.SampleWindows is set, every design point executes its probe
+// stream through a sampling.Plan instead of end to end: fast-forward spans
+// perform only functional state updates — the software reference's matches
+// join the output stream and the addresses its traversal touches warm the
+// cache tags and TLB pages (mem.WarmBlock), with no cycle accounting —
+// while detailed spans run on the live machine exactly as a full run
+// would, resuming at the cycle the previous span ended. Measured spans
+// contribute one observation per window to the confidence estimator
+// (internal/sampling/stats); warmup spans re-establish the
+// microarchitectural state functional warming cannot reproduce (MSHR
+// occupancy, queue fill, LRU recency) and are excluded from measurement.
+//
+// Correctness contract: the functional output is bit-identical to the
+// unsampled run. Every design point with a match stream concatenates the
+// reference matches of its fast-forward spans with the simulated matches
+// of its detailed spans, in probe order, and the fingerprint of that
+// stream must equal the full software reference's — a mismatch is a hard
+// run error, the same contract RunZoo enforces. Window placement is a pure
+// function of (stream length, knobs), so sampled results are
+// byte-identical at every parallelism level.
+package sim
+
+import (
+	"fmt"
+
+	"widx/internal/cores"
+	"widx/internal/hashidx"
+	"widx/internal/mem"
+	"widx/internal/program"
+	"widx/internal/sampling"
+	"widx/internal/structures"
+	"widx/internal/vm"
+	"widx/internal/warmstate"
+	"widx/internal/widx"
+)
+
+// windowSample is one measured window's observation on one design point.
+type windowSample struct {
+	cycles uint64
+	tuples uint64
+	// mshr is the time-weighted mean MSHR occupancy over the window.
+	mshr float64
+}
+
+// cpt is the window's cycles-per-tuple observation.
+func (w windowSample) cpt() float64 {
+	if w.tuples == 0 {
+		return 0
+	}
+	return float64(w.cycles) / float64(w.tuples)
+}
+
+// cptSeries extracts the cycles-per-tuple observations.
+func cptSeries(wins []windowSample) []float64 {
+	out := make([]float64, len(wins))
+	for i, w := range wins {
+		out[i] = w.cpt()
+	}
+	return out
+}
+
+// mshrSeries extracts the mean-MSHR-occupancy observations.
+func mshrSeries(wins []windowSample) []float64 {
+	out := make([]float64, len(wins))
+	for i, w := range wins {
+		out[i] = w.mshr
+	}
+	return out
+}
+
+// speedupSeries pairs a baseline's windows with a design point's: window j
+// observes base_cpt(j) / point_cpt(j). Both runs execute the same plan, so
+// windows align by construction.
+func speedupSeries(base, point []windowSample) []float64 {
+	n := len(base)
+	if len(point) < n {
+		n = len(point)
+	}
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if p := point[j].cpt(); p > 0 {
+			out[j] = base[j].cpt() / p
+		}
+	}
+	return out
+}
+
+// ffWarm performs the functional side of a fast-forward span: every address
+// the software reference traversal touches — probe key loads, bucket/root
+// headers, node loads, key fetches — warms the agent's L1, the shared LLC
+// and the TLB in access order. No Access is issued, so no cycles elapse and
+// no counters move (mem/state.go documents the warming contract).
+func ffWarm(hier *mem.Hierarchy, traces []hashidx.ProbeTrace) {
+	for i := range traces {
+		t := &traces[i]
+		hier.WarmBlock(t.KeyAddr)
+		hier.WarmBlock(t.BucketAddr)
+		for _, s := range t.Steps {
+			hier.WarmBlock(s.NodeAddr)
+			if s.KeyFetchAddr != 0 {
+				hier.WarmBlock(s.KeyFetchAddr)
+			}
+		}
+	}
+}
+
+// ffSpan executes one fast-forward span's warming. The plan's opening span
+// starts at probe 0, so its warm state is a pure function of the workload
+// and the machine's warm-relevant geometry — that one span is checkpointed
+// through the warm cache (and the disk store, surviving the process); later
+// fast-forward spans depend on the detailed execution before them and warm
+// inline.
+func (c Config) ffSpan(hier *mem.Hierarchy, phaseKey string, traces []hashidx.ProbeTrace, sp sampling.Span) error {
+	if c.WarmCache == nil || phaseKey == "" || sp.Start != 0 {
+		ffWarm(hier, traces[sp.Start:sp.End])
+		return nil
+	}
+	spec := hier.Spec()
+	key := warmKey(warmstate.NewFingerprint("ffwarm").
+		Field("phase", phaseKey).
+		Field("end", sp.End).
+		Field("shared", c.warmSharedField()).
+		Field("spec", warmSpecField(spec)))
+	st, err := c.warmStateCached(key, func() (*mem.WarmState, error) {
+		tsl := c.newSharedLevel()
+		th := tsl.NewAgent(spec)
+		ffWarm(th, traces[:sp.End])
+		return tsl.CaptureWarmState(), nil
+	})
+	if err != nil {
+		return err
+	}
+	hier.Shared().RestoreWarmState(st)
+	return nil
+}
+
+// refStream computes the software-reference match stream of the phase's
+// probes, with per-probe bounds: probe i's matches occupy
+// matches[bounds[i-1]:bounds[i]] (bounds[-1] is implicitly 0).
+func refStream(index *hashidx.Table, traces []hashidx.ProbeTrace) (matches []uint64, bounds []int) {
+	bounds = make([]int, len(traces))
+	for i := range traces {
+		matches = append(matches, index.ProbeMatches(traces[i].Key)...)
+		bounds[i] = len(matches)
+	}
+	return matches, bounds
+}
+
+// matchSegment slices the reference stream to the matches of probes
+// [lo, hi).
+func matchSegment(matches []uint64, bounds []int, lo, hi uint64) []uint64 {
+	start := 0
+	if lo > 0 {
+		start = bounds[lo-1]
+	}
+	return matches[start:bounds[hi-1]]
+}
+
+// verifySampledStream enforces the bit-identical-output contract: the
+// concatenated fast-forward reference + detailed simulated match stream
+// must fingerprint-match the full software reference.
+func verifySampledStream(what string, stream, ref []uint64) error {
+	refFP := structures.Fingerprint(ref)
+	if got := structures.Fingerprint(stream); got != refFP {
+		return fmt.Errorf("sim: sampled %s output diverged from the software reference (%d matches fp %#x, want %d fp %#x)",
+			what, len(stream), got, len(ref), refFP)
+	}
+	return nil
+}
+
+// addCoreResult accumulates one measured span's core result.
+func addCoreResult(agg *cores.Result, r cores.Result) {
+	agg.Tuples += r.Tuples
+	agg.TotalCycles += r.TotalCycles
+	agg.CompCycles += r.CompCycles
+	agg.MemCycles += r.MemCycles
+	agg.TLBCycles += r.TLBCycles
+	agg.HashCycles += r.HashCycles
+	agg.WalkCycles += r.WalkCycles
+	agg.Instructions += r.Instructions
+	agg.MemStats = agg.MemStats.Add(r.MemStats)
+}
+
+// addOffloadResult accumulates one measured span's offload result.
+func addOffloadResult(agg *widx.OffloadResult, r *widx.OffloadResult) {
+	agg.Tuples += r.Tuples
+	agg.TotalCycles += r.TotalCycles
+	for i := range r.Walkers {
+		agg.Walkers[i].Add(r.Walkers[i])
+	}
+	agg.WalkerTotal.Add(r.WalkerTotal)
+	agg.DispatcherBusy += r.DispatcherBusy
+	agg.DispatcherStall += r.DispatcherStall
+	agg.ProducerBusy += r.ProducerBusy
+	agg.MemStats = agg.MemStats.Add(r.MemStats)
+}
+
+// runBaselineSampled replays the phase's traces on a baseline core through
+// the plan: fast-forward spans warm functionally, detailed spans run on the
+// live core resuming at the cycle the previous span ended. The returned
+// result aggregates the measured spans only (its CyclesPerTuple is the
+// measured-probe-weighted window mean), alongside the per-window
+// observations.
+func (c Config) runBaselineSampled(ph *indexPhase, coreCfg cores.Config, plan sampling.Plan) (cores.Result, []windowSample, error) {
+	sl := c.newSharedLevel()
+	hier := sl.NewAgent(sl.Topology().Agent("host"))
+	core, err := cores.New(coreCfg, hier)
+	if err != nil {
+		return cores.Result{}, nil, err
+	}
+	var agg cores.Result
+	wins := make([]windowSample, 0, plan.Windows)
+	var cursor uint64
+	detailed := func(sp sampling.Span) error {
+		res, err := core.RunProbes(ph.traces[sp.Start:sp.End], cursor)
+		if err != nil {
+			return err
+		}
+		cursor += res.TotalCycles
+		if sp.Kind != sampling.Measure {
+			return nil
+		}
+		wins = append(wins, windowSample{cycles: res.TotalCycles, tuples: res.Tuples, mshr: res.MemStats.MeanMSHROccupancy()})
+		addCoreResult(&agg, res)
+		return nil
+	}
+	ff := func(sp sampling.Span) error {
+		return c.ffSpan(hier, ph.warmKey, ph.traces, sp)
+	}
+	if c.SampleFullDetail {
+		// Reference mode: fast-forward spans execute in detail too (their
+		// Kind keeps them unmeasured), so the windows observe true history.
+		ff = detailed
+	}
+	if err := plan.Run(ff, detailed); err != nil {
+		return cores.Result{}, nil, err
+	}
+	return agg, wins, nil
+}
+
+// runWidxSampled executes the phase's probes on a Widx design point through
+// the plan. Fast-forward spans append the reference matches of their probes
+// to the output stream and warm the hierarchy; detailed spans offload the
+// span's key range at the current cursor. The combined stream is verified
+// against the full reference before the result is returned.
+func (c Config) runWidxSampled(ph *indexPhase, as *vm.AddressSpace, resultBase uint64, walkers int, mode widx.HashingMode,
+	plan sampling.Plan, refMatches []uint64, bounds []int) (*widx.OffloadResult, []windowSample, error) {
+	sl := c.newSharedLevel()
+	hier := sl.NewAgent(c.widxSpec(sl.Topology(), "widx"))
+	bundle, err := program.ForTable(ph.index, resultBase)
+	if err != nil {
+		return nil, nil, err
+	}
+	acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: c.queueDepth(), Mode: mode},
+		hier, as, bundle.Dispatcher, bundle.Walker, bundle.Producer)
+	if err != nil {
+		return nil, nil, err
+	}
+	agg := &widx.OffloadResult{Walkers: make([]widx.Breakdown, walkers)}
+	stream := make([]uint64, 0, len(refMatches))
+	wins := make([]windowSample, 0, plan.Windows)
+	var cursor uint64
+	detailed := func(sp sampling.Span) error {
+		res, err := acc.Offload(widx.OffloadRequest{
+			KeyBase:    ph.probeKeyBase + sp.Start*8,
+			KeyCount:   sp.Len(),
+			StartCycle: cursor,
+		})
+		if err != nil {
+			return err
+		}
+		cursor += res.TotalCycles
+		stream = append(stream, res.Matches...)
+		if sp.Kind != sampling.Measure {
+			return nil
+		}
+		wins = append(wins, windowSample{cycles: res.TotalCycles, tuples: res.Tuples, mshr: res.MemStats.MeanMSHROccupancy()})
+		addOffloadResult(agg, res)
+		return nil
+	}
+	ff := func(sp sampling.Span) error {
+		stream = append(stream, matchSegment(refMatches, bounds, sp.Start, sp.End)...)
+		return c.ffSpan(hier, ph.warmKey, ph.traces, sp)
+	}
+	if c.SampleFullDetail {
+		ff = detailed
+	}
+	if err := plan.Run(ff, detailed); err != nil {
+		return nil, nil, err
+	}
+	if err := verifySampledStream("widx", stream, refMatches); err != nil {
+		return nil, nil, err
+	}
+	agg.Matches = stream
+	return agg, wins, nil
+}
+
+// phaseSampling carries one phase's sampled execution record back to the
+// experiment layer: the executed plan and each design point's window
+// observations, parallel to runPhase's result slices.
+type phaseSampling struct {
+	plan     sampling.Plan
+	baseWins [][]windowSample
+	widxWins [][]windowSample
+	// verified reports that at least one Widx point's match stream was
+	// fingerprint-checked against the reference (mismatches abort the run).
+	verified bool
+}
+
+// report seeds a sampling.Report from the phase's plan.
+func (ps *phaseSampling) report() *sampling.Report {
+	r := sampling.NewReport(ps.plan)
+	r.FingerprintVerified = ps.verified
+	return r
+}
+
+// addSampledPoint records one Widx design point's three headline metric
+// series under the given name prefix: cycles-per-tuple, speedup against the
+// baseline's aligned windows (skipped when base is nil — e.g. sweeps with
+// no baseline core), and mean MSHR occupancy.
+func addSampledPoint(r *sampling.Report, prefix string, base, wins []windowSample) {
+	r.Add(sampledMetricName(prefix, metricCPT), cptSeries(wins))
+	if base != nil {
+		r.Add(sampledMetricName(prefix, metricSpeedup), speedupSeries(base, wins))
+	}
+	r.Add(sampledMetricName(prefix, metricMSHR), mshrSeries(wins))
+}
+
+// SamplingReporter is implemented by every experiment result that can carry
+// a sampled-estimate block: the report itself (nil when sampling was off)
+// and, for verification, the full-run values of the same metrics under the
+// same names — the -sampling-verify mode runs an experiment both ways and
+// asserts every full-run value falls inside the sampled run's interval.
+type SamplingReporter interface {
+	SamplingReport() *sampling.Report
+	SampledMetricValues() map[string]float64
+}
+
+// sampledMetricName renders the canonical metric names shared by the
+// sampled estimator and the full-run metric map.
+func sampledMetricName(prefix, metric string) string {
+	return prefix + " " + metric
+}
+
+const (
+	metricCPT     = "cycles-per-tuple"
+	metricSpeedup = "speedup-vs-ooo"
+	metricMSHR    = "mshr-occupancy"
+)

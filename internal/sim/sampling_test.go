@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"widx/internal/join"
+	"widx/internal/structures"
+	"widx/internal/warmstate"
+	"widx/internal/workloads"
+)
+
+// sampledTestConfig is the smallest configuration at which the systematic
+// plan is non-degenerate for every experiment family: the kernel's Small
+// probe stream (2048 probes at this scale) fits six 192+64 windows with
+// fast-forward spans left over, and query/zoo/CMP streams are capped at
+// SampleProbes so they see the same plan shape. The warmup is deliberately
+// generous — the verify test asserts CI containment, and detailed warmup
+// is the knob that shrinks fast-forward bias.
+func sampledTestConfig() Config {
+	c := QuickConfig()
+	c.Scale = 1.0 / 8
+	c.SampleProbes = 2000
+	c.SampleWindows = 6
+	c.SampleWarmup = 192
+	c.SamplePeriod = 64
+	c.Walkers = []int{2}
+	return c
+}
+
+// checkSampledReport asserts the structural contract of a sampled run's
+// report: present, not degraded, fingerprint-verified against the software
+// reference, and carrying at least one estimate.
+func checkSampledReport(t *testing.T, name string, r SamplingReporter) {
+	t.Helper()
+	rep := r.SamplingReport()
+	if rep == nil {
+		t.Fatalf("%s: sampled run produced no sampling report", name)
+	}
+	if rep.Degraded {
+		t.Errorf("%s: plan degraded to full simulation; the test workload should fit the windows", name)
+	}
+	if !rep.FingerprintVerified {
+		t.Errorf("%s: sampled match stream was not fingerprint-verified", name)
+	}
+	if len(rep.Metrics) == 0 {
+		t.Errorf("%s: sampling report carries no metrics", name)
+	}
+	if rep.MeasuredProbes == 0 || rep.MeasuredProbes >= rep.TotalProbes {
+		t.Errorf("%s: measured %d of %d probes; a sampled run must measure a strict subset",
+			name, rep.MeasuredProbes, rep.TotalProbes)
+	}
+}
+
+// TestSampledVerifyAgainstFullRun is the -sampling-verify contract for
+// every experiment family: the sampled estimator's 95% confidence interval
+// must cover the value a full-detail reference run — every probe simulated,
+// the same windows measured — computes for the same metric name, so the
+// only difference under test is the fast-forward approximation itself.
+func TestSampledVerifyAgainstFullRun(t *testing.T) {
+	sampled := sampledTestConfig()
+	full := sampled
+	full.SampleFullDetail = true
+	specs, err := ParseAgents("widx:2w+ooo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workloads.SimulatedQueries()[0]
+	zooOpt := ZooOptions{Structures: []structures.Kind{structures.HashJoin, structures.BTree}}
+
+	check := func(name string, run func(c Config) (SamplingReporter, error)) {
+		t.Helper()
+		s, err := run(sampled)
+		if err != nil {
+			t.Fatalf("%s sampled: %v", name, err)
+		}
+		checkSampledReport(t, name, s)
+		f, err := run(full)
+		if err != nil {
+			t.Fatalf("%s full: %v", name, err)
+		}
+		if err := s.SamplingReport().Verify(f.SampledMetricValues()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+
+	check("kernel", func(c Config) (SamplingReporter, error) { return c.RunKernel([]join.SizeClass{join.Small}) })
+	check("query", func(c Config) (SamplingReporter, error) { return c.RunQuery(q) })
+	check("walkerutil", func(c Config) (SamplingReporter, error) { return c.RunWalkerUtilization(join.Small, 2) })
+	check("zoo", func(c Config) (SamplingReporter, error) { return c.RunZoo(zooOpt) })
+	check("cmp", func(c Config) (SamplingReporter, error) { return c.RunCMP(join.Small, specs) })
+}
+
+// TestSampledDeterministicAcrossParallelism pins the determinism contract
+// for sampled runs: window placement and per-window execution are pure
+// functions of the configuration, so parallel fan-out must reproduce the
+// sequential run byte for byte, sampling block included.
+func TestSampledDeterministicAcrossParallelism(t *testing.T) {
+	specs, err := ParseAgents("widx:2w+ooo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workloads.SimulatedQueries()[0]
+	zooOpt := ZooOptions{Structures: []structures.Kind{structures.HashJoin, structures.SkipList}}
+
+	check := func(name string, run func(c Config) (any, error)) {
+		t.Helper()
+		seq := sampledTestConfig()
+		seq.Parallelism = 1
+		par := sampledTestConfig()
+		par.Parallelism = 8
+		a, err := run(seq)
+		if err != nil {
+			t.Fatalf("%s p=1: %v", name, err)
+		}
+		b, err := run(par)
+		if err != nil {
+			t.Fatalf("%s p=8: %v", name, err)
+		}
+		if w, g := resultJSON(t, a), resultJSON(t, b); g != w {
+			t.Errorf("%s: sampled run differs across parallelism\np=1: %s\np=8: %s", name, w, g)
+		}
+	}
+
+	check("kernel", func(c Config) (any, error) { return c.RunKernel([]join.SizeClass{join.Small}) })
+	check("query", func(c Config) (any, error) { return c.RunQuery(q) })
+	check("zoo", func(c Config) (any, error) { return c.RunZoo(zooOpt) })
+	check("cmp", func(c Config) (any, error) { return c.RunCMP(join.Small, specs) })
+}
+
+// TestUnsampledManifestUnchanged locks the compatibility guarantee: with
+// SampleWindows off, results must not mention sampling at all, so manifests
+// from pre-sampling builds stay byte-identical.
+func TestUnsampledManifestUnchanged(t *testing.T) {
+	c := warmTestConfig()
+	exp, err := c.RunKernel([]join.SizeClass{join.Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Sampling != nil {
+		t.Error("unsampled kernel run carries a sampling report")
+	}
+	if js := resultJSON(t, exp); strings.Contains(js, "sampling") {
+		t.Errorf("unsampled kernel JSON mentions sampling: %s", js)
+	}
+	qr, err := c.RunQuery(workloads.SimulatedQueries()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Sampling != nil || strings.Contains(resultJSON(t, qr), "sampling") {
+		t.Error("unsampled query run mentions sampling")
+	}
+}
+
+// TestSampledWarmStoreCrossProcess exercises the persistent fast-forward
+// checkpoints: a second "process" (fresh in-memory cache, reopened disk
+// store) must restore the first run's warm snapshots from disk instead of
+// re-warming, and produce byte-identical results — identical also to a run
+// with no caching at all.
+func TestSampledWarmStoreCrossProcess(t *testing.T) {
+	dir := t.TempDir()
+
+	plain := sampledTestConfig()
+	want, err := plain.RunKernel([]join.SizeClass{join.Small})
+	if err != nil {
+		t.Fatalf("cache-off run: %v", err)
+	}
+
+	store, err := warmstate.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sampledTestConfig()
+	first.WarmCache = warmstate.New()
+	first.WarmStore = store
+	got, err := first.RunKernel([]join.SizeClass{join.Small})
+	if err != nil {
+		t.Fatalf("first stored run: %v", err)
+	}
+	if w, g := resultJSON(t, want), resultJSON(t, got); g != w {
+		t.Errorf("warm-store run diverges from cache-off run\noff:    %s\nstored: %s", w, g)
+	}
+	if _, misses := store.Stats(); misses == 0 {
+		t.Fatal("first run never consulted the disk store; checkpoints were not persisted through it")
+	}
+
+	reopened, err := warmstate.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := sampledTestConfig()
+	second.WarmCache = warmstate.New()
+	second.WarmStore = reopened
+	again, err := second.RunKernel([]join.SizeClass{join.Small})
+	if err != nil {
+		t.Fatalf("second stored run: %v", err)
+	}
+	if w, g := resultJSON(t, want), resultJSON(t, again); g != w {
+		t.Errorf("disk-restored run diverges from cache-off run\noff:      %s\nrestored: %s", w, g)
+	}
+	hits, _ := reopened.Stats()
+	if hits == 0 {
+		t.Error("second process saw no disk hits; fast-forward checkpoints did not survive the process boundary")
+	}
+}

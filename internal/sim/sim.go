@@ -28,6 +28,7 @@ import (
 	"widx/internal/hashidx"
 	"widx/internal/mem"
 	"widx/internal/program"
+	"widx/internal/sampling"
 	"widx/internal/vm"
 	"widx/internal/warmstate"
 	"widx/internal/widx"
@@ -42,6 +43,30 @@ type Config struct {
 	// SampleProbes caps how many probes are simulated in detail per design
 	// (0 means all probes). This is the SMARTS-like sampling knob.
 	SampleProbes int
+	// SampleWindows turns on systematic sampled simulation
+	// (internal/sampling): the probe stream splits into SampleWindows equal
+	// strides, each ending in a detailed window of SampleWarmup unmeasured
+	// plus SamplePeriod measured probes, with the stride prefixes
+	// fast-forwarded functionally (reference matches join the output stream,
+	// touched addresses warm the hierarchy, no cycles elapse). Headline
+	// metrics are then estimated from the per-window observations with 95%
+	// confidence intervals (the `sampling` manifest block). 0 disables
+	// sampling and reproduces the historical full-detail runs byte for byte.
+	SampleWindows int
+	// SampleWarmup is the per-window detailed-but-unmeasured probe count
+	// that re-establishes microarchitectural state after a fast-forward.
+	SampleWarmup uint64
+	// SamplePeriod is the per-window measured probe count.
+	SamplePeriod uint64
+	// SampleFullDetail turns a sampled run into its verification reference:
+	// the same plan executes, but fast-forward spans run in full detail
+	// (unmeasured) instead of functionally, so every probe is simulated and
+	// the measured windows observe the true machine history. Aggregates and
+	// window estimates then cover the identical window set as the sampled
+	// run, making the -sampling-verify interval check compare like with
+	// like: the only difference between the two runs is the fast-forward
+	// approximation itself. Omitted from manifests unless set.
+	SampleFullDetail bool `json:"sample_full_detail,omitempty"`
 	// Walkers lists the Widx walker counts to evaluate (Figures 8-10 use
 	// 1, 2 and 4).
 	Walkers []int
@@ -86,6 +111,12 @@ type Config struct {
 	// nil at any Parallelism (warmcache.go documents the contract). The
 	// field is excluded from JSON so run manifests are unaffected.
 	WarmCache *warmstate.Cache `json:"-"`
+	// WarmStore, when non-nil alongside WarmCache, persists warm-state
+	// snapshots (fast-forward checkpoints, CMP warm-ups) to disk as a
+	// second cache tier: a fresh process restores a previous run's snapshot
+	// instead of re-warming. Same determinism contract as WarmCache; the
+	// field is excluded from JSON so run manifests are unaffected.
+	WarmStore *warmstate.DiskStore `json:"-"`
 	// Ctx, when non-nil, cancels in-flight work: RunTasks checks it before
 	// dispatching each task, so an aborted run (an HTTP job whose client
 	// cancelled, a ^C) stops at the next design-point or grid-point
@@ -102,6 +133,8 @@ func DefaultConfig() Config {
 	return Config{
 		Scale:        1.0 / 64,
 		SampleProbes: 20_000,
+		SampleWarmup: 64,
+		SamplePeriod: 256,
 		Walkers:      []int{1, 2, 4},
 		QueueDepth:   2,
 		Mem:          mem.DefaultConfig(),
@@ -116,6 +149,8 @@ func QuickConfig() Config {
 	return Config{
 		Scale:          1.0 / 512,
 		SampleProbes:   3_000,
+		SampleWarmup:   64,
+		SamplePeriod:   256,
 		Walkers:        []int{1, 2, 4},
 		QueueDepth:     2,
 		Mem:            mem.DefaultConfig(),
@@ -148,6 +183,12 @@ func (c Config) Validate() error {
 	}
 	if c.FillBuffers < 0 {
 		return fmt.Errorf("sim: negative FillBuffers")
+	}
+	if c.SampleWindows < 0 {
+		return fmt.Errorf("sim: negative SampleWindows")
+	}
+	if c.SampleWindows > 0 && c.SamplePeriod == 0 {
+		return fmt.Errorf("sim: SamplePeriod must be positive when SampleWindows is set")
 	}
 	// The topology below carries the fill-buffer override but not LLCWays
 	// (that is applied per Widx agent in widxSpec/cmpAgentSpec), so the
@@ -209,6 +250,21 @@ func (c Config) sampleCount(n int) int {
 	return n
 }
 
+// sampling reports whether systematic sampled simulation is on.
+func (c Config) sampling() bool { return c.SampleWindows > 0 }
+
+// samplePlan builds the sampling plan for a probe stream of length n: the
+// configured systematic plan when sampling is on, the full single-window
+// plan otherwise. Window placement is a pure function of (n, knobs), so
+// every design point of a run — and every parallelism level — executes the
+// same spans.
+func (c Config) samplePlan(n int) sampling.Plan {
+	if !c.sampling() {
+		return sampling.Full(uint64(n))
+	}
+	return sampling.NewPlan(uint64(n), c.SampleWindows, c.SampleWarmup, c.SamplePeriod)
+}
+
 // Breakdown is a per-tuple cycle breakdown in the categories of Figures 8a
 // and 9 (computation, memory, TLB, idle).
 type Breakdown struct {
@@ -245,6 +301,10 @@ type indexPhase struct {
 	probeKeyBase uint64
 	probeCount   int
 	traces       []hashidx.ProbeTrace
+	// warmKey is the phase's warm-cache identity ("" when caching is off):
+	// the workload artifact's content-addressed key, which sampled runs
+	// chain their fast-forward checkpoint keys on (sampled.go).
+	warmKey string
 }
 
 // allocResultRegion reserves the result buffer for one Widx design point on

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"widx/internal/join"
+	"widx/internal/sampling"
 )
 
 // WalkerUtilizationPoint is one walker count of the sweep.
@@ -36,6 +37,9 @@ type WalkerUtilizationSweep struct {
 	Size   join.SizeClass
 	MSHRs  int
 	Points []WalkerUtilizationPoint
+	// Sampling carries the per-window confidence estimates when the sweep
+	// was sampled; nil otherwise.
+	Sampling *sampling.Report `json:"sampling,omitempty"`
 }
 
 // RunWalkerUtilization sweeps Widx walker counts 1..maxWalkers over one
@@ -50,9 +54,10 @@ func (c Config) RunWalkerUtilization(size join.SizeClass, maxWalkers int) (*Walk
 		return nil, fmt.Errorf("sim: non-positive walker sweep bound")
 	}
 	// The walker sweep replays the same kernel workload the Figure 8
-	// experiment builds (probe traces unused — no baseline cores here), so
-	// with the warm cache enabled the two share one build.
-	ph, err := c.kernelPhase(size, false)
+	// experiment builds, so with the warm cache enabled the two share one
+	// build. Probe traces are only needed for sampled runs (no baseline
+	// cores here), where fast-forward spans warm from them.
+	ph, err := c.kernelPhase(size, c.sampling())
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +65,7 @@ func (c Config) RunWalkerUtilization(size join.SizeClass, maxWalkers int) (*Walk
 	for i := range points {
 		points[i] = widxPoint{walkers: i + 1}
 	}
-	_, widxRes, err := c.runPhase(ph, nil, points)
+	_, widxRes, psamp, err := c.runPhase(ph, nil, points)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +73,13 @@ func (c Config) RunWalkerUtilization(size join.SizeClass, maxWalkers int) (*Walk
 		Size:   size,
 		MSHRs:  c.Mem.L1MSHRs,
 		Points: make([]WalkerUtilizationPoint, maxWalkers),
+	}
+	if psamp != nil {
+		rep := psamp.report()
+		for i := range points {
+			addSampledPoint(rep, fmt.Sprintf("%dw", i+1), nil, psamp.widxWins[i])
+		}
+		out.Sampling = rep
 	}
 	for i, res := range widxRes {
 		out.Points[i] = WalkerUtilizationPoint{
@@ -80,4 +92,19 @@ func (c Config) RunWalkerUtilization(size join.SizeClass, maxWalkers int) (*Walk
 		}
 	}
 	return out, nil
+}
+
+// SamplingReport implements SamplingReporter.
+func (s *WalkerUtilizationSweep) SamplingReport() *sampling.Report { return s.Sampling }
+
+// SampledMetricValues returns the sweep's full-run values under the sampled
+// estimator's metric names, for -sampling-verify interval checks.
+func (s *WalkerUtilizationSweep) SampledMetricValues() map[string]float64 {
+	m := make(map[string]float64)
+	for _, p := range s.Points {
+		prefix := fmt.Sprintf("%dw", p.Walkers)
+		m[sampledMetricName(prefix, metricCPT)] = p.CyclesPerTuple
+		m[sampledMetricName(prefix, metricMSHR)] = p.MeanMSHROccupancy
+	}
+	return m
 }

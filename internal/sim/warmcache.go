@@ -56,6 +56,43 @@ func warmKey(f *warmstate.Fingerprint) string {
 	return k
 }
 
+// warmStateCached memoizes a warm-state snapshot through the two cache
+// tiers: the in-memory Cache (per-process, verify-capable) in front of the
+// optional DiskStore (Config.WarmStore, cross-process). A disk hit decodes
+// the persisted payload instead of rebuilding; an undecodable payload — a
+// stale codec revision, a torn write — counts as a miss and is rebuilt and
+// overwritten. The in-memory tier still content-hash-verifies whatever the
+// loader produced, so a corrupted-but-decodable payload surfaces in verify
+// mode exactly like a key collision.
+func (c Config) warmStateCached(key string, build func() (*mem.WarmState, error)) (*mem.WarmState, error) {
+	load := build
+	if c.WarmStore != nil {
+		load = func() (*mem.WarmState, error) {
+			payload, ok, err := c.WarmStore.Get(key)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if st, derr := mem.DecodeWarmState(payload); derr == nil {
+					return st, nil
+				}
+			}
+			st, err := build()
+			if err != nil {
+				return nil, err
+			}
+			if err := c.WarmStore.Put(key, st.EncodeBinary()); err != nil {
+				return nil, err
+			}
+			return st, nil
+		}
+	}
+	if c.WarmCache == nil {
+		return load()
+	}
+	return warmstate.Get(c.WarmCache, key, load, (*mem.WarmState).ContentHash)
+}
+
 // kernelArtifact is one memoized hash-join kernel build: the master
 // address-space image (never written after build), the index, and the
 // probe traces, generated once inside the build so consumers never read
@@ -133,7 +170,9 @@ func (c Config) kernelPhase(size join.SizeClass, withTraces bool) (*indexPhase, 
 	if err != nil {
 		return nil, err
 	}
-	return art.phase(withTraces), nil
+	ph := art.phase(withTraces)
+	ph.warmKey = key
+	return ph, nil
 }
 
 // engineArtifact is one memoized query-engine run: the full engine result
@@ -165,9 +204,18 @@ func (a *engineArtifact) result(cloneAS bool) *engine.Result {
 // derived from the query spec and scale, and the complete input set of
 // engine.Run.
 func (c Config) engineRun(q workloads.QuerySpec, cloneAS bool) (*engine.Result, error) {
+	res, _, err := c.engineRunKeyed(q, cloneAS)
+	return res, err
+}
+
+// engineRunKeyed is engineRun returning the artifact's cache key alongside
+// the result ("" when caching is off), for phase-level warm-state
+// checkpoints to chain on.
+func (c Config) engineRunKeyed(q workloads.QuerySpec, cloneAS bool) (*engine.Result, string, error) {
 	spec := engine.FromWorkload(q, c.Scale)
 	if c.WarmCache == nil {
-		return engine.Run(spec)
+		res, err := engine.Run(spec)
+		return res, "", err
 	}
 	key := warmKey(warmstate.NewFingerprint("engine").
 		Field("spec", fmt.Sprintf("%+v", spec)))
@@ -179,9 +227,9 @@ func (c Config) engineRun(q workloads.QuerySpec, cloneAS bool) (*engine.Result, 
 		return &engineArtifact{res: res}, nil
 	}, func(a *engineArtifact) uint64 { return a.res.AS.ContentHash() })
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return art.result(cloneAS), nil
+	return art.result(cloneAS), key, nil
 }
 
 // cmpWorkloadArtifact is one memoized partitioned CMP workload: the
@@ -269,12 +317,12 @@ func (c Config) warmCMPSolo(hier *mem.Hierarchy, workloadKey string, w *cmpAgent
 		Field("agent", agentIdx).
 		Field("shared", c.warmSharedField()).
 		Field("spec", warmSpecField(spec)))
-	st, err := warmstate.Get(c.WarmCache, key, func() (*mem.WarmState, error) {
+	st, err := c.warmStateCached(key, func() (*mem.WarmState, error) {
 		tsl := c.newSharedLevel()
 		th := tsl.NewAgent(spec)
 		warmPartition(th, w)
 		return tsl.CaptureWarmState(), nil
-	}, (*mem.WarmState).ContentHash)
+	})
 	if err != nil {
 		return err
 	}
@@ -311,7 +359,7 @@ func (c Config) warmCMPCoRun(sl *mem.SharedLevel, hiers []*mem.Hierarchy, worklo
 		f.Field(fmt.Sprintf("agent%d", i), warmSpecField(specs[i]))
 	}
 	key := warmKey(f)
-	st, err := warmstate.Get(c.WarmCache, key, func() (*mem.WarmState, error) {
+	st, err := c.warmStateCached(key, func() (*mem.WarmState, error) {
 		tsl := c.newSharedLevel()
 		ths := make([]*mem.Hierarchy, len(specs))
 		for i := range specs {
@@ -319,7 +367,7 @@ func (c Config) warmCMPCoRun(sl *mem.SharedLevel, hiers []*mem.Hierarchy, worklo
 		}
 		warm(ths)
 		return tsl.CaptureWarmState(), nil
-	}, (*mem.WarmState).ContentHash)
+	})
 	if err != nil {
 		return err
 	}

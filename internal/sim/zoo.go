@@ -14,6 +14,8 @@ import (
 	"sync"
 
 	"widx/internal/cores"
+	"widx/internal/hashidx"
+	"widx/internal/sampling"
 	"widx/internal/structures"
 	"widx/internal/vm"
 	"widx/internal/warmstate"
@@ -63,6 +65,10 @@ type ZooStructureResult struct {
 // ZooExperiment is the cross-structure study result.
 type ZooExperiment struct {
 	Structures []ZooStructureResult
+	// Sampling merges every structure's per-window confidence estimates,
+	// each metric prefixed with its structure name; nil when sampling was
+	// off.
+	Sampling *sampling.Report `json:"sampling,omitempty"`
 }
 
 // Point returns the design point for a structure and walker count.
@@ -126,7 +132,9 @@ type zooArtifact struct {
 // instance. The key names every build input; program options are absent
 // deliberately — they change the generated code, never the image or the
 // reference.
-func (c Config) zooPhase(cfg structures.BuildConfig) (*vm.AddressSpace, structures.Instance, error) {
+// The cache key ("" when caching is off) is also returned, for phase-level
+// warm-state checkpoints to chain on.
+func (c Config) zooPhase(cfg structures.BuildConfig) (*vm.AddressSpace, structures.Instance, string, error) {
 	build := func() (*zooArtifact, error) {
 		as := vm.New()
 		inst, err := structures.Build(as, cfg)
@@ -138,9 +146,9 @@ func (c Config) zooPhase(cfg structures.BuildConfig) (*vm.AddressSpace, structur
 	if c.WarmCache == nil {
 		art, err := build()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
-		return art.as, art.inst, nil
+		return art.as, art.inst, "", nil
 	}
 	key := warmKey(warmstate.NewFingerprint("zoo").
 		Field("structure", cfg.Kind).
@@ -151,14 +159,14 @@ func (c Config) zooPhase(cfg structures.BuildConfig) (*vm.AddressSpace, structur
 	art, err := warmstate.Get(c.WarmCache, key, build,
 		func(a *zooArtifact) uint64 { return a.as.ContentHash() })
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	// Clone under the artifact's lock: vm.AddressSpace.Clone mutates the
 	// parent's sharing bookkeeping.
 	art.mu.Lock()
 	as := art.as.Clone()
 	art.mu.Unlock()
-	return as, art.inst, nil
+	return as, art.inst, key, nil
 }
 
 // runZooWidx executes one structure's probes on one Widx design point.
@@ -180,6 +188,64 @@ func (c Config) runZooWidx(inst structures.Instance, as *vm.AddressSpace, result
 	})
 }
 
+// runZooWidxSampled executes one structure's probes on one Widx design
+// point through a sampling plan: fast-forward spans append the reference
+// matches and warm the hierarchy from the reference traces, detailed spans
+// offload the span's key range at the current cursor, and the combined
+// stream is fingerprint-verified against the full reference (the same
+// contract the unsampled zoo enforces).
+func (c Config) runZooWidxSampled(inst structures.Instance, as *vm.AddressSpace, resultBase uint64, walkers int, prog structures.ProgramOptions,
+	plan sampling.Plan, refMatches []uint64, bounds []int, traces []hashidx.ProbeTrace, phaseKey string) (*widx.OffloadResult, []windowSample, error) {
+	progs, err := inst.Programs(resultBase, prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	sl := c.newSharedLevel()
+	hier := sl.NewAgent(c.widxSpec(sl.Topology(), "widx"))
+	acc, err := widx.New(widx.Config{NumWalkers: walkers, QueueDepth: c.queueDepth(), Mode: widx.SharedDispatcher},
+		hier, as, progs.Dispatcher, progs.Walker, progs.Producer)
+	if err != nil {
+		return nil, nil, err
+	}
+	agg := &widx.OffloadResult{Walkers: make([]widx.Breakdown, walkers)}
+	stream := make([]uint64, 0, len(refMatches))
+	wins := make([]windowSample, 0, plan.Windows)
+	var cursor uint64
+	detailed := func(sp sampling.Span) error {
+		res, err := acc.Offload(widx.OffloadRequest{
+			KeyBase:    inst.ProbeKeyBase() + sp.Start*8,
+			KeyCount:   sp.Len(),
+			StartCycle: cursor,
+		})
+		if err != nil {
+			return err
+		}
+		cursor += res.TotalCycles
+		stream = append(stream, res.Matches...)
+		if sp.Kind != sampling.Measure {
+			return nil
+		}
+		wins = append(wins, windowSample{cycles: res.TotalCycles, tuples: res.Tuples, mshr: res.MemStats.MeanMSHROccupancy()})
+		addOffloadResult(agg, res)
+		return nil
+	}
+	ff := func(sp sampling.Span) error {
+		stream = append(stream, matchSegment(refMatches, bounds, sp.Start, sp.End)...)
+		return c.ffSpan(hier, phaseKey, traces, sp)
+	}
+	if c.SampleFullDetail {
+		ff = detailed
+	}
+	if err := plan.Run(ff, detailed); err != nil {
+		return nil, nil, err
+	}
+	if err := verifySampledStream(fmt.Sprintf("%s walker", inst.Kind()), stream, refMatches); err != nil {
+		return nil, nil, err
+	}
+	agg.Matches = stream
+	return agg, wins, nil
+}
+
 // RunZoo runs the cross-structure study. Structures fan out across workers
 // (each builds or fetches its own image), design points within a structure
 // fan out in turn, and every Widx point's match stream is verified
@@ -194,14 +260,22 @@ func (c Config) RunZoo(opt ZooOptions) (*ZooExperiment, error) {
 		kinds = structures.Kinds()
 	}
 	perKind := make([]ZooStructureResult, len(kinds))
+	perKindSampling := make([]*sampling.Report, len(kinds))
 	inner := c.InnerConfig(len(kinds))
 	if err := c.RunTasks(len(kinds), func(i int) error {
-		as, inst, err := c.zooPhase(c.zooBuildConfig(kinds[i], opt.Span))
+		as, inst, phaseKey, err := c.zooPhase(c.zooBuildConfig(kinds[i], opt.Span))
 		if err != nil {
 			return err
 		}
 		refMatches, traces := inst.Reference()
 		refFP := structures.Fingerprint(refMatches)
+		plan := c.samplePlan(inst.ProbeCount())
+		var bounds []int
+		if c.sampling() {
+			bounds = inst.MatchBounds()
+		}
+		var oooWins []windowSample
+		widxWins := make([][]windowSample, len(c.Walkers))
 
 		// Result regions for every design point first, in walker order, then
 		// all clones — the sequential allocation order that keeps parallel
@@ -224,7 +298,17 @@ func (c Config) RunZoo(opt ZooOptions) (*ZooExperiment, error) {
 		points := make([]ZooPoint, len(c.Walkers))
 		if err := inner.RunTasks(1+len(c.Walkers), func(j int) error {
 			if j == 0 {
-				r, err := inner.runBaseline(&indexPhase{traces: traces}, oooConfig())
+				bph := &indexPhase{traces: traces, warmKey: phaseKey}
+				if c.sampling() {
+					r, wins, err := inner.runBaselineSampled(bph, oooConfig(), plan)
+					if err != nil {
+						return err
+					}
+					ooo = r
+					oooWins = wins
+					return nil
+				}
+				r, err := inner.runBaseline(bph, oooConfig())
 				if err != nil {
 					return err
 				}
@@ -232,13 +316,24 @@ func (c Config) RunZoo(opt ZooOptions) (*ZooExperiment, error) {
 				return nil
 			}
 			w := c.Walkers[j-1]
-			res, err := inner.runZooWidx(inst, spaces[j-1], resultBases[j-1], w, opt.Prog)
-			if err != nil {
-				return err
-			}
-			if got := structures.Fingerprint(res.Matches); got != refFP {
-				return fmt.Errorf("sim: %s walker output diverged from the software reference (%d matches fp %#x, want %d fp %#x)",
-					kinds[i], len(res.Matches), got, len(refMatches), refFP)
+			var res *widx.OffloadResult
+			if c.sampling() {
+				var wins []windowSample
+				res, wins, err = inner.runZooWidxSampled(inst, spaces[j-1], resultBases[j-1], w, opt.Prog,
+					plan, refMatches, bounds, traces, phaseKey)
+				if err != nil {
+					return err
+				}
+				widxWins[j-1] = wins
+			} else {
+				res, err = inner.runZooWidx(inst, spaces[j-1], resultBases[j-1], w, opt.Prog)
+				if err != nil {
+					return err
+				}
+				if got := structures.Fingerprint(res.Matches); got != refFP {
+					return fmt.Errorf("sim: %s walker output diverged from the software reference (%d matches fp %#x, want %d fp %#x)",
+						kinds[i], len(res.Matches), got, len(refMatches), refFP)
+				}
 			}
 			points[j-1] = ZooPoint{
 				Walkers:        w,
@@ -253,6 +348,15 @@ func (c Config) RunZoo(opt ZooOptions) (*ZooExperiment, error) {
 		for j := range points {
 			points[j].Speedup = ooo.CyclesPerTuple() / points[j].CyclesPerTuple
 		}
+		if c.sampling() {
+			rep := sampling.NewReport(plan)
+			rep.FingerprintVerified = len(c.Walkers) > 0
+			rep.Add(sampledMetricName("ooo", metricCPT), cptSeries(oooWins))
+			for j, w := range c.Walkers {
+				addSampledPoint(rep, fmt.Sprintf("%dw", w), oooWins, widxWins[j])
+			}
+			perKindSampling[i] = rep
+		}
 		perKind[i] = ZooStructureResult{
 			Structure:         kinds[i],
 			Geometry:          inst.Geometry(),
@@ -266,5 +370,43 @@ func (c Config) RunZoo(opt ZooOptions) (*ZooExperiment, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return &ZooExperiment{Structures: perKind}, nil
+	exp := &ZooExperiment{Structures: perKind}
+	for i, kind := range kinds {
+		rep := perKindSampling[i]
+		if rep == nil {
+			continue
+		}
+		if exp.Sampling == nil {
+			// Seed with the first structure's plan header; metric names carry
+			// the per-structure context instead.
+			hdr := *rep
+			hdr.Metrics = nil
+			hdr.FingerprintVerified = false
+			exp.Sampling = &hdr
+		}
+		exp.Sampling.Merge(kind.String()+": ", rep)
+	}
+	return exp, nil
+}
+
+// SamplingReport implements SamplingReporter.
+func (e *ZooExperiment) SamplingReport() *sampling.Report { return e.Sampling }
+
+// SampledMetricValues returns every structure's full-run values under the
+// merged report's prefixed metric names.
+func (e *ZooExperiment) SampledMetricValues() map[string]float64 {
+	m := make(map[string]float64)
+	for _, s := range e.Structures {
+		prefix := s.Structure.String() + ": "
+		m[prefix+sampledMetricName("ooo", metricCPT)] = s.OoOCyclesPerTuple
+		for _, p := range s.Points {
+			wp := prefix + fmt.Sprintf("%dw", p.Walkers)
+			m[sampledMetricName(wp, metricCPT)] = p.CyclesPerTuple
+			m[sampledMetricName(wp, metricSpeedup)] = p.Speedup
+			if p.Raw != nil {
+				m[sampledMetricName(wp, metricMSHR)] = p.Raw.MemStats.MeanMSHROccupancy()
+			}
+		}
+	}
+	return m
 }

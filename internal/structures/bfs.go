@@ -193,6 +193,7 @@ func buildBFS(as *vm.AddressSpace, cfg BuildConfig) (*bfsInstance, error) {
 			BucketAddr: graph.rowBase + v*8,
 			Steps:      steps,
 		})
+		inst.closeProbe()
 	}
 	return inst, nil
 }

@@ -264,6 +264,7 @@ func buildBTree(as *vm.AddressSpace, cfg BuildConfig) (*btreeInstance, error) {
 			BucketAddr: idx.root,
 			Steps:      steps,
 		})
+		inst.closeProbe()
 	}
 	return inst, nil
 }

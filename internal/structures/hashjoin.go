@@ -70,6 +70,7 @@ func buildHashJoin(as *vm.AddressSpace, cfg BuildConfig) (*hashjoinInstance, err
 			inst.matches = append(inst.matches, res.Payload)
 		}
 		inst.traces = append(inst.traces, res.Trace)
+		inst.closeProbe()
 	}
 	return inst, nil
 }

@@ -371,6 +371,7 @@ func buildLSM(as *vm.AddressSpace, cfg BuildConfig) (*lsmInstance, error) {
 			BucketAddr: tree.memtable.head,
 			Steps:      steps,
 		})
+		inst.closeProbe()
 	}
 	return inst, nil
 }

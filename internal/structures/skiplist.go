@@ -214,6 +214,7 @@ func buildSkipList(as *vm.AddressSpace, cfg BuildConfig) (*skipListInstance, err
 			BucketAddr: arena.head,
 			Steps:      steps,
 		})
+		inst.closeProbe()
 	}
 	return inst, nil
 }

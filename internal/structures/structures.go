@@ -238,6 +238,14 @@ type Instance interface {
 	// per-probe dependent-load traces for baseline-core replay. Callers
 	// must not mutate either slice.
 	Reference() (matches []uint64, traces []hashidx.ProbeTrace)
+	// MatchBounds returns the cumulative per-probe offsets into the
+	// flattened match stream: probe i's matches are
+	// matches[bounds[i]:bounds[i+1]] with an implicit bounds[-1] of 0, so
+	// bounds[i] is the stream length after probe i. The sampled simulator
+	// uses it to splice reference matches for fast-forwarded probe ranges
+	// into the combined fingerprint stream. Callers must not mutate the
+	// slice.
+	MatchBounds() []int
 	// Programs generates the Widx bundle targeting resultBase. The match
 	// stream the bundle produces is identical for every option setting.
 	Programs(resultBase uint64, opt ProgramOptions) (*Programs, error)
@@ -294,6 +302,7 @@ type baseInstance struct {
 	geom      Geometry
 	regions   [][2]uint64
 	matches   []uint64
+	bounds    []int
 	traces    []hashidx.ProbeTrace
 }
 
@@ -304,6 +313,14 @@ func (b *baseInstance) Geometry() Geometry   { return b.geom }
 func (b *baseInstance) Regions() [][2]uint64 { return b.regions }
 func (b *baseInstance) Reference() ([]uint64, []hashidx.ProbeTrace) {
 	return b.matches, b.traces
+}
+func (b *baseInstance) MatchBounds() []int { return b.bounds }
+
+// closeProbe records the end of one probe's matches in the per-probe
+// bounds; every builder calls it once per probe, right after appending the
+// probe's matches and trace.
+func (b *baseInstance) closeProbe() {
+	b.bounds = append(b.bounds, len(b.matches))
 }
 
 // regionSpan sums the regions' sizes for the geometry footprint.

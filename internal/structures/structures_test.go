@@ -214,3 +214,33 @@ func TestGoldenFingerprints(t *testing.T) {
 		}
 	}
 }
+
+// TestMatchBoundsPartitionTheStream checks every structure's per-probe
+// bounds: monotone, one entry per probe, ending at the stream length, and
+// the slices they induce re-concatenate to the flattened match stream.
+func TestMatchBoundsPartitionTheStream(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			as := vm.New()
+			inst, err := Build(as, BuildConfig{Kind: kind, Keys: 512, Probes: 300, Span: 2, Seed: 99, Name: "b." + kind.String()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			matches, _ := inst.Reference()
+			bounds := inst.MatchBounds()
+			if len(bounds) != inst.ProbeCount() {
+				t.Fatalf("%d bounds for %d probes", len(bounds), inst.ProbeCount())
+			}
+			prev := 0
+			for i, b := range bounds {
+				if b < prev {
+					t.Fatalf("bounds not monotone at probe %d: %d < %d", i, b, prev)
+				}
+				prev = b
+			}
+			if prev != len(matches) {
+				t.Fatalf("bounds end at %d, stream has %d matches", prev, len(matches))
+			}
+		})
+	}
+}
